@@ -1,0 +1,149 @@
+// Command datagen materializes the synthetic MSD Task-1-like dataset used by
+// the reproduction: multi-modal brain phantoms in the MSD on-disk layout
+// (imagesTr/, labelsTr/ as NIfTI-1), optionally pre-binarized into TFRecords
+// (the paper's offline binarization), and optionally dumped as PGM slice
+// images reproducing the Figure 3 data overview.
+//
+// Usage:
+//
+//	datagen -out DIR [-cases N] [-dim D,H,W] [-seed N] [-records] [-sample]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/msd"
+	"repro/internal/record"
+	"repro/internal/volume"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	out := flag.String("out", "", "output directory (required)")
+	cases := flag.Int("cases", 16, "number of phantom cases to generate")
+	d := flag.Int("d", 16, "volume depth (slices)")
+	h := flag.Int("h", 24, "volume height")
+	w := flag.Int("w", 24, "volume width")
+	seed := flag.Int64("seed", 7, "generation seed")
+	records := flag.Bool("records", false, "also write pre-binarized TFRecords (train.tfrecord etc.)")
+	sample := flag.Bool("sample", false, "dump Figure-3-style PGM slices of the first case")
+	flag.Parse()
+
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := msd.Config{Cases: *cases, D: *d, H: *h, W: *w, Seed: *seed}
+	ds, err := msd.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.WriteNIfTI(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d cases (%dx%dx%d, 4 modalities) under %s\n", *cases, *d, *h, *w, *out)
+	fmt.Printf("split: %d train / %d val / %d test\n", len(ds.Train), len(ds.Val), len(ds.Test))
+
+	if *records {
+		if err := writeRecords(ds, *out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *sample {
+		if err := dumpSample(ds, *out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeRecords performs the paper's offline binarization: preprocess every
+// split and serialize it as TFRecords so training epochs skip NIfTI decoding.
+func writeRecords(ds *msd.Dataset, dir string) error {
+	write := func(name string, idx []int) error {
+		var samples []*volume.Sample
+		for _, i := range idx {
+			s, err := volume.Preprocess(ds.Cases[i], 8)
+			if err != nil {
+				// Volumes smaller than the paper divisor: fall back to 4.
+				s, err = volume.Preprocess(ds.Cases[i], 4)
+				if err != nil {
+					return err
+				}
+			}
+			samples = append(samples, s)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := record.WriteSamples(f, samples); err != nil {
+			return err
+		}
+		fmt.Printf("binarized %d samples into %s\n", len(samples), name)
+		return f.Close()
+	}
+	if err := write("train.tfrecord", ds.Train); err != nil {
+		return err
+	}
+	if err := write("val.tfrecord", ds.Val); err != nil {
+		return err
+	}
+	return write("test.tfrecord", ds.Test)
+}
+
+// dumpSample writes the middle axial slice of each modality and the ground
+// truth of case 0 as PGM images, the reproduction of Figure 3.
+func dumpSample(ds *msd.Dataset, dir string) error {
+	v := ds.Cases[0]
+	z := v.D / 2
+	for c, name := range msd.Modalities {
+		path := filepath.Join(dir, fmt.Sprintf("fig3_%s.pgm", name))
+		if err := writePGM(path, v, z, func(y, x int) float32 { return v.Intensity(c, z, y, x) }); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(dir, "fig3_ground_truth.pgm")
+	err := writePGM(path, v, z, func(y, x int) float32 {
+		return float32(v.Labels[v.VoxelIndex(z, y, x)]) / float32(volume.NumClasses-1)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote Figure 3 slices (z=%d) of %s as PGM under %s\n", z, v.Name, dir)
+	return nil
+}
+
+// writePGM renders one slice as an 8-bit binary PGM, scaling to [0, 255].
+func writePGM(path string, v *volume.Volume, z int, at func(y, x int) float32) error {
+	lo, hi := at(0, 0), at(0, 0)
+	for y := 0; y < v.H; y++ {
+		for x := 0; x < v.W; x++ {
+			p := at(y, x)
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+	}
+	scale := float32(0)
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	buf := make([]byte, 0, v.H*v.W+32)
+	buf = append(buf, []byte(fmt.Sprintf("P5\n%d %d\n255\n", v.W, v.H))...)
+	for y := 0; y < v.H; y++ {
+		for x := 0; x < v.W; x++ {
+			buf = append(buf, byte((at(y, x)-lo)*scale))
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

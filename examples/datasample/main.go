@@ -1,0 +1,90 @@
+// Datasample reproduces the paper's Figure 3: an overview of one dataset
+// case, rendering the middle axial slice of each MRI modality (FLAIR, T1w,
+// T1gd, T2w) and the ground truth as ASCII art, plus per-class voxel
+// statistics showing the heavy class imbalance that motivates the Dice loss.
+//
+// Run with: go run ./examples/datasample
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/msd"
+	"repro/internal/volume"
+)
+
+const shades = " .:-=+*#%@"
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := msd.Config{Cases: 1, D: 20, H: 28, W: 56, Seed: 13}
+	v := msd.GenerateCase(cfg, 0)
+	z := v.D / 2
+
+	for c, name := range msd.Modalities {
+		fmt.Printf("%s (middle slice z=%d):\n", name, z)
+		printSlice(v, func(y, x int) float64 { return float64(v.Intensity(c, z, y, x)) })
+		fmt.Println()
+	}
+
+	fmt.Println("ground truth (.=background, e=edema, n=non-enhancing, E=enhancing):")
+	for y := 0; y < v.H; y += 2 {
+		for x := 0; x < v.W; x++ {
+			switch v.Labels[v.VoxelIndex(z, y, x)] {
+			case volume.LabelEdema:
+				fmt.Print("e")
+			case volume.LabelNonEnhancingTumor:
+				fmt.Print("n")
+			case volume.LabelEnhancingTumor:
+				fmt.Print("E")
+			default:
+				fmt.Print(".")
+			}
+		}
+		fmt.Println()
+	}
+
+	// Class statistics: the imbalance that motivates the Dice loss.
+	counts := make([]int, volume.NumClasses)
+	for _, l := range v.Labels {
+		counts[l]++
+	}
+	total := len(v.Labels)
+	fmt.Println("\nvoxel class distribution:")
+	names := []string{"background", "edema", "non-enhancing tumor", "enhancing tumor"}
+	for cls, n := range counts {
+		fmt.Printf("  %-20s %7d voxels (%5.2f%%)\n", names[cls], n, 100*float64(n)/float64(total))
+	}
+	fmt.Printf("\nwhole-tumour fraction: %.2f%% — the binary target after label binarization\n",
+		100*v.TumorFraction())
+}
+
+// printSlice renders one slice as ASCII art, min-max scaled.
+func printSlice(v *volume.Volume, at func(y, x int) float64) {
+	z0 := at(0, 0)
+	lo, hi := z0, z0
+	for y := 0; y < v.H; y++ {
+		for x := 0; x < v.W; x++ {
+			p := at(y, x)
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+	}
+	for y := 0; y < v.H; y += 2 { // terminal cells are ~2x taller than wide
+		for x := 0; x < v.W; x++ {
+			frac := 0.0
+			if hi > lo {
+				frac = (at(y, x) - lo) / (hi - lo)
+			}
+			idx := int(frac * float64(len(shades)-1))
+			fmt.Print(string(shades[idx]))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,92 @@
+// Train_real reproduces the paper's correctness reference (§IV-C): real
+// gradient-descent training of a 3D U-Net on synthetic brain phantoms until
+// the validation Dice reaches the paper's 0.89 band. Training runs under the
+// data-parallel strategy on two simulated GPUs with the paper's rules: batch
+// 2 per replica, Adam, lr = 1e-3 × #GPUs, ring all-reduce every step.
+//
+// Run with: go run ./examples/train_real
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/msd"
+	"repro/internal/raysgd"
+	"repro/internal/unet"
+	"repro/internal/volume"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Phantom dataset: 20 cases of 16^3 voxels, 4 modalities.
+	cfg := msd.Config{Cases: 20, D: 16, H: 16, W: 16, Seed: 3}
+	var train, val []*volume.Sample
+	for i := 0; i < 16; i++ {
+		s, err := volume.Preprocess(msd.GenerateCase(cfg, i), 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, s)
+	}
+	for i := 16; i < 20; i++ {
+		s, err := volume.Preprocess(msd.GenerateCase(cfg, i), 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		val = append(val, s)
+	}
+
+	net := unet.Config{
+		InChannels:  4,
+		OutChannels: 1,
+		BaseFilters: 4,
+		Steps:       3,
+		Kernel:      3,
+		UpKernel:    2,
+		Seed:        2,
+	}
+	cl, err := cluster.ForGPUs(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := raysgd.New(raysgd.Config{
+		Cluster:         cl,
+		GPUs:            2,
+		Net:             net,
+		Loss:            "dice",
+		Optimizer:       "adam",
+		BaseLR:          0.75e-3, // × 2 GPUs = 1.5e-3 effective
+		BatchPerReplica: 2,
+		Seed:            5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode %s, global batch %d, effective lr %.2g\n",
+		tr.Mode(), tr.GlobalBatch(), tr.EffectiveLR())
+
+	const target = 0.89 // the paper's reported Dice score
+	start := time.Now()
+	best := 0.0
+	last, err := tr.Fit(train, val, 60, func(s raysgd.EpochStats) bool {
+		if s.ValDice > best {
+			best = s.ValDice
+		}
+		fmt.Printf("epoch %3d  loss %.4f  val dice %.4f  (%.1fs)\n",
+			s.Epoch, s.MeanLoss, s.ValDice, time.Since(start).Seconds())
+		return s.ValDice < target
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest validation dice %.4f after %d epochs (paper reference: 0.89)\n", best, last.Epoch+1)
+	if best >= target {
+		fmt.Println("reached the paper's reference band ✓")
+	} else {
+		fmt.Println("did not reach 0.89 within the epoch budget; rerun with more epochs")
+	}
+}

@@ -1,0 +1,160 @@
+// Package allreduce implements the gradient reduction collectives of the
+// data-parallel path: a real ring all-reduce executed by one goroutine per
+// replica (the algorithm NCCL runs across GPUs), and a naive
+// gather-and-broadcast baseline used by the ablation benchmarks. Both
+// operate in place on the replicas' gradient buffers.
+package allreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// chunkBounds returns the [lo, hi) range of chunk c when a buffer of length
+// n is split into parts chunks (earlier chunks take the remainder).
+func chunkBounds(n, parts, c int) (int, int) {
+	base := n / parts
+	rem := n % parts
+	lo := c*base + min(c, rem)
+	size := base
+	if c < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func validate(bufs [][]float32) error {
+	if len(bufs) == 0 {
+		return fmt.Errorf("allreduce: no buffers")
+	}
+	n := len(bufs[0])
+	for i, b := range bufs {
+		if len(b) != n {
+			return fmt.Errorf("allreduce: buffer %d has length %d, want %d", i, len(b), n)
+		}
+	}
+	return nil
+}
+
+// Ring performs an in-place ring all-reduce: after it returns every buffer
+// holds the elementwise sum of all input buffers. Workers run concurrently,
+// one goroutine per replica, exchanging chunks over channels exactly like
+// the bucketed NCCL ring: n−1 scatter-reduce steps followed by n−1
+// all-gather steps, each moving 1/n of the buffer.
+func Ring(bufs [][]float32) error {
+	if err := validate(bufs); err != nil {
+		return err
+	}
+	n := len(bufs)
+	if n == 1 {
+		return nil
+	}
+	size := len(bufs[0])
+
+	// links[i] carries chunks from worker i to worker (i+1) mod n.
+	links := make([]chan []float32, n)
+	for i := range links {
+		links[i] = make(chan []float32, 1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf := bufs[w]
+			prev := links[(w-1+n)%n]
+
+			// Scatter-reduce: after step s, worker w has accumulated
+			// s+1 contributions into chunk (w-s+n)%n.
+			for s := 0; s < n-1; s++ {
+				sendChunk := (w - s + n) % n
+				lo, hi := chunkBounds(size, n, sendChunk)
+				out := make([]float32, hi-lo)
+				copy(out, buf[lo:hi])
+				links[w] <- out
+
+				in := <-prev
+				recvChunk := (w - s - 1 + n) % n
+				rlo, rhi := chunkBounds(size, n, recvChunk)
+				if len(in) != rhi-rlo {
+					panic("allreduce: chunk size mismatch")
+				}
+				for i := range in {
+					buf[rlo+i] += in[i]
+				}
+			}
+
+			// All-gather: circulate the fully reduced chunks.
+			for s := 0; s < n-1; s++ {
+				sendChunk := (w + 1 - s + n) % n
+				lo, hi := chunkBounds(size, n, sendChunk)
+				out := make([]float32, hi-lo)
+				copy(out, buf[lo:hi])
+				links[w] <- out
+
+				in := <-prev
+				recvChunk := (w - s + n) % n
+				rlo, rhi := chunkBounds(size, n, recvChunk)
+				copy(buf[rlo:rhi], in)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// RingAverage runs Ring and divides every buffer by the replica count,
+// producing the averaged gradients synchronous SGD applies.
+func RingAverage(bufs [][]float32) error {
+	if err := Ring(bufs); err != nil {
+		return err
+	}
+	inv := 1 / float32(len(bufs))
+	for _, b := range bufs {
+		for i := range b {
+			b[i] *= inv
+		}
+	}
+	return nil
+}
+
+// Naive performs the gather-then-broadcast baseline: buffer 0 accumulates
+// every other buffer sequentially and the result is copied back out. Same
+// result as Ring, with 2·(n−1) full-buffer transfers on one root.
+func Naive(bufs [][]float32) error {
+	if err := validate(bufs); err != nil {
+		return err
+	}
+	root := bufs[0]
+	for _, b := range bufs[1:] {
+		for i := range root {
+			root[i] += b[i]
+		}
+	}
+	for _, b := range bufs[1:] {
+		copy(b, root)
+	}
+	return nil
+}
+
+// NaiveAverage runs Naive and averages.
+func NaiveAverage(bufs [][]float32) error {
+	if err := Naive(bufs); err != nil {
+		return err
+	}
+	inv := 1 / float32(len(bufs))
+	for _, b := range bufs {
+		for i := range b {
+			b[i] *= inv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package augment provides composable, seeded data augmentations for
+// preprocessed samples: axis flips, intensity scaling/shifting and additive
+// Gaussian noise. The benchmark's hyper-parameter space exposes an "augment"
+// axis; this package implements the transforms behind it. Geometric
+// transforms are applied consistently to the input and its mask; intensity
+// transforms touch only the input.
+package augment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+	"repro/internal/volume"
+)
+
+// Transform maps a sample to an augmented copy, drawing any randomness from
+// rng so augmentation streams are reproducible per epoch and per worker.
+type Transform interface {
+	Apply(s *volume.Sample, rng *rand.Rand) *volume.Sample
+	Name() string
+}
+
+// Axis selects a spatial axis of a [C, D, H, W] sample.
+type Axis int
+
+// Spatial axes.
+const (
+	AxisD Axis = iota
+	AxisH
+	AxisW
+)
+
+// flipTensor mirrors a [C, D, H, W] tensor along the given spatial axis.
+func flipTensor(t *tensor.Tensor, axis Axis) *tensor.Tensor {
+	s := t.Shape()
+	c, d, h, w := s[0], s[1], s[2], s[3]
+	out := tensor.New(s...)
+	od := out.Data()
+	td := t.Data()
+	for ci := 0; ci < c; ci++ {
+		for z := 0; z < d; z++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					sz, sy, sx := z, y, x
+					switch axis {
+					case AxisD:
+						sz = d - 1 - z
+					case AxisH:
+						sy = h - 1 - y
+					case AxisW:
+						sx = w - 1 - x
+					}
+					od[((ci*d+z)*h+y)*w+x] = td[((ci*d+sz)*h+sy)*w+sx]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RandomFlip mirrors the sample along each enabled axis with probability P.
+type RandomFlip struct {
+	Axes []Axis
+	P    float64
+}
+
+// NewRandomFlip flips along all three axes with probability 0.5 each.
+func NewRandomFlip() *RandomFlip {
+	return &RandomFlip{Axes: []Axis{AxisD, AxisH, AxisW}, P: 0.5}
+}
+
+// Name implements Transform.
+func (f *RandomFlip) Name() string { return "random-flip" }
+
+// Apply implements Transform.
+func (f *RandomFlip) Apply(s *volume.Sample, rng *rand.Rand) *volume.Sample {
+	in, mask := s.Input, s.Mask
+	for _, ax := range f.Axes {
+		if rng.Float64() < f.P {
+			in = flipTensor(in, ax)
+			mask = flipTensor(mask, ax)
+		}
+	}
+	return &volume.Sample{Name: s.Name, Input: in, Mask: mask}
+}
+
+// IntensityScale multiplies intensities by a factor drawn uniformly from
+// [1−Delta, 1+Delta] and shifts them by a value from [−Shift, +Shift],
+// simulating scanner gain variation.
+type IntensityScale struct {
+	Delta float64
+	Shift float64
+}
+
+// NewIntensityScale returns a ±10% scale with ±0.1 shift.
+func NewIntensityScale() *IntensityScale { return &IntensityScale{Delta: 0.1, Shift: 0.1} }
+
+// Name implements Transform.
+func (t *IntensityScale) Name() string { return "intensity-scale" }
+
+// Apply implements Transform.
+func (t *IntensityScale) Apply(s *volume.Sample, rng *rand.Rand) *volume.Sample {
+	scale := float32(1 + (rng.Float64()*2-1)*t.Delta)
+	shift := float32((rng.Float64()*2 - 1) * t.Shift)
+	in := s.Input.Map(func(v float32) float32 { return v*scale + shift })
+	return &volume.Sample{Name: s.Name, Input: in, Mask: s.Mask}
+}
+
+// GaussianNoise adds zero-mean noise with the given standard deviation.
+type GaussianNoise struct {
+	Std float64
+}
+
+// NewGaussianNoise returns σ = 0.05 noise.
+func NewGaussianNoise() *GaussianNoise { return &GaussianNoise{Std: 0.05} }
+
+// Name implements Transform.
+func (t *GaussianNoise) Name() string { return "gaussian-noise" }
+
+// Apply implements Transform.
+func (t *GaussianNoise) Apply(s *volume.Sample, rng *rand.Rand) *volume.Sample {
+	in := s.Input.Clone()
+	d := in.Data()
+	for i := range d {
+		d[i] += float32(rng.NormFloat64() * t.Std)
+	}
+	return &volume.Sample{Name: s.Name, Input: in, Mask: s.Mask}
+}
+
+// Pipeline chains transforms.
+type Pipeline struct {
+	transforms []Transform
+	seed       int64
+}
+
+// NewPipeline builds an augmentation pipeline with a base seed.
+func NewPipeline(seed int64, transforms ...Transform) *Pipeline {
+	return &Pipeline{transforms: transforms, seed: seed}
+}
+
+// ByName builds the pipeline for a hyper-parameter value: "none", "flip"
+// (the benchmark axis) or "full" (flip + intensity + noise).
+func ByName(name string, seed int64) (*Pipeline, error) {
+	switch name {
+	case "none":
+		return NewPipeline(seed), nil
+	case "flip":
+		return NewPipeline(seed, NewRandomFlip()), nil
+	case "full":
+		return NewPipeline(seed, NewRandomFlip(), NewIntensityScale(), NewGaussianNoise()), nil
+	}
+	return nil, fmt.Errorf("augment: unknown pipeline %q", name)
+}
+
+// Len returns the number of transforms.
+func (p *Pipeline) Len() int { return len(p.transforms) }
+
+// Apply augments one sample; index makes the random stream unique per
+// sample and per epoch.
+func (p *Pipeline) Apply(s *volume.Sample, index int64) *volume.Sample {
+	if len(p.transforms) == 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(p.seed + index*1_000_003))
+	for _, t := range p.transforms {
+		s = t.Apply(s, rng)
+	}
+	return s
+}
+
+// ApplyAll augments a slice of samples with per-sample streams derived from
+// the epoch number.
+func (p *Pipeline) ApplyAll(samples []*volume.Sample, epoch int) []*volume.Sample {
+	if len(p.transforms) == 0 {
+		return samples
+	}
+	out := make([]*volume.Sample, len(samples))
+	for i, s := range samples {
+		out[i] = p.Apply(s, int64(epoch)*1_000_033+int64(i))
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package augment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/msd"
+	"repro/internal/tensor"
+	"repro/internal/volume"
+)
+
+func sample(t *testing.T, seed int64) *volume.Sample {
+	t.Helper()
+	v := msd.GenerateCase(msd.Config{Cases: 1, D: 8, H: 8, W: 8, Seed: seed}, 0)
+	s, err := volume.Preprocess(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFlipTensorInvolution(t *testing.T) {
+	s := sample(t, 1)
+	for _, ax := range []Axis{AxisD, AxisH, AxisW} {
+		twice := flipTensor(flipTensor(s.Input, ax), ax)
+		if tensor.MaxAbsDiff(twice, s.Input) != 0 {
+			t.Fatalf("axis %d: double flip is not identity", ax)
+		}
+	}
+}
+
+func TestFlipTensorMovesVoxels(t *testing.T) {
+	x := tensor.New(1, 2, 2, 3)
+	x.Set(7, 0, 0, 0, 0)
+	f := flipTensor(x, AxisW)
+	if f.At(0, 0, 0, 2) != 7 || f.At(0, 0, 0, 0) == 7 {
+		t.Fatal("W flip misplaced voxel")
+	}
+	f = flipTensor(x, AxisD)
+	if f.At(0, 1, 0, 0) != 7 {
+		t.Fatal("D flip misplaced voxel")
+	}
+	f = flipTensor(x, AxisH)
+	if f.At(0, 0, 1, 0) != 7 {
+		t.Fatal("H flip misplaced voxel")
+	}
+}
+
+func TestRandomFlipKeepsMaskAligned(t *testing.T) {
+	s := sample(t, 2)
+	rng := rand.New(rand.NewSource(1))
+	f := &RandomFlip{Axes: []Axis{AxisD, AxisH, AxisW}, P: 1} // always flip
+	out := f.Apply(s, rng)
+	// Positive mask voxel count is invariant under flips.
+	if math.Abs(out.Mask.Sum()-s.Mask.Sum()) > 1e-9 {
+		t.Fatal("flip changed mask volume")
+	}
+	// Input and mask must be flipped identically: flipping back must
+	// recover the originals together.
+	back := &RandomFlip{Axes: []Axis{AxisD, AxisH, AxisW}, P: 1}
+	restored := back.Apply(out, rand.New(rand.NewSource(9)))
+	if tensor.MaxAbsDiff(restored.Input, s.Input) != 0 {
+		t.Fatal("input flip not involutive")
+	}
+	if tensor.MaxAbsDiff(restored.Mask, s.Mask) != 0 {
+		t.Fatal("mask flip not involutive")
+	}
+}
+
+func TestIntensityScaleTouchesOnlyInput(t *testing.T) {
+	s := sample(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	out := NewIntensityScale().Apply(s, rng)
+	if tensor.MaxAbsDiff(out.Mask, s.Mask) != 0 {
+		t.Fatal("intensity transform must not touch the mask")
+	}
+	if tensor.MaxAbsDiff(out.Input, s.Input) == 0 {
+		t.Fatal("intensity transform did nothing")
+	}
+}
+
+func TestGaussianNoiseStatistics(t *testing.T) {
+	s := sample(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	n := &GaussianNoise{Std: 0.1}
+	out := n.Apply(s, rng)
+	diff := tensor.Sub(out.Input, s.Input)
+	if m := diff.Mean(); math.Abs(m) > 0.01 {
+		t.Fatalf("noise mean %v", m)
+	}
+	if v := diff.Variance(); math.Abs(v-0.01) > 0.003 {
+		t.Fatalf("noise variance %v, want ≈0.01", v)
+	}
+	if tensor.MaxAbsDiff(out.Mask, s.Mask) != 0 {
+		t.Fatal("noise must not touch the mask")
+	}
+}
+
+func TestPipelineDeterministicPerIndex(t *testing.T) {
+	s := sample(t, 7)
+	p, err := ByName("full", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Apply(s, 3)
+	b := p.Apply(s, 3)
+	if tensor.MaxAbsDiff(a.Input, b.Input) != 0 {
+		t.Fatal("same index must reproduce the same augmentation")
+	}
+	c := p.Apply(s, 4)
+	if tensor.MaxAbsDiff(a.Input, c.Input) == 0 {
+		t.Fatal("different indices should differ")
+	}
+}
+
+func TestByName(t *testing.T) {
+	none, err := ByName("none", 1)
+	if err != nil || none.Len() != 0 {
+		t.Fatalf("none: %v len %d", err, none.Len())
+	}
+	flip, err := ByName("flip", 1)
+	if err != nil || flip.Len() != 1 {
+		t.Fatalf("flip: %v len %d", err, flip.Len())
+	}
+	full, err := ByName("full", 1)
+	if err != nil || full.Len() != 3 {
+		t.Fatalf("full: %v len %d", err, full.Len())
+	}
+	if _, err := ByName("rotate", 1); err == nil {
+		t.Fatal("unknown pipeline must error")
+	}
+}
+
+func TestNonePipelineReturnsSameSlice(t *testing.T) {
+	s := sample(t, 8)
+	p, _ := ByName("none", 1)
+	in := []*volume.Sample{s}
+	out := p.ApplyAll(in, 0)
+	if &out[0] != &in[0] {
+		t.Fatal("empty pipeline should be a no-op pass-through")
+	}
+}
+
+func TestApplyAllVariesByEpoch(t *testing.T) {
+	s := sample(t, 9)
+	p, _ := ByName("full", 3)
+	e0 := p.ApplyAll([]*volume.Sample{s}, 0)
+	e1 := p.ApplyAll([]*volume.Sample{s}, 1)
+	if tensor.MaxAbsDiff(e0[0].Input, e1[0].Input) == 0 {
+		t.Fatal("different epochs should draw different augmentations")
+	}
+}

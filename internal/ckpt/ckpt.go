@@ -1,0 +1,149 @@
+// Package ckpt persists and restores model state: parameter tensors plus
+// scalar metadata (epoch, best Dice, learning rate). Ray.Tune-style trial
+// schedulers and long campaigns rely on checkpoints to pause, resume and
+// recover experiments; the on-disk payload reuses the repository's TFRecord
+// feature codec so checkpoints share the dataset tooling.
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/record"
+)
+
+// Save serializes the parameters and metadata to w. Parameter order and
+// shapes are recorded so Load can verify compatibility.
+func Save(w io.Writer, params []*nn.Param, meta map[string]float64) error {
+	f := record.NewFeatures()
+	names := make([]byte, 0, 256)
+	for i, p := range params {
+		if p.Name == "" {
+			return fmt.Errorf("ckpt: parameter %d has no name", i)
+		}
+		names = append(names, []byte(p.Name)...)
+		names = append(names, 0)
+		shape := p.Value.Shape()
+		shape64 := make([]int64, len(shape))
+		for j, d := range shape {
+			shape64[j] = int64(d)
+		}
+		f.AddInts("shape:"+p.Name, shape64)
+		f.AddFloats("param:"+p.Name, p.Value.Data())
+	}
+	f.AddBytes("names", names)
+	metaKeys := make([]string, 0, len(meta))
+	metaVals := make([]float32, 0, len(meta))
+	for k, v := range meta {
+		metaKeys = append(metaKeys, k)
+		metaVals = append(metaVals, float32(v))
+	}
+	// Deterministic metadata order.
+	for i := 0; i < len(metaKeys); i++ {
+		for j := i + 1; j < len(metaKeys); j++ {
+			if metaKeys[j] < metaKeys[i] {
+				metaKeys[i], metaKeys[j] = metaKeys[j], metaKeys[i]
+				metaVals[i], metaVals[j] = metaVals[j], metaVals[i]
+			}
+		}
+	}
+	metaNames := make([]byte, 0, 64)
+	for _, k := range metaKeys {
+		metaNames = append(metaNames, []byte(k)...)
+		metaNames = append(metaNames, 0)
+	}
+	f.AddBytes("meta-names", metaNames)
+	f.AddFloats("meta-values", metaVals)
+
+	return record.NewWriter(w).Write(f.Marshal())
+}
+
+// Load restores parameter values from r into params (matched by name, with
+// shape verification) and returns the stored metadata.
+func Load(r io.Reader, params []*nn.Param) (map[string]float64, error) {
+	payload, err := record.NewReader(r).Next()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	f, err := record.Unmarshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	for _, p := range params {
+		vals, ok := f.Floats["param:"+p.Name]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: missing parameter %q", p.Name)
+		}
+		shape64, ok := f.Ints["shape:"+p.Name]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: missing shape of %q", p.Name)
+		}
+		shape := p.Value.Shape()
+		if len(shape64) != len(shape) {
+			return nil, fmt.Errorf("ckpt: %q rank %d, checkpoint has %d", p.Name, len(shape), len(shape64))
+		}
+		for i := range shape {
+			if int(shape64[i]) != shape[i] {
+				return nil, fmt.Errorf("ckpt: %q shape %v, checkpoint has %v", p.Name, shape, shape64)
+			}
+		}
+		if len(vals) != p.Value.Size() {
+			return nil, fmt.Errorf("ckpt: %q has %d values, want %d", p.Name, len(vals), p.Value.Size())
+		}
+		copy(p.Value.Data(), vals)
+	}
+
+	meta := map[string]float64{}
+	names := splitNames(f.Bytes["meta-names"])
+	vals := f.Floats["meta-values"]
+	if len(names) != len(vals) {
+		return nil, fmt.Errorf("ckpt: metadata mismatch: %d names, %d values", len(names), len(vals))
+	}
+	for i, k := range names {
+		meta[k] = float64(vals[i])
+	}
+	return meta, nil
+}
+
+func splitNames(b []byte) []string {
+	var out []string
+	start := 0
+	for i, c := range b {
+		if c == 0 {
+			out = append(out, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// SaveFile writes a checkpoint to path atomically (via a temp file rename).
+func SaveFile(path string, params []*nn.Param, meta map[string]float64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := Save(f, params, meta); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a checkpoint from path.
+func LoadFile(path string, params []*nn.Param) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return Load(f, params)
+}

@@ -1,0 +1,158 @@
+// Package cluster models the resource layer of the paper's deployment: a
+// grid of HPC nodes with four GPUs each (MareNostrum-CTE), the Ray.Cluster
+// analogue. It tracks GPU allocation for trial placement and exposes the
+// topology facts (which GPUs share a node) the performance model needs.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/netsim"
+)
+
+// Cluster is a homogeneous multi-node multi-GPU machine.
+type Cluster struct {
+	NodeCount   int
+	GPUsPerNode int
+	Fabric      netsim.Fabric
+	Device      gpusim.Device
+}
+
+// MareNostrum returns the paper's cluster with the given node count:
+// IBM Power9 nodes with 4 NVIDIA V100 16 GB GPUs, InfiniBand interconnect.
+func MareNostrum(nodes int) (*Cluster, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: node count must be positive, got %d", nodes)
+	}
+	return &Cluster{
+		NodeCount:   nodes,
+		GPUsPerNode: 4,
+		Fabric:      netsim.MareNostrum(),
+		Device:      gpusim.V100(),
+	}, nil
+}
+
+// ForGPUs returns the smallest MareNostrum cluster holding n GPUs, matching
+// the paper's scaling ladder (1..32 GPUs on 4-GPU nodes).
+func ForGPUs(n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: GPU count must be positive, got %d", n)
+	}
+	nodes := (n + 3) / 4
+	return MareNostrum(nodes)
+}
+
+// TotalGPUs returns the number of GPUs in the cluster.
+func (c *Cluster) TotalGPUs() int { return c.NodeCount * c.GPUsPerNode }
+
+// NodeOf returns the node index hosting the given GPU.
+func (c *Cluster) NodeOf(gpu int) int {
+	if gpu < 0 || gpu >= c.TotalGPUs() {
+		panic(fmt.Sprintf("cluster: gpu %d out of range [0,%d)", gpu, c.TotalGPUs()))
+	}
+	return gpu / c.GPUsPerNode
+}
+
+// NodesSpanned returns how many nodes a contiguous allocation of n GPUs
+// (packed placement) occupies.
+func (c *Cluster) NodesSpanned(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + c.GPUsPerNode - 1) / c.GPUsPerNode
+}
+
+// PlacementPolicy selects how trials are laid onto GPUs.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// Pack fills each node before opening the next (Ray's default
+	// locality-aware packing).
+	Pack PlacementPolicy = iota
+	// Spread round-robins across nodes, minimizing per-node contention.
+	Spread
+)
+
+// Alloc tracks which GPUs are busy.
+type Alloc struct {
+	c      *Cluster
+	busy   []bool
+	byNode []int
+	policy PlacementPolicy
+}
+
+// NewAlloc returns an empty allocation tracker with the given policy.
+func (c *Cluster) NewAlloc(policy PlacementPolicy) *Alloc {
+	return &Alloc{
+		c:      c,
+		busy:   make([]bool, c.TotalGPUs()),
+		byNode: make([]int, c.NodeCount),
+		policy: policy,
+	}
+}
+
+// Acquire reserves one free GPU according to the policy. It returns the GPU
+// id and false when the cluster is fully busy.
+func (a *Alloc) Acquire() (int, bool) {
+	switch a.policy {
+	case Spread:
+		// Pick the least-loaded node with a free GPU.
+		bestNode, bestLoad := -1, 1<<30
+		for n := 0; n < a.c.NodeCount; n++ {
+			if a.byNode[n] < a.c.GPUsPerNode && a.byNode[n] < bestLoad {
+				bestNode, bestLoad = n, a.byNode[n]
+			}
+		}
+		if bestNode < 0 {
+			return 0, false
+		}
+		for g := bestNode * a.c.GPUsPerNode; g < (bestNode+1)*a.c.GPUsPerNode; g++ {
+			if !a.busy[g] {
+				a.take(g)
+				return g, true
+			}
+		}
+		return 0, false
+	default: // Pack
+		for g := range a.busy {
+			if !a.busy[g] {
+				a.take(g)
+				return g, true
+			}
+		}
+		return 0, false
+	}
+}
+
+func (a *Alloc) take(g int) {
+	a.busy[g] = true
+	a.byNode[a.c.NodeOf(g)]++
+}
+
+// Release frees a previously acquired GPU.
+func (a *Alloc) Release(g int) {
+	if g < 0 || g >= len(a.busy) || !a.busy[g] {
+		panic(fmt.Sprintf("cluster: releasing GPU %d that is not held", g))
+	}
+	a.busy[g] = false
+	a.byNode[a.c.NodeOf(g)]--
+}
+
+// Active returns the number of busy GPUs.
+func (a *Alloc) Active() int {
+	n := 0
+	for _, b := range a.busy {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveOnNode returns the busy-GPU count of the node hosting GPU g.
+func (a *Alloc) ActiveOnNode(g int) int { return a.byNode[a.c.NodeOf(g)] }
+
+// FreeGPUs returns the number of idle GPUs.
+func (a *Alloc) FreeGPUs() int { return len(a.busy) - a.Active() }

@@ -1,0 +1,269 @@
+// Package core is the DistMIS facade: the paper's framework entry point that
+// trains 3D medical image segmentation models on a multi-node multi-GPU
+// cluster under either of the two distribution strategies — data parallelism
+// (every experiment over all GPUs, serialized) or experiment parallelism
+// (one experiment per GPU, scheduled by the tune layer). Real mathematics
+// runs end to end: phantom MSD-like volumes, preprocessing, the 3D U-Net,
+// Dice losses, ring all-reduce and hyper-parameter search.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/augment"
+	"repro/internal/cluster"
+	"repro/internal/msd"
+	"repro/internal/raysgd"
+	"repro/internal/tune"
+	"repro/internal/unet"
+	"repro/internal/volume"
+)
+
+// Strategy selects the distribution approach of Figure 1.
+type Strategy string
+
+// The two distribution strategies of the paper.
+const (
+	StrategyData       Strategy = "data"
+	StrategyExperiment Strategy = "experiment"
+)
+
+// Options configures a DistMIS run.
+type Options struct {
+	Strategy Strategy
+	GPUs     int
+
+	Net     unet.Config
+	Dataset msd.Config
+	Space   *tune.Space
+
+	Epochs          int
+	BatchPerReplica int
+	Seed            int64
+
+	// Scheduler optionally enables early stopping in experiment-parallel
+	// mode (nil = FIFO, the paper's behaviour).
+	Scheduler tune.Scheduler
+
+	// MaxTrainCases / MaxValCases cap the dataset for quick runs; 0 means
+	// use the full split.
+	MaxTrainCases int
+	MaxValCases   int
+}
+
+// DefaultOptions returns a laptop-scale configuration exercising the whole
+// stack: small phantoms, a thin U-Net and the paper's search space.
+func DefaultOptions() Options {
+	net := unet.PaperConfig()
+	net.BaseFilters = 2
+	net.Steps = 2
+	return Options{
+		Strategy:        StrategyExperiment,
+		GPUs:            4,
+		Net:             net,
+		Dataset:         msd.Config{Cases: 16, D: 8, H: 8, W: 8, Seed: 7},
+		Space:           tune.PaperSpace(),
+		Epochs:          2,
+		BatchPerReplica: 2,
+		Seed:            1,
+		MaxTrainCases:   8,
+		MaxValCases:     2,
+	}
+}
+
+// TrialResult is the outcome of one experiment.
+type TrialResult struct {
+	Config tune.Config
+	Dice   float64
+	Status string
+	Err    error
+}
+
+// Result summarizes a full run.
+type Result struct {
+	Strategy Strategy
+	GPUs     int
+	Elapsed  time.Duration
+	Trials   []TrialResult
+	Best     tune.Config
+	BestDice float64
+}
+
+// Run executes the configured hyper-parameter search and returns per-trial
+// and best results.
+func Run(opts Options) (*Result, error) {
+	if opts.Strategy != StrategyData && opts.Strategy != StrategyExperiment {
+		return nil, fmt.Errorf("core: unknown strategy %q", opts.Strategy)
+	}
+	if opts.GPUs < 1 {
+		return nil, fmt.Errorf("core: GPUs must be ≥ 1")
+	}
+	if opts.Epochs < 1 {
+		return nil, fmt.Errorf("core: Epochs must be ≥ 1")
+	}
+	if opts.Space == nil {
+		return nil, fmt.Errorf("core: nil search space")
+	}
+	configs, err := opts.Space.GridConfigs()
+	if err != nil {
+		return nil, err
+	}
+	tune.SortConfigs(configs)
+
+	train, val, err := prepareData(opts)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.ForGPUs(opts.GPUs)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var trials []TrialResult
+	switch opts.Strategy {
+	case StrategyData:
+		trials, err = runDataParallel(opts, cl, configs, train, val)
+	case StrategyExperiment:
+		trials, err = runExperimentParallel(opts, cl, configs, train, val)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Strategy: opts.Strategy,
+		GPUs:     opts.GPUs,
+		Elapsed:  time.Since(start),
+		Trials:   trials,
+	}
+	for _, tr := range trials {
+		if tr.Err == nil && (res.Best == nil || tr.Dice > res.BestDice) {
+			res.Best = tr.Config
+			res.BestDice = tr.Dice
+		}
+	}
+	return res, nil
+}
+
+// prepareData generates the phantom dataset, applies the paper's
+// preprocessing and returns the train and validation sample sets.
+func prepareData(opts Options) (train, val []*volume.Sample, err error) {
+	ds, err := msd.Generate(opts.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	minDiv := opts.Net.MinVolume()
+	collect := func(idx []int, cap int) ([]*volume.Sample, error) {
+		if cap > 0 && len(idx) > cap {
+			idx = idx[:cap]
+		}
+		out := make([]*volume.Sample, 0, len(idx))
+		for _, i := range idx {
+			s, err := volume.Preprocess(ds.Cases[i], minDiv)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	if train, err = collect(ds.Train, opts.MaxTrainCases); err != nil {
+		return nil, nil, err
+	}
+	if val, err = collect(ds.Val, opts.MaxValCases); err != nil {
+		return nil, nil, err
+	}
+	if len(train) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training split")
+	}
+	return train, val, nil
+}
+
+// trainOne trains one configuration on the given GPU count and returns the
+// final validation Dice. The report hook forwards per-epoch metrics.
+func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus int,
+	train, val []*volume.Sample, report func(epoch int, dice float64) bool) (float64, error) {
+
+	var aug *augment.Pipeline
+	if cfg.Has("augment") {
+		var err error
+		if aug, err = augment.ByName(cfg.Str("augment"), opts.Seed); err != nil {
+			return 0, err
+		}
+		if aug.Len() == 0 {
+			aug = nil
+		}
+	}
+	tr, err := raysgd.New(raysgd.Config{
+		Cluster:         cl,
+		GPUs:            gpus,
+		Net:             opts.Net,
+		Loss:            cfg.Str("loss"),
+		Optimizer:       cfg.Str("optimizer"),
+		BaseLR:          cfg.Float("lr"),
+		BatchPerReplica: opts.BatchPerReplica,
+		Seed:            opts.Seed,
+		Augment:         aug,
+	})
+	if err != nil {
+		return 0, err
+	}
+	last, err := tr.Fit(train, val, opts.Epochs, func(s raysgd.EpochStats) bool {
+		if report == nil {
+			return true
+		}
+		return report(s.Epoch, s.ValDice)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return last.ValDice, nil
+}
+
+// runDataParallel serializes experiments, each spanning all GPUs.
+func runDataParallel(opts Options, cl *cluster.Cluster, configs []tune.Config,
+	train, val []*volume.Sample) ([]TrialResult, error) {
+
+	out := make([]TrialResult, 0, len(configs))
+	for _, cfg := range configs {
+		dice, err := trainOne(opts, cl, cfg, opts.GPUs, train, val, nil)
+		res := TrialResult{Config: cfg, Dice: dice, Status: "TERMINATED", Err: err}
+		if err != nil {
+			res.Status = "ERRORED"
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runExperimentParallel distributes single-GPU experiments with the tune
+// runner, one per GPU.
+func runExperimentParallel(opts Options, cl *cluster.Cluster, configs []tune.Config,
+	train, val []*volume.Sample) ([]TrialResult, error) {
+
+	runner, err := tune.NewRunner(cl, opts.Scheduler, "dice", "max")
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := runner.Run(configs, func(ctx *tune.TrialContext) error {
+		_, err := trainOne(opts, cl, ctx.Trial.Config, 1, train, val,
+			func(epoch int, dice float64) bool {
+				return ctx.Report(epoch, map[string]float64{"dice": dice})
+			})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TrialResult, 0, len(analysis.Trials))
+	for _, tr := range analysis.Trials {
+		res := TrialResult{Config: tr.Config, Status: tr.Status().String(), Err: tr.Err()}
+		if d, ok := tr.BestMetric("dice", "max"); ok {
+			res.Dice = d
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

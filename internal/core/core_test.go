@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tune"
+)
+
+// smallOptions keeps real training fast: 4 configs, tiny volumes.
+func smallOptions(strategy Strategy, gpus int) Options {
+	opts := DefaultOptions()
+	opts.Strategy = strategy
+	opts.GPUs = gpus
+	space, err := tune.NewSpace(
+		tune.Grid("lr", 0.01, 0.05),
+		tune.Grid("loss", "dice"),
+		tune.Grid("optimizer", "sgd"),
+		tune.Grid("augment", "none", "flip"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	opts.Space = space
+	opts.Epochs = 1
+	opts.MaxTrainCases = 4
+	opts.MaxValCases = 1
+	return opts
+}
+
+func TestRunValidation(t *testing.T) {
+	opts := smallOptions(StrategyData, 1)
+	opts.Strategy = "banana"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	opts = smallOptions(StrategyData, 1)
+	opts.GPUs = 0
+	if _, err := Run(opts); err == nil {
+		t.Fatal("0 GPUs must error")
+	}
+	opts = smallOptions(StrategyData, 1)
+	opts.Epochs = 0
+	if _, err := Run(opts); err == nil {
+		t.Fatal("0 epochs must error")
+	}
+	opts = smallOptions(StrategyData, 1)
+	opts.Space = nil
+	if _, err := Run(opts); err == nil {
+		t.Fatal("nil space must error")
+	}
+}
+
+func TestRunDataParallelStrategy(t *testing.T) {
+	res, err := Run(smallOptions(StrategyData, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyData || res.GPUs != 2 {
+		t.Fatalf("result header %+v", res)
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("trials %d, want 4", len(res.Trials))
+	}
+	for _, tr := range res.Trials {
+		if tr.Err != nil {
+			t.Fatalf("trial failed: %v", tr.Err)
+		}
+		if tr.Dice < 0 || tr.Dice > 1 {
+			t.Fatalf("dice %v", tr.Dice)
+		}
+	}
+	if res.Best == nil {
+		t.Fatal("no best config")
+	}
+}
+
+func TestRunExperimentParallelStrategy(t *testing.T) {
+	res, err := Run(smallOptions(StrategyExperiment, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("trials %d", len(res.Trials))
+	}
+	for _, tr := range res.Trials {
+		if tr.Err != nil {
+			t.Fatalf("trial failed: %v", tr.Err)
+		}
+		if tr.Status != "TERMINATED" {
+			t.Fatalf("status %s", tr.Status)
+		}
+	}
+	if res.Best == nil {
+		t.Fatal("no best config")
+	}
+}
+
+func TestBothStrategiesExploreSameSpace(t *testing.T) {
+	// Figure 1: the two pipelines differ only in distribution; the set of
+	// experiments is identical.
+	data, err := Run(smallOptions(StrategyData, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Run(smallOptions(StrategyExperiment, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Trials) != len(exp.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(data.Trials), len(exp.Trials))
+	}
+	// Trials are sorted deterministically, so configs must match pairwise.
+	for i := range data.Trials {
+		for _, k := range []string{"lr", "loss", "optimizer", "augment"} {
+			if data.Trials[i].Config[k] != exp.Trials[i].Config[k] {
+				t.Fatalf("trial %d differs on %s", i, k)
+			}
+		}
+	}
+}
+
+func TestAugmentDoublesTrainingSet(t *testing.T) {
+	// Smoke: the flip axis must not break training and must change results
+	// (different gradient stream).
+	opts := smallOptions(StrategyData, 1)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var none, flip float64
+	for _, tr := range res.Trials {
+		if tr.Config.Float("lr") != 0.01 {
+			continue
+		}
+		switch tr.Config.Str("augment") {
+		case "none":
+			none = tr.Dice
+		case "flip":
+			flip = tr.Dice
+		}
+	}
+	if none == 0 && flip == 0 {
+		t.Fatal("expected both augment variants in trials")
+	}
+}
+
+func TestDefaultOptionsRunnable(t *testing.T) {
+	if DefaultOptions().Space.Size() != 32 {
+		t.Fatal("default space should be the paper's 32-experiment grid")
+	}
+}

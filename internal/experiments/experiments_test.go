@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func paperRows(t *testing.T) []Measurement {
+	t.Helper()
+	cfg, err := PaperCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestPaperCampaignShape(t *testing.T) {
+	cfg, err := PaperCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trials != 32 {
+		t.Fatalf("paper search space should have 32 experiments, got %d", cfg.Trials)
+	}
+	if cfg.Reps != 3 {
+		t.Fatalf("paper averages 3 repetitions, got %d", cfg.Reps)
+	}
+	if len(cfg.GPUCounts) != 7 || cfg.GPUCounts[0] != 1 || cfg.GPUCounts[6] != 32 {
+		t.Fatalf("GPU ladder %v", cfg.GPUCounts)
+	}
+}
+
+// TestTable1ReproducesPaperShape asserts the reproduction criteria from
+// DESIGN.md §5 against the paper's Table I.
+func TestTable1ReproducesPaperShape(t *testing.T) {
+	rows := paperRows(t)
+	byGPU := map[int]Measurement{}
+	for _, r := range rows {
+		byGPU[r.GPUs] = r
+	}
+
+	// (1) Experiment parallelism is at least as fast as data parallelism at
+	// every n ≥ 2 (it has no gradient synchronization or sharding barrier).
+	for _, n := range []int{2, 4, 8, 12, 16, 32} {
+		r := byGPU[n]
+		if r.Exp.Speedup < r.Data.Speedup {
+			t.Errorf("n=%d: experiment %0.2f should beat data %0.2f", n, r.Exp.Speedup, r.Data.Speedup)
+		}
+	}
+
+	// (2) Near-linear scaling for both methods up to 8 GPUs.
+	for _, n := range []int{2, 8} {
+		r := byGPU[n]
+		if r.Exp.Speedup < 0.70*float64(n) {
+			t.Errorf("n=%d: experiment speedup %0.2f below 70%% linear", n, r.Exp.Speedup)
+		}
+		if r.Data.Speedup < 0.60*float64(n) {
+			t.Errorf("n=%d: data speedup %0.2f below 60%% linear", n, r.Data.Speedup)
+		}
+	}
+
+	// (3) The 32-GPU endpoints land in the paper's bands (×13.18 and
+	// ×15.19 measured; shape bands per DESIGN.md).
+	r32 := byGPU[32]
+	if r32.Data.Speedup < 11 || r32.Data.Speedup > 14.5 {
+		t.Errorf("data speedup at 32 GPUs %0.2f outside [11, 14.5]", r32.Data.Speedup)
+	}
+	if r32.Exp.Speedup < 13.5 || r32.Exp.Speedup > 17 {
+		t.Errorf("experiment speedup at 32 GPUs %0.2f outside [13.5, 17]", r32.Exp.Speedup)
+	}
+
+	// (4) Speedups increase monotonically with GPUs for both methods.
+	prev := Measurement{}
+	for i, r := range rows {
+		if i > 0 {
+			if r.Data.Speedup <= prev.Data.Speedup || r.Exp.Speedup <= prev.Exp.Speedup {
+				t.Errorf("speedup not monotone at n=%d", r.GPUs)
+			}
+		}
+		prev = r
+	}
+
+	// (5) The gap widens: exp−data at 32 exceeds the gap at 4.
+	if (r32.Exp.Speedup - r32.Data.Speedup) <= (byGPU[4].Exp.Speedup - byGPU[4].Data.Speedup) {
+		t.Error("experiment-parallel advantage should widen with scale")
+	}
+}
+
+func TestSingleGPUNearPaperElapsed(t *testing.T) {
+	// Paper Table I: 44:18:02 (data) and 44:20:19 (exp) on one GPU. Our
+	// simulated substrate must land within a factor of two.
+	rows := paperRows(t)
+	paperSec := 44*3600.0 + 18*60
+	for _, pair := range []struct {
+		name string
+		got  float64
+	}{{"data", rows[0].Data.MeanSec}, {"exp", rows[0].Exp.MeanSec}} {
+		if pair.got < paperSec/2 || pair.got > paperSec*2 {
+			t.Errorf("%s 1-GPU elapsed %0.0fs vs paper %0.0fs: outside 2x", pair.name, pair.got, paperSec)
+		}
+	}
+}
+
+func TestWhiskersBracketMean(t *testing.T) {
+	for _, r := range paperRows(t) {
+		for _, s := range []RunStats{r.Data, r.Exp} {
+			if !(s.MinSec <= s.MeanSec && s.MeanSec <= s.MaxSec) {
+				t.Fatalf("n=%d: min %v mean %v max %v", r.GPUs, s.MinSec, s.MeanSec, s.MaxSec)
+			}
+		}
+	}
+}
+
+func TestRunTable1Deterministic(t *testing.T) {
+	a := paperRows(t)
+	b := paperRows(t)
+	for i := range a {
+		if a[i].Data.MeanSec != b[i].Data.MeanSec || a[i].Exp.MeanSec != b[i].Exp.MeanSec {
+			t.Fatal("same seed must reproduce the table exactly")
+		}
+	}
+}
+
+func TestRunTable1Validation(t *testing.T) {
+	cfg, err := PaperCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Trials = 0
+	if _, err := RunTable1(bad); err == nil {
+		t.Fatal("zero trials must error")
+	}
+	bad = cfg
+	bad.Reps = 0
+	if _, err := RunTable1(bad); err == nil {
+		t.Fatal("zero reps must error")
+	}
+	bad = cfg
+	bad.GPUCounts = nil
+	if _, err := RunTable1(bad); err == nil {
+		t.Fatal("no GPU counts must error")
+	}
+}
+
+func TestExperimentParallelUsesAllGPUs(t *testing.T) {
+	cfg, err := PaperCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	epochs := trialEpochs(cfg.Params, 32, rng)
+	// With as many GPUs as trials, the makespan approaches a single trial's
+	// duration (plus contention), far below the serial time.
+	serial := ExperimentParallelCampaignSec(cfg.Params, 1, epochs, rand.New(rand.NewSource(2)))
+	parallel := ExperimentParallelCampaignSec(cfg.Params, 32, epochs, rand.New(rand.NewSource(2)))
+	if parallel >= serial/10 {
+		t.Fatalf("32-way parallel %v vs serial %v: insufficient speedup", parallel, serial)
+	}
+}
+
+func TestDataParallelSerializesExperiments(t *testing.T) {
+	cfg, err := PaperCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := []int{90, 90}
+	one := DataParallelCampaignSec(cfg.Params, 4, epochs[:1], rand.New(rand.NewSource(3)))
+	cfg.Params.JitterFrac = 0
+	two := DataParallelCampaignSec(cfg.Params, 4, epochs, rand.New(rand.NewSource(3)))
+	oneNJ := DataParallelCampaignSec(cfg.Params, 4, epochs[:1], rand.New(rand.NewSource(3)))
+	if two < 1.9*oneNJ {
+		t.Fatalf("two experiments %v should be ≈2x one %v", two, oneNJ)
+	}
+	_ = one
+}
+
+func TestFormatHMS(t *testing.T) {
+	cases := map[float64]string{
+		0:                    "0:00:00",
+		61:                   "0:01:01",
+		3600:                 "1:00:00",
+		44*3600 + 18*60 + 2:  "44:18:02",
+		2*3600 + 55*60 + 6.4: "2:55:06",
+	}
+	for sec, want := range cases {
+		if got := FormatHMS(sec); got != want {
+			t.Fatalf("FormatHMS(%v) = %q, want %q", sec, got, want)
+		}
+	}
+}
+
+func TestFormatTable1Layout(t *testing.T) {
+	s := FormatTable1(paperRows(t))
+	if !strings.Contains(s, "Data Parallel Method") || !strings.Contains(s, "Experiment Parallel Method") {
+		t.Fatal("missing headers")
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 9 {
+		t.Fatalf("unexpected line count:\n%s", s)
+	}
+}
+
+func TestFig4Series(t *testing.T) {
+	rows := paperRows(t)
+	da, ea := Fig4a(rows)
+	if len(da.Mean) != len(rows) || len(ea.Mean) != len(rows) {
+		t.Fatal("fig4a series length mismatch")
+	}
+	if da.Min == nil || da.Max == nil {
+		t.Fatal("fig4a needs whiskers")
+	}
+	db, eb := Fig4b(rows)
+	if db.Mean[0] != rows[0].Data.Speedup || eb.Mean[len(rows)-1] != rows[len(rows)-1].Exp.Speedup {
+		t.Fatal("fig4b series values wrong")
+	}
+	// Elapsed time decreases with GPUs in fig4a; speedup increases in 4b.
+	for i := 1; i < len(rows); i++ {
+		if da.Mean[i] >= da.Mean[i-1] || ea.Mean[i] >= ea.Mean[i-1] {
+			t.Fatal("fig4a elapsed must decrease")
+		}
+		if db.Mean[i] <= db.Mean[i-1] || eb.Mean[i] <= eb.Mean[i-1] {
+			t.Fatal("fig4b speedup must increase")
+		}
+	}
+	out := FormatSeries(da, "seconds")
+	if !strings.Contains(out, "data-parallel") || !strings.Contains(out, "min") {
+		t.Fatalf("series rendering:\n%s", out)
+	}
+	out = FormatSeries(db, "x")
+	if strings.Contains(out, "min") {
+		t.Fatal("speedup series should have no whiskers")
+	}
+}

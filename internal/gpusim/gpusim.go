@@ -1,0 +1,154 @@
+// Package gpusim models the compute devices of the paper's cluster (NVIDIA
+// V100 16 GB) and derives analytic costs for training the 3D U-Net on them:
+// per-step FLOPs, parameter traffic for gradient all-reduce, activation
+// memory (the 16 GB constraint that forces batch size 2), and host-to-device
+// feed volume. These costs drive the discrete-event cluster simulation that
+// regenerates Table I.
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/unet"
+)
+
+// Device is an accelerator performance model.
+type Device struct {
+	Name            string
+	PeakFLOPS       float64 // fp32 peak
+	Efficiency      float64 // achieved fraction on 3D convolutions
+	MemoryBytes     float64 // device memory capacity
+	HostFeedBps     float64 // sustainable host→device feed per replica
+	KernelLaunchSec float64 // fixed per-step launch/framework overhead
+}
+
+// V100 returns the paper's GPU: 15.7 TFLOPS fp32 peak, 16 GB, with a
+// conservative achieved efficiency for memory-bound 3D convolutions.
+func V100() Device {
+	return Device{
+		Name:            "V100-16GB",
+		PeakFLOPS:       15.7e12,
+		Efficiency:      0.33,
+		MemoryBytes:     16e9,
+		HostFeedBps:     11e9, // PCIe gen3 x16 effective
+		KernelLaunchSec: 2e-3,
+	}
+}
+
+// Validate reports whether the device model is usable.
+func (d Device) Validate() error {
+	if d.PeakFLOPS <= 0 || d.Efficiency <= 0 || d.Efficiency > 1 {
+		return fmt.Errorf("gpusim: bad compute spec %v/%v", d.PeakFLOPS, d.Efficiency)
+	}
+	if d.MemoryBytes <= 0 || d.HostFeedBps <= 0 {
+		return fmt.Errorf("gpusim: bad memory spec")
+	}
+	return nil
+}
+
+// UNetCost aggregates the analytic cost of one U-Net configuration on one
+// input volume.
+type UNetCost struct {
+	ForwardFLOPs  float64 // per sample, forward pass
+	TrainFLOPs    float64 // per sample, forward + backward (≈3x forward)
+	Params        int     // trainable parameter count
+	ParamBytes    float64 // gradient all-reduce message size (fp32)
+	ActivationB   float64 // activation + workspace bytes per sample
+	InputBytes    float64 // host→device input volume per sample
+	OptimizerB    float64 // parameters + gradients + Adam moments
+	VoxelsPerCase float64
+}
+
+// CostUNet walks the U-Net geometry over a (D, H, W) input volume and
+// accumulates layer costs without materializing tensors.
+func CostUNet(cfg unet.Config, d, h, w int) (UNetCost, error) {
+	if err := cfg.Validate(); err != nil {
+		return UNetCost{}, err
+	}
+	mv := cfg.MinVolume()
+	if d%mv != 0 || h%mv != 0 || w%mv != 0 {
+		return UNetCost{}, fmt.Errorf("gpusim: volume %dx%dx%d not divisible by %d", d, h, w, mv)
+	}
+
+	var c UNetCost
+	k3 := float64(cfg.Kernel * cfg.Kernel * cfg.Kernel)
+	voxels := func(level int) float64 {
+		v := float64(d * h * w)
+		for i := 1; i < level; i++ {
+			v /= float64(cfg.UpKernel * cfg.UpKernel * cfg.UpKernel)
+		}
+		return v
+	}
+	conv := func(in, out int, vox, kk float64) {
+		c.ForwardFLOPs += 2 * kk * float64(in) * float64(out) * vox
+		c.Params += int(kk)*in*out + out
+		// conv output + BN xhat cache + ReLU output ≈ 3 activation maps.
+		c.ActivationB += 3 * 4 * float64(out) * vox
+		c.Params += 2 * out // batch-norm gamma/beta
+	}
+
+	in := cfg.InChannels
+	for s := 1; s <= cfg.Steps; s++ {
+		f := cfg.Filters(s)
+		vox := voxels(s)
+		conv(in, f, vox, k3)
+		conv(f, f, vox, k3)
+		in = f
+	}
+	for s := cfg.Steps - 1; s >= 1; s-- {
+		fBelow := cfg.Filters(s + 1)
+		f := cfg.Filters(s)
+		vox := voxels(s)
+		// Transposed conv: one kernel application per output voxel.
+		c.ForwardFLOPs += 2 * float64(fBelow) * float64(fBelow) * vox
+		c.Params += cfg.UpKernel * cfg.UpKernel * cfg.UpKernel * fBelow * fBelow
+		c.Params += fBelow
+		c.ActivationB += 4 * float64(fBelow+f) * vox // concat buffer
+		conv(fBelow+f, f, vox, k3)
+		conv(f, f, vox, k3)
+	}
+	// Head: 1x1x1 conv + sigmoid.
+	c.ForwardFLOPs += 2 * float64(cfg.BaseFilters) * float64(cfg.OutChannels) * voxels(1)
+	c.Params += cfg.BaseFilters*cfg.OutChannels + cfg.OutChannels
+	c.ActivationB += 2 * 4 * float64(cfg.OutChannels) * voxels(1)
+
+	c.TrainFLOPs = 3 * c.ForwardFLOPs
+	c.ParamBytes = 4 * float64(c.Params)
+	c.InputBytes = 4 * float64(cfg.InChannels) * float64(d*h*w)
+	c.OptimizerB = 4 * c.ParamBytes // value + grad + Adam m + v
+	c.VoxelsPerCase = float64(d * h * w)
+	return c, nil
+}
+
+// StepComputeSec returns the pure-compute seconds for one training step with
+// the given per-replica batch on the device.
+func (d Device) StepComputeSec(c UNetCost, batchPerReplica int) float64 {
+	return float64(batchPerReplica)*c.TrainFLOPs/(d.PeakFLOPS*d.Efficiency) + d.KernelLaunchSec
+}
+
+// FeedSec returns the unshared host→device time for one step's inputs.
+func (d Device) FeedSec(c UNetCost, batchPerReplica int) float64 {
+	return float64(batchPerReplica) * c.InputBytes / d.HostFeedBps
+}
+
+// MemoryNeeded returns the device bytes required for a per-replica batch.
+func (d Device) MemoryNeeded(c UNetCost, batchPerReplica int) float64 {
+	return float64(batchPerReplica)*(c.ActivationB+c.InputBytes) + c.OptimizerB
+}
+
+// FitsMemory reports whether a per-replica batch fits device memory.
+func (d Device) FitsMemory(c UNetCost, batchPerReplica int) bool {
+	return d.MemoryNeeded(c, batchPerReplica) <= d.MemoryBytes
+}
+
+// MaxBatch returns the largest per-replica batch that fits, 0 if none.
+func (d Device) MaxBatch(c UNetCost) int {
+	b := 0
+	for d.FitsMemory(c, b+1) {
+		b++
+		if b > 1<<20 {
+			break
+		}
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/unet"
+)
+
+func paperCost(t *testing.T) UNetCost {
+	t.Helper()
+	c, err := CostUNet(unet.PaperConfig(), 152, 240, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestV100Sane(t *testing.T) {
+	d := V100()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemoryBytes != 16e9 {
+		t.Fatalf("paper GPUs have 16 GB, got %v", d.MemoryBytes)
+	}
+}
+
+func TestValidateRejectsBadDevice(t *testing.T) {
+	bad := []Device{
+		{PeakFLOPS: 0, Efficiency: 0.5, MemoryBytes: 1, HostFeedBps: 1},
+		{PeakFLOPS: 1, Efficiency: 1.5, MemoryBytes: 1, HostFeedBps: 1},
+		{PeakFLOPS: 1, Efficiency: 0.5, MemoryBytes: 0, HostFeedBps: 1},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("device %d should be invalid", i)
+		}
+	}
+}
+
+func TestCostParamCountMatchesRealModel(t *testing.T) {
+	// The analytic walker must agree exactly with the parameter count of
+	// the actually-built network.
+	c := paperCost(t)
+	u := unet.MustNew(unet.PaperConfig())
+	if c.Params != u.ParamCount() {
+		t.Fatalf("analytic %d vs real %d parameters", c.Params, u.ParamCount())
+	}
+	if c.ParamBytes != 4*float64(c.Params) {
+		t.Fatal("param bytes must be 4·params (fp32)")
+	}
+}
+
+func TestCostParamCountMatchesTinyModel(t *testing.T) {
+	cfg := unet.Config{InChannels: 2, OutChannels: 1, BaseFilters: 4, Steps: 3, Kernel: 3, UpKernel: 2, Seed: 1}
+	c, err := CostUNet(cfg, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unet.MustNew(cfg).ParamCount(); c.Params != got {
+		t.Fatalf("analytic %d vs real %d", c.Params, got)
+	}
+}
+
+func TestCostRejectsBadVolume(t *testing.T) {
+	if _, err := CostUNet(unet.PaperConfig(), 150, 240, 240); err == nil {
+		t.Fatal("150 not divisible by 8 must error")
+	}
+	if _, err := CostUNet(unet.Config{}, 8, 8, 8); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestPaperFLOPsMagnitude(t *testing.T) {
+	// Forward pass of the paper U-Net on a full volume should land in the
+	// hundreds of GFLOPs; training ≈ 3x that.
+	c := paperCost(t)
+	if c.ForwardFLOPs < 1e11 || c.ForwardFLOPs > 1e12 {
+		t.Fatalf("forward FLOPs %.3g outside plausible range", c.ForwardFLOPs)
+	}
+	if c.TrainFLOPs != 3*c.ForwardFLOPs {
+		t.Fatal("train FLOPs must be 3x forward")
+	}
+}
+
+func TestPaperStepTimeMagnitude(t *testing.T) {
+	// Batch 2 on a V100 should take on the order of 0.1–1 s per step,
+	// consistent with the paper's ~44 h for a full search on one GPU.
+	d := V100()
+	c := paperCost(t)
+	step := d.StepComputeSec(c, 2)
+	if step < 0.05 || step > 2 {
+		t.Fatalf("step time %v s implausible", step)
+	}
+}
+
+func TestMemoryModelForcesPaperBatch(t *testing.T) {
+	// The paper: "batch sizes are forcefully reduced to 2 or even 1 input,
+	// as there is no room in GPU memory for more". Our model must make
+	// batch 2 fit in 16 GB and keep the ceiling small.
+	d := V100()
+	c := paperCost(t)
+	if !d.FitsMemory(c, 1) {
+		t.Fatal("batch 1 must fit")
+	}
+	if !d.FitsMemory(c, 2) {
+		t.Fatal("batch 2 must fit (the paper trains with it)")
+	}
+	max := d.MaxBatch(c)
+	if max < 2 || max > 4 {
+		t.Fatalf("max batch %d; the paper's memory wall implies 2-4", max)
+	}
+}
+
+func TestFeedSec(t *testing.T) {
+	d := V100()
+	c := paperCost(t)
+	// One sample = 4 channels × 240×240×152 × 4 B ≈ 140 MB.
+	wantBytes := 4.0 * 240 * 240 * 152 * 4
+	if c.InputBytes != wantBytes {
+		t.Fatalf("input bytes %v, want %v", c.InputBytes, wantBytes)
+	}
+	if d.FeedSec(c, 2) <= 0 {
+		t.Fatal("feed time must be positive")
+	}
+}
+
+func TestMaxBatchZeroWhenNothingFits(t *testing.T) {
+	d := V100()
+	d.MemoryBytes = 1 // 1 byte GPU
+	c := paperCost(t)
+	if d.MaxBatch(c) != 0 {
+		t.Fatal("nothing should fit in a 1-byte device")
+	}
+}
+
+func TestCostScalesWithVolume(t *testing.T) {
+	cfg := unet.PaperConfig()
+	small, err := CostUNet(cfg, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CostUNet(cfg, 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.ForwardFLOPs / small.ForwardFLOPs
+	if ratio < 7.5 || ratio > 8.5 {
+		t.Fatalf("8x volume should be ≈8x FLOPs, got %v", ratio)
+	}
+	// Parameters are volume-independent.
+	if small.Params != big.Params {
+		t.Fatal("parameter count must not depend on volume")
+	}
+}
+
+func TestCostScalesWithBaseFilters(t *testing.T) {
+	a := unet.PaperConfig()
+	b := unet.PaperConfig()
+	b.BaseFilters = 16
+	ca, err := CostUNet(a, 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CostUNet(b, 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.ForwardFLOPs <= 2*ca.ForwardFLOPs {
+		t.Fatal("doubling filters should much more than double FLOPs")
+	}
+}

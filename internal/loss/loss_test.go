@@ -1,0 +1,178 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func randProbs(seed int64, n int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(n)
+	for i := range t.Data() {
+		t.Data()[i] = float32(0.05 + 0.9*rng.Float64())
+	}
+	return t
+}
+
+func randMask(seed int64, n int, p float64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(n)
+	for i := range t.Data() {
+		if rng.Float64() < p {
+			t.Data()[i] = 1
+		}
+	}
+	return t
+}
+
+func checkLossGradient(t *testing.T, l Loss, pred, target *tensor.Tensor, tol float64) {
+	t.Helper()
+	_, grad := l.Eval(pred, target)
+	const h = 1e-3
+	pd := pred.Data()
+	for i := range pd {
+		orig := pd[i]
+		pd[i] = orig + h
+		lp, _ := l.Eval(pred, target)
+		pd[i] = orig - h
+		lm, _ := l.Eval(pred, target)
+		pd[i] = orig
+		num := (lp - lm) / (2 * h)
+		ana := float64(grad.Data()[i])
+		den := math.Abs(num) + math.Abs(ana)
+		if den > 1e-7 && math.Abs(num-ana)/den > tol {
+			t.Fatalf("%s grad[%d]: analytic %v numeric %v", l.Name(), i, ana, num)
+		}
+	}
+}
+
+func TestDicePerfectMatch(t *testing.T) {
+	l := NewDice()
+	y := randMask(1, 32, 0.4)
+	v, _ := l.Eval(y.Clone(), y)
+	if v > 0.01 {
+		t.Fatalf("perfect match should have ≈0 loss, got %v", v)
+	}
+}
+
+func TestDiceCompleteMismatch(t *testing.T) {
+	l := NewDice()
+	pred := tensor.New(16)
+	target := tensor.Ones(16)
+	v, _ := l.Eval(pred, target)
+	// 1 − ε/(16+ε) ≈ 0.994
+	if v < 0.9 {
+		t.Fatalf("complete mismatch loss %v, want near 1", v)
+	}
+}
+
+func TestDiceEmptyBothIsZeroLoss(t *testing.T) {
+	l := NewDice()
+	v, _ := l.Eval(tensor.New(8), tensor.New(8))
+	if v != 0 {
+		t.Fatalf("both-empty should be 0 via epsilon, got %v", v)
+	}
+}
+
+func TestDiceRange(t *testing.T) {
+	f := func(seed int64) bool {
+		l := NewDice()
+		v, _ := l.Eval(randProbs(seed, 20), randMask(seed+1, 20, 0.3))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiceGradient(t *testing.T) {
+	checkLossGradient(t, NewDice(), randProbs(2, 24), randMask(3, 24, 0.3), 0.02)
+}
+
+func TestQuadraticDiceGradient(t *testing.T) {
+	checkLossGradient(t, NewQuadraticDice(), randProbs(4, 24), randMask(5, 24, 0.3), 0.02)
+}
+
+func TestBCEGradient(t *testing.T) {
+	checkLossGradient(t, NewBCE(), randProbs(6, 24), randMask(7, 24, 0.3), 0.02)
+}
+
+func TestQuadraticDicePerfectBinaryMatch(t *testing.T) {
+	l := NewQuadraticDice()
+	y := randMask(8, 32, 0.5)
+	v, _ := l.Eval(y.Clone(), y)
+	if v > 0.01 {
+		t.Fatalf("perfect binary match loss %v", v)
+	}
+}
+
+func TestBCEMatchesFormula(t *testing.T) {
+	l := NewBCE()
+	pred := tensor.FromSlice([]float32{0.9, 0.1}, 2)
+	target := tensor.FromSlice([]float32{1, 0}, 2)
+	v, _ := l.Eval(pred, target)
+	want := -(math.Log(0.9) + math.Log(0.9)) / 2
+	if math.Abs(v-want) > 1e-6 {
+		t.Fatalf("bce %v, want %v", v, want)
+	}
+}
+
+func TestGradientPushesTowardTarget(t *testing.T) {
+	// A gradient-descent step on any loss must reduce that loss.
+	for _, l := range []Loss{NewDice(), NewQuadraticDice(), NewBCE()} {
+		pred := randProbs(9, 30)
+		target := randMask(10, 30, 0.4)
+		before, grad := l.Eval(pred, target)
+		pred.AddScaled(-0.05, grad)
+		pred.Clamp(1e-4, 1-1e-4)
+		after, _ := l.Eval(pred, target)
+		if after >= before {
+			t.Fatalf("%s: descent step increased loss %v -> %v", l.Name(), before, after)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"dice", "quadratic-dice", "bce"} {
+		l, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if l.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, l.Name())
+		}
+	}
+	if _, err := ByName("focal"); err == nil {
+		t.Fatal("unknown loss must error")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDice().Eval(tensor.New(4), tensor.New(5))
+}
+
+// Property: Dice loss decreases when a wrong voxel is corrected.
+func TestPropertyDiceMonotoneCorrection(t *testing.T) {
+	f := func(seed int64) bool {
+		pred := randProbs(seed, 16)
+		target := randMask(seed+100, 16, 0.5)
+		l := NewDice()
+		before, _ := l.Eval(pred, target)
+		// Correct voxel 0 fully.
+		pred.Data()[0] = target.Data()[0]
+		after, _ := l.Eval(pred, target)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

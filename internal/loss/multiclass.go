@@ -1,0 +1,107 @@
+package loss
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MultiDice is the mean soft Dice loss over C classes, supporting the
+// original 4-class MSD Task 1 problem (background, edema, non-enhancing and
+// enhancing tumour) that the paper binarizes for its benchmark:
+//
+//	L = 1 − (1/C)·Σ_c (2·Σ ŷ_c·y_c + ε) / (Σ ŷ_c + Σ y_c + ε)
+//
+// Predictions are [N, C, D, H, W] class probabilities (e.g. softmax output)
+// and targets are one-hot masks of the same shape.
+type MultiDice struct {
+	Epsilon float64
+	// IgnoreBackground skips class 0 in the mean, the common convention
+	// when background dominates the volume.
+	IgnoreBackground bool
+}
+
+// NewMultiDice returns a multi-class Dice loss with ε = 0.1 averaging over
+// all classes.
+func NewMultiDice() *MultiDice { return &MultiDice{Epsilon: 0.1} }
+
+// Name implements Loss.
+func (d *MultiDice) Name() string { return "multi-dice" }
+
+// Eval implements Loss.
+func (d *MultiDice) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	checkShapes("multi-dice", pred, target)
+	shape := pred.Shape()
+	if len(shape) != 5 {
+		panic(fmt.Sprintf("loss: multi-dice expects [N,C,D,H,W], got %v", shape))
+	}
+	n, c := shape[0], shape[1]
+	spatial := shape[2] * shape[3] * shape[4]
+	if c < 2 {
+		panic("loss: multi-dice needs at least 2 classes")
+	}
+	c0 := 0
+	if d.IgnoreBackground {
+		c0 = 1
+	}
+	classes := float64(c - c0)
+
+	p := pred.Data()
+	t := target.Data()
+	grad := tensor.New(pred.Shape()...)
+	g := grad.Data()
+
+	var lossSum float64
+	for ci := c0; ci < c; ci++ {
+		var inter, sumP, sumT float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * spatial
+			for i := base; i < base+spatial; i++ {
+				inter += float64(p[i]) * float64(t[i])
+				sumP += float64(p[i])
+				sumT += float64(t[i])
+			}
+		}
+		num := 2*inter + d.Epsilon
+		den := sumP + sumT + d.Epsilon
+		lossSum += 1 - num/den
+
+		den2 := den * den
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * spatial
+			for i := base; i < base+spatial; i++ {
+				// d(1 − num/den)/dp_i for this class, averaged over classes.
+				g[i] = float32(-(2*float64(t[i])*den - num) / den2 / classes)
+			}
+		}
+	}
+	return lossSum / classes, grad
+}
+
+// PerClassDice returns the soft Dice coefficient of every class separately,
+// for validation reporting on the 4-class task.
+func PerClassDice(pred, target *tensor.Tensor, eps float64) []float64 {
+	checkShapes("per-class-dice", pred, target)
+	shape := pred.Shape()
+	if len(shape) != 5 {
+		panic(fmt.Sprintf("loss: per-class dice expects [N,C,D,H,W], got %v", shape))
+	}
+	n, c := shape[0], shape[1]
+	spatial := shape[2] * shape[3] * shape[4]
+	p := pred.Data()
+	t := target.Data()
+	out := make([]float64, c)
+	for ci := 0; ci < c; ci++ {
+		var inter, sumP, sumT float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * spatial
+			for i := base; i < base+spatial; i++ {
+				inter += float64(p[i]) * float64(t[i])
+				sumP += float64(p[i])
+				sumT += float64(t[i])
+			}
+		}
+		out[ci] = (2*inter + eps) / (sumP + sumT + eps)
+	}
+	return out
+}

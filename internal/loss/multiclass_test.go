@@ -1,0 +1,154 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// randOneHot builds [N, C, D, H, W] class probabilities and a matching
+// one-hot target.
+func randOneHot(seed int64, n, c, d, h, w int) (pred, target *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	pred = tensor.New(n, c, d, h, w)
+	target = tensor.New(n, c, d, h, w)
+	spatial := d * h * w
+	for ni := 0; ni < n; ni++ {
+		for v := 0; v < spatial; v++ {
+			var sum float64
+			vals := make([]float64, c)
+			for ci := 0; ci < c; ci++ {
+				vals[ci] = rng.Float64() + 0.05
+				sum += vals[ci]
+			}
+			for ci := 0; ci < c; ci++ {
+				pred.Data()[(ni*c+ci)*spatial+v] = float32(vals[ci] / sum)
+			}
+			target.Data()[(ni*c+rng.Intn(c))*spatial+v] = 1
+		}
+	}
+	return pred, target
+}
+
+func TestMultiDicePerfectMatch(t *testing.T) {
+	_, target := randOneHot(1, 1, 4, 2, 3, 2)
+	l := NewMultiDice()
+	v, _ := l.Eval(target.Clone(), target)
+	if v > 0.02 {
+		t.Fatalf("perfect match loss %v", v)
+	}
+}
+
+func TestMultiDiceRange(t *testing.T) {
+	pred, target := randOneHot(2, 2, 4, 2, 2, 2)
+	l := NewMultiDice()
+	v, _ := l.Eval(pred, target)
+	if v < 0 || v > 1 {
+		t.Fatalf("loss %v out of [0,1]", v)
+	}
+}
+
+func TestMultiDiceGradient(t *testing.T) {
+	pred, target := randOneHot(3, 1, 3, 2, 2, 2)
+	l := NewMultiDice()
+	_, grad := l.Eval(pred, target)
+	const h = 1e-3
+	pd := pred.Data()
+	for i := range pd {
+		orig := pd[i]
+		pd[i] = orig + h
+		lp, _ := l.Eval(pred, target)
+		pd[i] = orig - h
+		lm, _ := l.Eval(pred, target)
+		pd[i] = orig
+		num := (lp - lm) / (2 * h)
+		ana := float64(grad.Data()[i])
+		den := math.Abs(num) + math.Abs(ana)
+		if den > 1e-7 && math.Abs(num-ana)/den > 0.02 {
+			t.Fatalf("grad[%d]: analytic %v numeric %v", i, ana, num)
+		}
+	}
+}
+
+func TestMultiDiceIgnoreBackground(t *testing.T) {
+	pred, target := randOneHot(4, 1, 4, 2, 2, 2)
+	all := NewMultiDice()
+	noBg := NewMultiDice()
+	noBg.IgnoreBackground = true
+	vAll, gAll := all.Eval(pred, target)
+	vNoBg, gNoBg := noBg.Eval(pred.Clone(), target)
+	if vAll == vNoBg {
+		t.Fatal("ignoring background must change the loss")
+	}
+	// Background-channel gradient must vanish when ignored.
+	spatial := 2 * 2 * 2
+	for i := 0; i < spatial; i++ {
+		if gNoBg.Data()[i] != 0 {
+			t.Fatal("background gradient not zeroed")
+		}
+		if gAll.Data()[i] == 0 {
+			t.Fatal("background gradient unexpectedly zero when counted")
+		}
+	}
+}
+
+func TestMultiDiceDescentStep(t *testing.T) {
+	pred, target := randOneHot(5, 1, 4, 2, 2, 2)
+	l := NewMultiDice()
+	before, grad := l.Eval(pred, target)
+	pred.AddScaled(-0.05, grad)
+	pred.Clamp(1e-4, 1)
+	after, _ := l.Eval(pred, target)
+	if after >= before {
+		t.Fatalf("descent increased loss %v -> %v", before, after)
+	}
+}
+
+func TestMultiDicePanicsOnBadShapes(t *testing.T) {
+	l := NewMultiDice()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("4-D tensor must panic")
+			}
+		}()
+		l.Eval(tensor.New(2, 2, 2, 2), tensor.New(2, 2, 2, 2))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("single class must panic")
+			}
+		}()
+		l.Eval(tensor.New(1, 1, 2, 2, 2), tensor.New(1, 1, 2, 2, 2))
+	}()
+}
+
+func TestPerClassDice(t *testing.T) {
+	_, target := randOneHot(6, 1, 3, 2, 2, 2)
+	scores := PerClassDice(target.Clone(), target, 0)
+	if len(scores) != 3 {
+		t.Fatalf("scores %v", scores)
+	}
+	for c, s := range scores {
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("class %d perfect dice %v", c, s)
+		}
+	}
+	// Disjoint prediction (cyclic class shift) scores 0 everywhere.
+	shifted := tensor.New(target.Shape()...)
+	spatial := 8
+	for ci := 0; ci < 3; ci++ {
+		src := ci * spatial
+		dst := ((ci + 1) % 3) * spatial
+		copy(shifted.Data()[dst:dst+spatial], target.Data()[src:src+spatial])
+	}
+	scores = PerClassDice(shifted, target, 0)
+	for c, s := range scores {
+		if s > 0.8 {
+			t.Fatalf("class %d shifted dice %v should be low", c, s)
+		}
+	}
+}

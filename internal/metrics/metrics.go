@@ -1,0 +1,110 @@
+// Package metrics implements segmentation quality metrics: the Dice
+// similarity coefficient (the paper's reference metric, a.k.a. F1 / Sørensen-
+// Dice), plus precision, recall and IoU for completeness.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Confusion holds binary voxel classification counts at a given threshold.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse thresholds pred at thr and compares against the binary target.
+func Confuse(pred, target *tensor.Tensor, thr float32) Confusion {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("metrics: shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	p := pred.Data()
+	t := target.Data()
+	var c Confusion
+	for i := range p {
+		pos := p[i] >= thr
+		truth := t[i] >= 0.5
+		switch {
+		case pos && truth:
+			c.TP++
+		case pos && !truth:
+			c.FP++
+		case !pos && truth:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Dice returns the Dice similarity coefficient 2TP/(2TP+FP+FN). If the
+// prediction and ground truth are both empty the score is defined as 1.
+func (c Confusion) Dice() float64 {
+	den := 2*c.TP + c.FP + c.FN
+	if den == 0 {
+		return 1
+	}
+	return float64(2*c.TP) / float64(den)
+}
+
+// Precision returns TP/(TP+FP), or 1 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there are no positive voxels.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// IoU returns the Jaccard index TP/(TP+FP+FN), or 1 for the all-empty case.
+func (c Confusion) IoU() float64 {
+	den := c.TP + c.FP + c.FN
+	if den == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(den)
+}
+
+// DiceScore is a convenience wrapper: binarize pred at 0.5 and return the
+// Dice coefficient against target.
+func DiceScore(pred, target *tensor.Tensor) float64 {
+	return Confuse(pred, target, 0.5).Dice()
+}
+
+// SoftDice returns the differentiable Dice on raw probabilities (no
+// thresholding), as used for validation-time monitoring.
+func SoftDice(pred, target *tensor.Tensor, eps float64) float64 {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("metrics: shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	p := pred.Data()
+	t := target.Data()
+	var inter, sumP, sumT float64
+	for i := range p {
+		inter += float64(p[i]) * float64(t[i])
+		sumP += float64(p[i])
+		sumT += float64(t[i])
+	}
+	return (2*inter + eps) / (sumP + sumT + eps)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

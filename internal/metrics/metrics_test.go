@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	pred := tensor.FromSlice([]float32{0.9, 0.9, 0.1, 0.1}, 4)
+	target := tensor.FromSlice([]float32{1, 0, 1, 0}, 4)
+	c := Confuse(pred, target, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("got %+v", c)
+	}
+}
+
+func TestDicePerfect(t *testing.T) {
+	y := tensor.FromSlice([]float32{1, 0, 1, 1}, 4)
+	if d := DiceScore(y.Clone(), y); d != 1 {
+		t.Fatalf("perfect dice %v", d)
+	}
+}
+
+func TestDiceDisjoint(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1, 1, 0, 0}, 4)
+	target := tensor.FromSlice([]float32{0, 0, 1, 1}, 4)
+	if d := DiceScore(pred, target); d != 0 {
+		t.Fatalf("disjoint dice %v", d)
+	}
+}
+
+func TestDiceBothEmpty(t *testing.T) {
+	if d := DiceScore(tensor.New(4), tensor.New(4)); d != 1 {
+		t.Fatalf("both-empty dice defined as 1, got %v", d)
+	}
+}
+
+func TestDiceKnownOverlap(t *testing.T) {
+	// |A|=2, |B|=3, |A∩B|=2 → dice = 2·2/(2+3) = 0.8
+	pred := tensor.FromSlice([]float32{1, 1, 0, 0}, 4)
+	target := tensor.FromSlice([]float32{1, 1, 1, 0}, 4)
+	if d := DiceScore(pred, target); math.Abs(d-0.8) > 1e-12 {
+		t.Fatalf("dice %v, want 0.8", d)
+	}
+}
+
+func TestPrecisionRecallIoU(t *testing.T) {
+	c := Confusion{TP: 3, FP: 1, FN: 2, TN: 4}
+	if p := c.Precision(); math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("precision %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.6) > 1e-12 {
+		t.Fatalf("recall %v", r)
+	}
+	if i := c.IoU(); math.Abs(i-0.5) > 1e-12 {
+		t.Fatalf("iou %v", i)
+	}
+}
+
+func TestDegenerateConventions(t *testing.T) {
+	c := Confusion{TN: 10}
+	if c.Precision() != 1 || c.Recall() != 1 || c.IoU() != 1 || c.Dice() != 1 {
+		t.Fatalf("empty-positive conventions broken: %+v", c)
+	}
+}
+
+func TestSoftDiceMatchesHardOnBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pred := tensor.New(64)
+	target := tensor.New(64)
+	for i := range pred.Data() {
+		if rng.Float64() < 0.4 {
+			pred.Data()[i] = 1
+		}
+		if rng.Float64() < 0.4 {
+			target.Data()[i] = 1
+		}
+	}
+	hard := DiceScore(pred, target)
+	soft := SoftDice(pred, target, 0)
+	if math.Abs(hard-soft) > 1e-9 {
+		t.Fatalf("hard %v vs soft %v on binary masks", hard, soft)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) must be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Confuse(tensor.New(2), tensor.New(3), 0.5)
+}
+
+// Property: dice is symmetric in prediction and target for binary masks.
+func TestPropertyDiceSymmetry(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pred := tensor.New(16)
+		target := tensor.New(16)
+		for i := 0; i < 16; i++ {
+			if a&(1<<i) != 0 {
+				pred.Data()[i] = 1
+			}
+			if b&(1<<i) != 0 {
+				target.Data()[i] = 1
+			}
+		}
+		return math.Abs(DiceScore(pred, target)-DiceScore(target, pred)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dice is always within [0, 1] and equals 2·IoU/(1+IoU).
+func TestPropertyDiceIoURelation(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pred := tensor.New(16)
+		target := tensor.New(16)
+		for i := 0; i < 16; i++ {
+			if a&(1<<i) != 0 {
+				pred.Data()[i] = 1
+			}
+			if b&(1<<i) != 0 {
+				target.Data()[i] = 1
+			}
+		}
+		c := Confuse(pred, target, 0.5)
+		d := c.Dice()
+		iou := c.IoU()
+		if d < 0 || d > 1 {
+			return false
+		}
+		return math.Abs(d-2*iou/(1+iou)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

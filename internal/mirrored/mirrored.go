@@ -1,0 +1,215 @@
+// Package mirrored implements synchronous data parallelism with real
+// gradient mathematics, the analogue of tf.MirroredStrategy: R identical
+// model replicas (goroutines standing in for GPUs) shard each global batch,
+// compute gradients concurrently, average them with a ring all-reduce and
+// apply identical optimizer updates, so replicas stay bit-for-bit
+// synchronized. The paper's batch/learning-rate scaling rule (batch 2 per
+// replica, lr = base × replicas) is applied by the constructor.
+package mirrored
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/allreduce"
+	"repro/internal/loss"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/unet"
+)
+
+// Config describes a mirrored training setup.
+type Config struct {
+	Replicas  int
+	Net       unet.Config
+	Loss      string  // "dice", "quadratic-dice", "bce"
+	Optimizer string  // "adam", "sgd"
+	BaseLR    float64 // scaled by Replicas per the paper's rule
+	ScaleLR   bool    // apply the linear scaling rule (paper: yes)
+
+	// Reducer averages the replica gradient buffers in place; nil means
+	// flat ring all-reduce. The multi-node layer plugs in the
+	// hierarchical (intra-node then inter-node) reducer here.
+	Reducer func([][]float32) error
+}
+
+// Trainer drives R replicas.
+type Trainer struct {
+	cfg      Config
+	replicas []*replica
+	lossName string
+}
+
+type replica struct {
+	model *unet.UNet
+	loss  loss.Loss
+	opt   optim.Optimizer
+}
+
+// New builds a trainer with identically initialized replicas.
+func New(cfg Config) (*Trainer, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("mirrored: Replicas must be ≥ 1, got %d", cfg.Replicas)
+	}
+	lr := cfg.BaseLR
+	if cfg.ScaleLR {
+		lr = optim.ScaleLRForReplicas(cfg.BaseLR, cfg.Replicas)
+	}
+	t := &Trainer{cfg: cfg, lossName: cfg.Loss}
+	for r := 0; r < cfg.Replicas; r++ {
+		net, err := unet.New(cfg.Net) // same seed → identical weights
+		if err != nil {
+			return nil, err
+		}
+		l, err := loss.ByName(cfg.Loss)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := optim.ByName(cfg.Optimizer, lr)
+		if err != nil {
+			return nil, err
+		}
+		t.replicas = append(t.replicas, &replica{model: net, loss: l, opt: opt})
+	}
+	return t, nil
+}
+
+// Replicas returns the replica count.
+func (t *Trainer) Replicas() int { return len(t.replicas) }
+
+// LR returns the effective (possibly scaled) learning rate.
+func (t *Trainer) LR() float64 { return t.replicas[0].opt.LR() }
+
+// SetLR updates every replica's learning rate (for schedules).
+func (t *Trainer) SetLR(lr float64) {
+	for _, r := range t.replicas {
+		r.opt.SetLR(lr)
+	}
+}
+
+// Model returns replica 0's network (all replicas are identical).
+func (t *Trainer) Model() *unet.UNet { return t.replicas[0].model }
+
+// Step runs one synchronous data-parallel step on a global batch
+// ([N, C, D, H, W] inputs, [N, 1, D, H, W] masks). N must be divisible by
+// the replica count. It returns the mean replica loss.
+func (t *Trainer) Step(inputs, masks *tensor.Tensor) (float64, error) {
+	n := inputs.Dim(0)
+	r := len(t.replicas)
+	if n%r != 0 {
+		return 0, fmt.Errorf("mirrored: global batch %d not divisible by %d replicas", n, r)
+	}
+	if masks.Dim(0) != n {
+		return 0, fmt.Errorf("mirrored: masks batch %d does not match inputs %d", masks.Dim(0), n)
+	}
+	shard := n / r
+
+	losses := make([]float64, r)
+	grads := make([][]float32, r)
+	var wg sync.WaitGroup
+	wg.Add(r)
+	for i, rep := range t.replicas {
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			in := shardTensor(inputs, i, shard)
+			mask := shardTensor(masks, i, shard)
+			rep.model.ZeroGrads()
+			pred := rep.model.Forward(in)
+			l, grad := rep.loss.Eval(pred, mask)
+			losses[i] = l
+			rep.model.Backward(grad)
+			grads[i] = flattenGrads(rep.model.Params())
+		}(i, rep)
+	}
+	wg.Wait()
+
+	reduce := t.cfg.Reducer
+	if reduce == nil {
+		reduce = allreduce.RingAverage
+	}
+	if err := reduce(grads); err != nil {
+		return 0, err
+	}
+	// Write the averaged gradients back and apply identical updates.
+	wg.Add(r)
+	for i, rep := range t.replicas {
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			unflattenGrads(rep.model.Params(), grads[i])
+			rep.opt.Step(rep.model.Params())
+		}(i, rep)
+	}
+	wg.Wait()
+
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(r), nil
+}
+
+// Evaluate computes the mean hard Dice score of the current model over a
+// validation batch, in evaluation mode.
+func (t *Trainer) Evaluate(inputs, masks *tensor.Tensor) float64 {
+	m := t.Model()
+	m.SetTraining(false)
+	defer m.SetTraining(true)
+	pred := m.Forward(inputs)
+	return metrics.DiceScore(pred, masks)
+}
+
+// InSync reports whether all replicas hold bitwise-identical parameters;
+// synchronous SGD must keep this invariant after every step.
+func (t *Trainer) InSync() bool {
+	ref := t.replicas[0].model.Params()
+	for _, rep := range t.replicas[1:] {
+		ps := rep.model.Params()
+		for i := range ref {
+			a := ref[i].Value.Data()
+			b := ps[i].Value.Data()
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// shardTensor returns a copy of rows [i·shard, (i+1)·shard) of a batched
+// tensor (first dimension is the batch).
+func shardTensor(t *tensor.Tensor, i, shard int) *tensor.Tensor {
+	shape := t.Shape()
+	stride := t.Size() / shape[0]
+	out := append([]int{shard}, shape[1:]...)
+	data := make([]float32, shard*stride)
+	copy(data, t.Data()[i*shard*stride:(i*shard+shard)*stride])
+	return tensor.FromSlice(data, out...)
+}
+
+// flattenGrads concatenates all parameter gradients into one buffer, the
+// unit of the all-reduce.
+func flattenGrads(params []*nn.Param) []float32 {
+	n := 0
+	for _, p := range params {
+		n += p.Grad.Size()
+	}
+	out := make([]float32, 0, n)
+	for _, p := range params {
+		out = append(out, p.Grad.Data()...)
+	}
+	return out
+}
+
+// unflattenGrads writes a flat buffer back into parameter gradients.
+func unflattenGrads(params []*nn.Param, flat []float32) {
+	off := 0
+	for _, p := range params {
+		g := p.Grad.Data()
+		copy(g, flat[off:off+len(g)])
+		off += len(g)
+	}
+}

@@ -1,0 +1,215 @@
+package msd
+
+import (
+	"testing"
+
+	"repro/internal/volume"
+)
+
+func smallConfig(cases int) Config {
+	return Config{Cases: cases, D: 12, H: 16, W: 16, Seed: 3}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Cases: 0, D: 16, H: 16, W: 16}).Validate(); err == nil {
+		t.Fatal("zero cases must fail")
+	}
+	if err := (Config{Cases: 1, D: 4, H: 16, W: 16}).Validate(); err == nil {
+		t.Fatal("tiny depth must fail")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfigMatchesPaperCount(t *testing.T) {
+	if DefaultConfig().Cases != 484 {
+		t.Fatalf("default cases %d, want the paper's 484", DefaultConfig().Cases)
+	}
+	c := PaperShapeConfig()
+	if c.D != 155 || c.H != 240 || c.W != 240 {
+		t.Fatalf("paper shape %dx%dx%d", c.D, c.H, c.W)
+	}
+}
+
+func TestGenerateCaseDeterministic(t *testing.T) {
+	cfg := smallConfig(2)
+	a := GenerateCase(cfg, 0)
+	b := GenerateCase(cfg, 0)
+	if a.Name != b.Name {
+		t.Fatal("names differ")
+	}
+	for i := range a.Intensities {
+		if a.Intensities[i] != b.Intensities[i] {
+			t.Fatal("same (seed,index) must give identical intensities")
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same (seed,index) must give identical labels")
+		}
+	}
+}
+
+func TestGenerateCasesDiffer(t *testing.T) {
+	cfg := smallConfig(2)
+	a := GenerateCase(cfg, 0)
+	b := GenerateCase(cfg, 1)
+	same := 0
+	for i := range a.Labels {
+		if a.Labels[i] == b.Labels[i] {
+			same++
+		}
+	}
+	if same == len(a.Labels) {
+		t.Fatal("different cases have identical label maps")
+	}
+}
+
+func TestCaseHasAllTissueClasses(t *testing.T) {
+	cfg := smallConfig(8)
+	countsAny := [volume.NumClasses]int{}
+	for i := 0; i < cfg.Cases; i++ {
+		v := GenerateCase(cfg, i)
+		for _, l := range v.Labels {
+			countsAny[l]++
+		}
+	}
+	for cls, n := range countsAny {
+		if n == 0 {
+			t.Fatalf("class %d never generated across 8 cases", cls)
+		}
+	}
+}
+
+func TestClassImbalance(t *testing.T) {
+	// Tumours must be a small minority of voxels, like real BraTS.
+	v := GenerateCase(smallConfig(1), 0)
+	f := v.TumorFraction()
+	if f <= 0 || f > 0.35 {
+		t.Fatalf("tumour fraction %v not in (0, 0.35]", f)
+	}
+}
+
+func TestModalityContrast(t *testing.T) {
+	// FLAIR (channel 0) should be brighter in edema than healthy brain.
+	cfg := smallConfig(1)
+	v := GenerateCase(cfg, 0)
+	var edemaSum, brainSum float64
+	var edemaN, brainN int
+	for z := 0; z < v.D; z++ {
+		for y := 0; y < v.H; y++ {
+			for x := 0; x < v.W; x++ {
+				l := v.Labels[v.VoxelIndex(z, y, x)]
+				in := v.Intensity(0, z, y, x)
+				switch l {
+				case volume.LabelEdema:
+					edemaSum += float64(in)
+					edemaN++
+				case volume.LabelBackground:
+					if in > 0.3 { // inside the head
+						brainSum += float64(in)
+						brainN++
+					}
+				}
+			}
+		}
+	}
+	if edemaN == 0 || brainN == 0 {
+		t.Skip("case 0 lacks edema or brain voxels at this size")
+	}
+	if edemaSum/float64(edemaN) <= brainSum/float64(brainN) {
+		t.Fatal("FLAIR must highlight edema over healthy brain")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds, err := Generate(smallConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Cases) != 10 {
+		t.Fatalf("cases %d", len(ds.Cases))
+	}
+	if len(ds.Train)+len(ds.Val)+len(ds.Test) != 10 {
+		t.Fatal("split does not cover dataset")
+	}
+	if len(ds.Train) != 7 {
+		t.Fatalf("train %d, want 7 (70%%)", len(ds.Train))
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero config must fail")
+	}
+}
+
+func TestWriteAndLoadNIfTIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig(2)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteNIfTI(dir); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ListCases(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "BRATS_001" {
+		t.Fatalf("names %v", names)
+	}
+	v, err := LoadCase(dir, "BRATS_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ds.Cases[0]
+	if v.Channels != orig.Channels || v.D != orig.D || v.H != orig.H || v.W != orig.W {
+		t.Fatalf("dims mismatch: %d %d %d %d", v.Channels, v.D, v.H, v.W)
+	}
+	for i := range orig.Intensities {
+		if v.Intensities[i] != orig.Intensities[i] {
+			t.Fatal("intensities do not round-trip")
+		}
+	}
+	for i := range orig.Labels {
+		if v.Labels[i] != orig.Labels[i] {
+			t.Fatal("labels do not round-trip")
+		}
+	}
+}
+
+func TestLoadCaseMissing(t *testing.T) {
+	if _, err := LoadCase(t.TempDir(), "nope"); err == nil {
+		t.Fatal("missing case must error")
+	}
+}
+
+func TestListCasesMissingDir(t *testing.T) {
+	if _, err := ListCases(t.TempDir()); err == nil {
+		t.Fatal("missing imagesTr must error")
+	}
+}
+
+func TestPreprocessGeneratedCase(t *testing.T) {
+	v := GenerateCase(smallConfig(1), 0)
+	s, err := volume.Preprocess(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Input.Dim(0) != 4 {
+		t.Fatalf("modalities %d", s.Input.Dim(0))
+	}
+	if !s.Input.IsFinite() {
+		t.Fatal("non-finite intensities after preprocessing")
+	}
+	// Mask must be binary.
+	for _, m := range s.Mask.Data() {
+		if m != 0 && m != 1 {
+			t.Fatalf("non-binary mask value %v", m)
+		}
+	}
+}

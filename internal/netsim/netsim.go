@@ -1,0 +1,96 @@
+// Package netsim models the interconnect of the paper's benchmarking
+// environment (BSC MareNostrum-CTE): NVLink between the four V100 GPUs of a
+// node, and EDR InfiniBand between nodes. Transfer times follow the α+β
+// model (latency plus size over bandwidth); the ring all-reduce cost model
+// built on top of it drives the data-parallel scaling simulation.
+package netsim
+
+import "fmt"
+
+// Link is a point-to-point channel with fixed latency and bandwidth.
+type Link struct {
+	Name         string
+	LatencySec   float64 // per-message latency (α)
+	BandwidthBps float64 // sustained bytes per second (1/β)
+}
+
+// TransferTime returns the seconds needed to move size bytes across the link.
+func (l Link) TransferTime(sizeBytes float64) float64 {
+	if sizeBytes < 0 {
+		panic(fmt.Sprintf("netsim: negative transfer size %v", sizeBytes))
+	}
+	return l.LatencySec + sizeBytes/l.BandwidthBps
+}
+
+// Fabric describes the two-level interconnect of a GPU cluster.
+type Fabric struct {
+	IntraNode Link // GPU ↔ GPU within a node (NVLink)
+	InterNode Link // node ↔ node (InfiniBand)
+	// GPUsPerNode is the node width; rings wider than this pay InterNode
+	// costs on the slowest hop.
+	GPUsPerNode int
+}
+
+// MareNostrum returns a fabric parameterized after the paper's cluster:
+// 4×V100 nodes with NVLink (~130 GB/s effective per direction) and EDR
+// InfiniBand (~12 GB/s effective).
+func MareNostrum() Fabric {
+	return Fabric{
+		IntraNode:   Link{Name: "nvlink", LatencySec: 5e-6, BandwidthBps: 130e9},
+		InterNode:   Link{Name: "infiniband-edr", LatencySec: 2.5e-6, BandwidthBps: 12e9},
+		GPUsPerNode: 4,
+	}
+}
+
+// Validate reports whether the fabric is usable.
+func (f Fabric) Validate() error {
+	if f.GPUsPerNode <= 0 {
+		return fmt.Errorf("netsim: GPUsPerNode must be positive, got %d", f.GPUsPerNode)
+	}
+	for _, l := range []Link{f.IntraNode, f.InterNode} {
+		if l.BandwidthBps <= 0 {
+			return fmt.Errorf("netsim: link %q has non-positive bandwidth", l.Name)
+		}
+		if l.LatencySec < 0 {
+			return fmt.Errorf("netsim: link %q has negative latency", l.Name)
+		}
+	}
+	return nil
+}
+
+// SlowestHop returns the slowest link in a ring over nGPUs devices: once the
+// ring spans more than one node, at least one hop crosses InfiniBand and the
+// bucket pipeline is throttled by it.
+func (f Fabric) SlowestHop(nGPUs int) Link {
+	if nGPUs <= f.GPUsPerNode {
+		return f.IntraNode
+	}
+	return f.InterNode
+}
+
+// RingAllReduceTime returns the seconds for a ring all-reduce of sizeBytes
+// over nGPUs devices: 2·(n−1) pipeline steps, each moving sizeBytes/n over
+// the slowest hop. A per-step software overhead (NCCL launch, framework
+// bookkeeping) is added via stepOverheadSec.
+func (f Fabric) RingAllReduceTime(sizeBytes float64, nGPUs int, stepOverheadSec float64) float64 {
+	if nGPUs <= 1 {
+		return 0
+	}
+	hop := f.SlowestHop(nGPUs)
+	chunk := sizeBytes / float64(nGPUs)
+	steps := float64(2 * (nGPUs - 1))
+	return steps * (hop.TransferTime(chunk) + stepOverheadSec)
+}
+
+// NaiveAllReduceTime models the gather-then-broadcast baseline: every worker
+// sends its full buffer to a root which reduces and broadcasts back,
+// serializing 2·(n−1) full-size transfers on the slowest hop. Used by the
+// ablation benchmark comparing all-reduce algorithms.
+func (f Fabric) NaiveAllReduceTime(sizeBytes float64, nGPUs int, stepOverheadSec float64) float64 {
+	if nGPUs <= 1 {
+		return 0
+	}
+	hop := f.SlowestHop(nGPUs)
+	steps := float64(2 * (nGPUs - 1))
+	return steps * (hop.TransferTime(sizeBytes) + stepOverheadSec)
+}

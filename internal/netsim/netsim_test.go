@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := Link{Name: "test", LatencySec: 1e-3, BandwidthBps: 1e9}
+	// 1 MB over 1 GB/s = 1 ms, plus 1 ms latency.
+	got := l.TransferTime(1e6)
+	if math.Abs(got-2e-3) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+	if l.TransferTime(0) != 1e-3 {
+		t.Fatal("zero-byte transfer must cost exactly the latency")
+	}
+}
+
+func TestTransferTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Link{BandwidthBps: 1}.TransferTime(-1)
+}
+
+func TestMareNostrumFabricSane(t *testing.T) {
+	f := MareNostrum()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.GPUsPerNode != 4 {
+		t.Fatalf("paper nodes have 4 GPUs, got %d", f.GPUsPerNode)
+	}
+	if f.IntraNode.BandwidthBps <= f.InterNode.BandwidthBps {
+		t.Fatal("NVLink must be faster than InfiniBand")
+	}
+}
+
+func TestValidateRejectsBadFabric(t *testing.T) {
+	bad := []Fabric{
+		{GPUsPerNode: 0, IntraNode: Link{BandwidthBps: 1}, InterNode: Link{BandwidthBps: 1}},
+		{GPUsPerNode: 4, IntraNode: Link{BandwidthBps: 0}, InterNode: Link{BandwidthBps: 1}},
+		{GPUsPerNode: 4, IntraNode: Link{BandwidthBps: 1, LatencySec: -1}, InterNode: Link{BandwidthBps: 1}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fabric %d should be invalid", i)
+		}
+	}
+}
+
+func TestSlowestHop(t *testing.T) {
+	f := MareNostrum()
+	if got := f.SlowestHop(4); got.Name != "nvlink" {
+		t.Fatalf("4 GPUs should stay on NVLink, got %s", got.Name)
+	}
+	if got := f.SlowestHop(5); got.Name != "infiniband-edr" {
+		t.Fatalf("5 GPUs must cross nodes, got %s", got.Name)
+	}
+}
+
+func TestRingAllReduceZeroForOneGPU(t *testing.T) {
+	f := MareNostrum()
+	if f.RingAllReduceTime(1e9, 1, 1e-3) != 0 {
+		t.Fatal("single GPU needs no all-reduce")
+	}
+}
+
+func TestRingAllReduceGrowsAcrossNodes(t *testing.T) {
+	f := MareNostrum()
+	size := 1.64e6 // paper gradient: ~410k params × 4 B
+	intra := f.RingAllReduceTime(size, 4, 0)
+	inter := f.RingAllReduceTime(size, 8, 0)
+	if inter <= intra {
+		t.Fatalf("crossing nodes must cost more: %v vs %v", inter, intra)
+	}
+}
+
+func TestRingBeatsNaiveForLargeMessages(t *testing.T) {
+	f := MareNostrum()
+	for _, n := range []int{4, 8, 16, 32} {
+		ring := f.RingAllReduceTime(100e6, n, 0)
+		naive := f.NaiveAllReduceTime(100e6, n, 0)
+		if ring >= naive {
+			t.Fatalf("n=%d: ring %v should beat naive %v", n, ring, naive)
+		}
+	}
+}
+
+func TestAllReduceStepOverheadCounts(t *testing.T) {
+	f := MareNostrum()
+	base := f.RingAllReduceTime(1e6, 8, 0)
+	withOverhead := f.RingAllReduceTime(1e6, 8, 1e-3)
+	// 2·(8−1) = 14 steps of 1 ms extra.
+	if math.Abs((withOverhead-base)-14e-3) > 1e-9 {
+		t.Fatalf("overhead accounting wrong: %v", withOverhead-base)
+	}
+}
+
+// Property: ring all-reduce time is monotone in message size.
+func TestPropertyRingMonotoneInSize(t *testing.T) {
+	f := MareNostrum()
+	prop := func(aRaw, bRaw uint32, nRaw uint8) bool {
+		n := int(nRaw)%31 + 2
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return f.RingAllReduceTime(a, n, 1e-4) <= f.RingAllReduceTime(b, n, 1e-4)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

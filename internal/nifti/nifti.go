@@ -1,0 +1,219 @@
+// Package nifti reads and writes NIfTI-1 files (the .nii single-file
+// variant), the standard interchange format for the MSD datasets the paper
+// ingests. Only the fields the pipeline needs are interpreted: dimensions,
+// datatype, scaling slope/intercept and voxel spacing; everything else is
+// preserved as zeros.
+package nifti
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Header size and data offset mandated by the NIfTI-1 single-file format.
+const (
+	HeaderSize = 348
+	VoxOffset  = 352
+)
+
+// Supported NIfTI datatype codes.
+const (
+	DTUint8   int16 = 2
+	DTInt16   int16 = 4
+	DTFloat32 int16 = 16
+)
+
+// Image is a decoded NIfTI volume: up to 7 dimensions with float32 voxels
+// (integer datatypes are converted on read, and scl slope/intercept are
+// applied).
+type Image struct {
+	Dims     []int      // spatial (and modality) extents, without the rank slot
+	Datatype int16      // on-disk datatype
+	PixDim   [3]float32 // voxel spacing of the first three axes, mm
+	Data     []float32  // row-major, first axis fastest (NIfTI convention)
+}
+
+// NumVoxels returns the product of the image extents.
+func (img *Image) NumVoxels() int {
+	n := 1
+	for _, d := range img.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Validate checks internal consistency.
+func (img *Image) Validate() error {
+	if len(img.Dims) == 0 || len(img.Dims) > 7 {
+		return fmt.Errorf("nifti: rank %d out of range [1,7]", len(img.Dims))
+	}
+	for _, d := range img.Dims {
+		if d <= 0 {
+			return fmt.Errorf("nifti: non-positive extent in dims %v", img.Dims)
+		}
+	}
+	if len(img.Data) != img.NumVoxels() {
+		return fmt.Errorf("nifti: data length %d does not match dims %v", len(img.Data), img.Dims)
+	}
+	switch img.Datatype {
+	case DTUint8, DTInt16, DTFloat32:
+	default:
+		return fmt.Errorf("nifti: unsupported datatype %d", img.Datatype)
+	}
+	return nil
+}
+
+func bitpix(dt int16) int16 {
+	switch dt {
+	case DTUint8:
+		return 8
+	case DTInt16:
+		return 16
+	case DTFloat32:
+		return 32
+	}
+	return 0
+}
+
+// Encode writes img as a NIfTI-1 .nii stream.
+func Encode(w io.Writer, img *Image) error {
+	if err := img.Validate(); err != nil {
+		return err
+	}
+	hdr := make([]byte, VoxOffset) // header + 4 pad bytes to vox_offset
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], HeaderSize)
+	// dim[0] = rank, dim[1..7] = extents (unused stay 1).
+	le.PutUint16(hdr[40:], uint16(len(img.Dims)))
+	for i := 0; i < 7; i++ {
+		d := 1
+		if i < len(img.Dims) {
+			d = img.Dims[i]
+		}
+		if d > math.MaxInt16 {
+			return fmt.Errorf("nifti: extent %d exceeds int16", d)
+		}
+		le.PutUint16(hdr[42+2*i:], uint16(d))
+	}
+	le.PutUint16(hdr[70:], uint16(img.Datatype))
+	le.PutUint16(hdr[72:], uint16(bitpix(img.Datatype)))
+	// pixdim[0] unused here; [1..3] voxel spacing.
+	for i := 0; i < 3; i++ {
+		le.PutUint32(hdr[80+4*i:], math.Float32bits(img.PixDim[i]))
+	}
+	le.PutUint32(hdr[108:], math.Float32bits(float32(VoxOffset))) // vox_offset
+	le.PutUint32(hdr[112:], math.Float32bits(1))                  // scl_slope
+	le.PutUint32(hdr[116:], math.Float32bits(0))                  // scl_inter
+	copy(hdr[344:], "n+1\x00")
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nifti: writing header: %w", err)
+	}
+
+	buf := make([]byte, 0, len(img.Data)*4)
+	switch img.Datatype {
+	case DTFloat32:
+		for _, v := range img.Data {
+			buf = le.AppendUint32(buf, math.Float32bits(v))
+		}
+	case DTInt16:
+		for _, v := range img.Data {
+			buf = le.AppendUint16(buf, uint16(int16(v)))
+		}
+	case DTUint8:
+		for _, v := range img.Data {
+			buf = append(buf, uint8(v))
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nifti: writing voxels: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a NIfTI-1 .nii stream.
+func Decode(r io.Reader) (*Image, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("nifti: reading header: %w", err)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(hdr[0:]); got != HeaderSize {
+		return nil, fmt.Errorf("nifti: bad sizeof_hdr %d (not little-endian NIfTI-1?)", got)
+	}
+	if magic := string(hdr[344:347]); magic != "n+1" {
+		return nil, fmt.Errorf("nifti: bad magic %q", magic)
+	}
+	rank := int(int16(le.Uint16(hdr[40:])))
+	if rank < 1 || rank > 7 {
+		return nil, fmt.Errorf("nifti: rank %d out of range", rank)
+	}
+	dims := make([]int, rank)
+	n := 1
+	for i := 0; i < rank; i++ {
+		dims[i] = int(int16(le.Uint16(hdr[42+2*i:])))
+		if dims[i] <= 0 {
+			return nil, fmt.Errorf("nifti: non-positive extent %d", dims[i])
+		}
+		n *= dims[i]
+	}
+	dt := int16(le.Uint16(hdr[70:]))
+	var pix [3]float32
+	for i := 0; i < 3; i++ {
+		pix[i] = math.Float32frombits(le.Uint32(hdr[80+4*i:]))
+	}
+	voxOffset := int(math.Float32frombits(le.Uint32(hdr[108:])))
+	if voxOffset < HeaderSize {
+		voxOffset = VoxOffset
+	}
+	slope := math.Float32frombits(le.Uint32(hdr[112:]))
+	inter := math.Float32frombits(le.Uint32(hdr[116:]))
+	if slope == 0 {
+		slope = 1
+	}
+
+	// Skip padding up to vox_offset.
+	if skip := voxOffset - HeaderSize; skip > 0 {
+		if _, err := io.CopyN(io.Discard, r, int64(skip)); err != nil {
+			return nil, fmt.Errorf("nifti: skipping to voxels: %w", err)
+		}
+	}
+
+	img := &Image{Dims: dims, Datatype: dt, PixDim: pix, Data: make([]float32, n)}
+	var elem int
+	switch dt {
+	case DTFloat32:
+		elem = 4
+	case DTInt16:
+		elem = 2
+	case DTUint8:
+		elem = 1
+	default:
+		return nil, fmt.Errorf("nifti: unsupported datatype %d", dt)
+	}
+	raw := make([]byte, n*elem)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("nifti: reading %d voxels: %w", n, err)
+	}
+	switch dt {
+	case DTFloat32:
+		for i := 0; i < n; i++ {
+			img.Data[i] = math.Float32frombits(le.Uint32(raw[i*4:]))
+		}
+	case DTInt16:
+		for i := 0; i < n; i++ {
+			img.Data[i] = float32(int16(le.Uint16(raw[i*2:])))
+		}
+	case DTUint8:
+		for i := 0; i < n; i++ {
+			img.Data[i] = float32(raw[i])
+		}
+	}
+	if slope != 1 || inter != 0 {
+		for i := range img.Data {
+			img.Data[i] = img.Data[i]*slope + inter
+		}
+	}
+	return img, nil
+}

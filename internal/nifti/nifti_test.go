@@ -1,0 +1,234 @@
+package nifti
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, img *Image) *Image {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := &Image{
+		Dims:     []int{4, 3, 2},
+		Datatype: DTFloat32,
+		PixDim:   [3]float32{1, 1, 1},
+		Data:     make([]float32, 24),
+	}
+	for i := range img.Data {
+		img.Data[i] = float32(rng.NormFloat64())
+	}
+	got := roundTrip(t, img)
+	if len(got.Dims) != 3 || got.Dims[0] != 4 || got.Dims[1] != 3 || got.Dims[2] != 2 {
+		t.Fatalf("dims %v", got.Dims)
+	}
+	for i := range img.Data {
+		if got.Data[i] != img.Data[i] {
+			t.Fatalf("voxel %d: %v != %v", i, got.Data[i], img.Data[i])
+		}
+	}
+}
+
+func TestRoundTripUint8(t *testing.T) {
+	img := &Image{
+		Dims:     []int{2, 2, 2},
+		Datatype: DTUint8,
+		Data:     []float32{0, 1, 2, 3, 250, 5, 6, 7},
+	}
+	got := roundTrip(t, img)
+	for i := range img.Data {
+		if got.Data[i] != img.Data[i] {
+			t.Fatalf("voxel %d: %v != %v", i, got.Data[i], img.Data[i])
+		}
+	}
+	if got.Datatype != DTUint8 {
+		t.Fatalf("datatype %d", got.Datatype)
+	}
+}
+
+func TestRoundTripInt16(t *testing.T) {
+	img := &Image{
+		Dims:     []int{3, 1},
+		Datatype: DTInt16,
+		Data:     []float32{-300, 0, 12000},
+	}
+	got := roundTrip(t, img)
+	for i := range img.Data {
+		if got.Data[i] != img.Data[i] {
+			t.Fatalf("voxel %d: %v != %v", i, got.Data[i], img.Data[i])
+		}
+	}
+}
+
+func TestRoundTrip4D(t *testing.T) {
+	img := &Image{
+		Dims:     []int{4, 4, 2, 3}, // W,H,D,modalities
+		Datatype: DTFloat32,
+		PixDim:   [3]float32{1.5, 1.5, 2},
+		Data:     make([]float32, 96),
+	}
+	for i := range img.Data {
+		img.Data[i] = float32(i)
+	}
+	got := roundTrip(t, img)
+	if len(got.Dims) != 4 || got.Dims[3] != 3 {
+		t.Fatalf("dims %v", got.Dims)
+	}
+	if got.PixDim[2] != 2 {
+		t.Fatalf("pixdim %v", got.PixDim)
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	img := &Image{Dims: []int{2, 2}, Datatype: DTFloat32, Data: make([]float32, 4)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	le := binary.LittleEndian
+	if le.Uint32(raw[0:]) != HeaderSize {
+		t.Fatal("sizeof_hdr wrong")
+	}
+	if got := int16(le.Uint16(raw[40:])); got != 2 {
+		t.Fatalf("dim[0] = %d, want rank 2", got)
+	}
+	if got := int16(le.Uint16(raw[70:])); got != DTFloat32 {
+		t.Fatalf("datatype %d", got)
+	}
+	if got := int16(le.Uint16(raw[72:])); got != 32 {
+		t.Fatalf("bitpix %d", got)
+	}
+	if got := math.Float32frombits(le.Uint32(raw[108:])); got != VoxOffset {
+		t.Fatalf("vox_offset %v", got)
+	}
+	if string(raw[344:347]) != "n+1" {
+		t.Fatal("magic wrong")
+	}
+	if len(raw) != VoxOffset+4*4 {
+		t.Fatalf("stream length %d", len(raw))
+	}
+}
+
+func TestDecodeAppliesScaling(t *testing.T) {
+	img := &Image{Dims: []int{2}, Datatype: DTFloat32, Data: []float32{1, 2}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	le := binary.LittleEndian
+	le.PutUint32(raw[112:], math.Float32bits(2)) // scl_slope
+	le.PutUint32(raw[116:], math.Float32bits(1)) // scl_inter
+	got, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 3 || got.Data[1] != 5 {
+		t.Fatalf("scaling not applied: %v", got.Data)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	_, err := Decode(bytes.NewReader(make([]byte, 400)))
+	if err == nil {
+		t.Fatal("zeroed header must fail")
+	}
+	_, err = Decode(bytes.NewReader([]byte{1, 2, 3}))
+	if err == nil {
+		t.Fatal("short stream must fail")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	img := &Image{Dims: []int{1}, Datatype: DTUint8, Data: []float32{1}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	copy(raw[344:], "bad\x00")
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestDecodeRejectsTruncatedVoxels(t *testing.T) {
+	img := &Image{Dims: []int{8}, Datatype: DTFloat32, Data: make([]float32, 8)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-5]
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated voxels must fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Image{
+		{Dims: nil, Datatype: DTFloat32},
+		{Dims: []int{1, 2, 3, 4, 5, 6, 7, 8}, Datatype: DTFloat32, Data: make([]float32, 40320)},
+		{Dims: []int{0}, Datatype: DTFloat32, Data: nil},
+		{Dims: []int{2}, Datatype: DTFloat32, Data: make([]float32, 3)},
+		{Dims: []int{2}, Datatype: 99, Data: make([]float32, 2)},
+	}
+	for i, img := range bad {
+		if err := img.Validate(); err == nil {
+			t.Errorf("image %d should fail validation", i)
+		}
+	}
+}
+
+func TestEncodeRejectsHugeExtent(t *testing.T) {
+	img := &Image{Dims: []int{40000}, Datatype: DTUint8, Data: make([]float32, 40000)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err == nil {
+		t.Fatal("extent > int16 must fail")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary uint8 volumes exactly.
+func TestPropertyRoundTripUint8(t *testing.T) {
+	f := func(vals []byte) bool {
+		if len(vals) == 0 || len(vals) > 1000 {
+			return true
+		}
+		img := &Image{Dims: []int{len(vals)}, Datatype: DTUint8, Data: make([]float32, len(vals))}
+		for i, v := range vals {
+			img.Data[i] = float32(v)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, img); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if got.Data[i] != img.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear unit used after every batch-normalized
+// convolution in the paper's U-Net.
+type ReLU struct {
+	mask []bool // true where input > 0
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Params returns nil: ReLU has no trainable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward computes max(0, x) and caches the positive mask.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	if cap(r.mask) < len(xd) {
+		r.mask = make([]bool, len(xd))
+	}
+	r.mask = r.mask[:len(xd)]
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward called before Forward")
+	}
+	gradIn := tensor.New(gradOut.Shape()...)
+	god := gradOut.Data()
+	gid := gradIn.Data()
+	for i, g := range god {
+		if r.mask[i] {
+			gid[i] = g
+		}
+	}
+	return gradIn
+}
+
+// Sigmoid is the final activation producing per-voxel tumour probabilities.
+type Sigmoid struct {
+	output *tensor.Tensor
+}
+
+// NewSigmoid creates a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Params returns nil: sigmoid has no trainable parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward computes 1/(1+exp(-x)) and caches the output.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	for i, v := range xd {
+		od[i] = float32(1.0 / (1.0 + math.Exp(-float64(v))))
+	}
+	s.output = out
+	return out
+}
+
+// Backward uses dσ/dx = σ(x)(1−σ(x)).
+func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if s.output == nil {
+		panic("nn: Sigmoid.Backward called before Forward")
+	}
+	gradIn := tensor.New(gradOut.Shape()...)
+	god := gradOut.Data()
+	gid := gradIn.Data()
+	od := s.output.Data()
+	for i, g := range god {
+		y := od[i]
+		gid[i] = g * y * (1 - y)
+	}
+	return gradIn
+}
+
+// ConcatChannels concatenates a and b along the channel axis; it implements
+// the U-Net skip connections. Both inputs must agree on every other
+// dimension.
+func ConcatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	na, ca, da, ha, wa := check5D("ConcatChannels", a)
+	nb, cb, db, hb, wb := check5D("ConcatChannels", b)
+	if na != nb || da != db || ha != hb || wa != wb {
+		panic("nn: ConcatChannels spatial/batch mismatch")
+	}
+	out := tensor.New(na, ca+cb, da, ha, wa)
+	spatial := da * ha * wa
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for ni := 0; ni < na; ni++ {
+		dst := ni * (ca + cb) * spatial
+		srcA := ni * ca * spatial
+		copy(od[dst:dst+ca*spatial], ad[srcA:srcA+ca*spatial])
+		srcB := ni * cb * spatial
+		copy(od[dst+ca*spatial:dst+(ca+cb)*spatial], bd[srcB:srcB+cb*spatial])
+	}
+	return out
+}
+
+// SplitChannelsGrad splits a gradient w.r.t. a channel concatenation back
+// into the gradients of the two inputs with ca and cb channels respectively.
+func SplitChannelsGrad(grad *tensor.Tensor, ca, cb int) (ga, gb *tensor.Tensor) {
+	n, c, d, h, w := check5D("SplitChannelsGrad", grad)
+	if c != ca+cb {
+		panic("nn: SplitChannelsGrad channel count mismatch")
+	}
+	ga = tensor.New(n, ca, d, h, w)
+	gb = tensor.New(n, cb, d, h, w)
+	spatial := d * h * w
+	gd, gad, gbd := grad.Data(), ga.Data(), gb.Data()
+	for ni := 0; ni < n; ni++ {
+		src := ni * c * spatial
+		dstA := ni * ca * spatial
+		copy(gad[dstA:dstA+ca*spatial], gd[src:src+ca*spatial])
+		dstB := ni * cb * spatial
+		copy(gbd[dstB:dstB+cb*spatial], gd[src+ca*spatial:src+c*spatial])
+	}
+	return ga, gb
+}

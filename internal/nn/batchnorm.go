@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes each channel over the batch and spatial dimensions,
+// as the paper applies before each ReLU. In training mode it uses batch
+// statistics and updates running estimates; in evaluation mode it uses the
+// running estimates.
+type BatchNorm struct {
+	Channels int
+	Eps      float64
+	Momentum float64 // running-stat update rate
+
+	Gamma *Param // scale, [C]
+	Beta  *Param // shift, [C]
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	training bool
+
+	// Cached by Forward for Backward.
+	input *tensor.Tensor
+	xhat  *tensor.Tensor
+	mean  []float64
+	rstd  []float64 // 1/sqrt(var+eps)
+}
+
+// NewBatchNorm creates a batch-normalization layer for c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	bn := &BatchNorm{
+		Channels:    c,
+		Eps:         1e-5,
+		Momentum:    0.1,
+		Gamma:       NewParam(name+".gamma", tensor.Ones(c)),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		RunningMean: make([]float64, c),
+		RunningVar:  make([]float64, c),
+		training:    true,
+	}
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// SetTraining toggles batch-statistics (true) vs running-statistics (false).
+func (b *BatchNorm) SetTraining(training bool) { b.training = training }
+
+// Forward normalizes x per channel.
+func (b *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, d, h, w := check5D("BatchNorm", x)
+	if c != b.Channels {
+		panic("nn: BatchNorm channel mismatch")
+	}
+	spatial := d * h * w
+	m := n * spatial // elements per channel
+	out := tensor.New(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	gd := b.Gamma.Value.Data()
+	bd := b.Beta.Value.Data()
+
+	if b.training {
+		b.input = x
+		b.xhat = tensor.New(x.Shape()...)
+		if b.mean == nil || len(b.mean) != c {
+			b.mean = make([]float64, c)
+			b.rstd = make([]float64, c)
+		}
+		xh := b.xhat.Data()
+		for ci := 0; ci < c; ci++ {
+			var sum float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * spatial
+				for _, v := range xd[base : base+spatial] {
+					sum += float64(v)
+				}
+			}
+			mean := sum / float64(m)
+			var varSum float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * spatial
+				for _, v := range xd[base : base+spatial] {
+					dv := float64(v) - mean
+					varSum += dv * dv
+				}
+			}
+			variance := varSum / float64(m)
+			rstd := 1.0 / math.Sqrt(variance+b.Eps)
+			b.mean[ci] = mean
+			b.rstd[ci] = rstd
+			b.RunningMean[ci] = (1-b.Momentum)*b.RunningMean[ci] + b.Momentum*mean
+			b.RunningVar[ci] = (1-b.Momentum)*b.RunningVar[ci] + b.Momentum*variance
+			g, bt := gd[ci], bd[ci]
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * spatial
+				for i := base; i < base+spatial; i++ {
+					xh[i] = float32((float64(xd[i]) - mean) * rstd)
+					od[i] = g*xh[i] + bt
+				}
+			}
+		}
+		return out
+	}
+
+	// Evaluation mode: use running statistics.
+	for ci := 0; ci < c; ci++ {
+		rstd := 1.0 / math.Sqrt(b.RunningVar[ci]+b.Eps)
+		mean := b.RunningMean[ci]
+		g, bt := gd[ci], bd[ci]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * spatial
+			for i := base; i < base+spatial; i++ {
+				od[i] = g*float32((float64(xd[i])-mean)*rstd) + bt
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (b *BatchNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if b.xhat == nil {
+		panic("nn: BatchNorm.Backward called before Forward in training mode")
+	}
+	n, c, d, h, w := check5D("BatchNorm.Backward", gradOut)
+	spatial := d * h * w
+	m := float64(n * spatial)
+	gradIn := tensor.New(gradOut.Shape()...)
+
+	god := gradOut.Data()
+	gid := gradIn.Data()
+	xh := b.xhat.Data()
+	gd := b.Gamma.Value.Data()
+	ggd := b.Gamma.Grad.Data()
+	gbd := b.Beta.Grad.Data()
+
+	for ci := 0; ci < c; ci++ {
+		var sumDy, sumDyXhat float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * spatial
+			for i := base; i < base+spatial; i++ {
+				dy := float64(god[i])
+				sumDy += dy
+				sumDyXhat += dy * float64(xh[i])
+			}
+		}
+		ggd[ci] += float32(sumDyXhat)
+		gbd[ci] += float32(sumDy)
+		g := float64(gd[ci])
+		rstd := b.rstd[ci]
+		// dx = gamma*rstd/m * (m*dy - sum(dy) - xhat*sum(dy*xhat))
+		k := g * rstd / m
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * spatial
+			for i := base; i < base+spatial; i++ {
+				dy := float64(god[i])
+				gid[i] = float32(k * (m*dy - sumDy - float64(xh[i])*sumDyXhat))
+			}
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv3D is a 3-D convolution with stride 1 and "same" zero padding, the
+// building block of the paper's 3D U-Net (3x3x3 body convolutions and the
+// 1x1x1 sigmoid head).
+type Conv3D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int // cubic kernel edge; must be odd for "same" padding
+
+	W *Param // [OC, IC, K, K, K]
+	B *Param // [OC]
+
+	input *tensor.Tensor // cached for backward
+}
+
+// NewConv3D creates a stride-1 same-padded cubic convolution. Weights are
+// initialized with the paper's truncated-normal initializer scaled by
+// He fan-in; biases start at zero.
+func NewConv3D(name string, inC, outC, kernel int, rng *rand.Rand) *Conv3D {
+	if kernel%2 == 0 {
+		panic(fmt.Sprintf("nn: Conv3D kernel must be odd for same padding, got %d", kernel))
+	}
+	fanIn := inC * kernel * kernel * kernel
+	std := math.Sqrt(2.0 / float64(fanIn))
+	w := tensor.TruncatedNormal(rng, 0, std, outC, inC, kernel, kernel, kernel)
+	b := tensor.New(outC)
+	return &Conv3D{
+		InChannels:  inC,
+		OutChannels: outC,
+		Kernel:      kernel,
+		W:           NewParam(name+".w", w),
+		B:           NewParam(name+".b", b),
+	}
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward computes the convolution of x ([N, IC, D, H, W]) and caches x.
+func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, ic, d, h, w := check5D("Conv3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
+	}
+	c.input = x
+	k := c.Kernel
+	p := k / 2
+	out := tensor.New(n, c.OutChannels, d, h, w)
+
+	xd := x.Data()
+	od := out.Data()
+	wd := c.W.Value.Data()
+	bd := c.B.Value.Data()
+
+	chStride := d * h * w
+	rowStride := w
+	planeStride := h * w
+	sampleStrideIn := ic * chStride
+	sampleStrideOut := c.OutChannels * chStride
+	kk := k * k * k
+	wOCStride := c.InChannels * kk
+
+	for ni := 0; ni < n; ni++ {
+		inBase := ni * sampleStrideIn
+		outBase := ni * sampleStrideOut
+		for oc := 0; oc < c.OutChannels; oc++ {
+			bias := bd[oc]
+			oBase := outBase + oc*chStride
+			wBase := oc * wOCStride
+			for z := 0; z < d; z++ {
+				kz0, kz1 := kernelRange(z, p, k, d)
+				for y := 0; y < h; y++ {
+					ky0, ky1 := kernelRange(y, p, k, h)
+					for xx := 0; xx < w; xx++ {
+						kx0, kx1 := kernelRange(xx, p, k, w)
+						acc := bias
+						for icI := 0; icI < ic; icI++ {
+							iBase := inBase + icI*chStride
+							wcBase := wBase + icI*kk
+							for kz := kz0; kz < kz1; kz++ {
+								iz := z + kz - p
+								for ky := ky0; ky < ky1; ky++ {
+									iy := y + ky - p
+									iRow := iBase + iz*planeStride + iy*rowStride
+									wRow := wcBase + kz*k*k + ky*k
+									for kx := kx0; kx < kx1; kx++ {
+										acc += xd[iRow+xx+kx-p] * wd[wRow+kx]
+									}
+								}
+							}
+						}
+						od[oBase+z*planeStride+y*rowStride+xx] = acc
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns dL/d(input).
+func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.input == nil {
+		panic("nn: Conv3D.Backward called before Forward")
+	}
+	x := c.input
+	n, ic, d, h, w := check5D("Conv3D.Backward", x)
+	k := c.Kernel
+	p := k / 2
+	gradIn := tensor.New(x.Shape()...)
+
+	xd := x.Data()
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+	gwd := c.W.Grad.Data()
+	gbd := c.B.Grad.Data()
+
+	chStride := d * h * w
+	rowStride := w
+	planeStride := h * w
+	sampleStrideIn := ic * chStride
+	sampleStrideOut := c.OutChannels * chStride
+	kk := k * k * k
+	wOCStride := c.InChannels * kk
+
+	for ni := 0; ni < n; ni++ {
+		inBase := ni * sampleStrideIn
+		outBase := ni * sampleStrideOut
+		for oc := 0; oc < c.OutChannels; oc++ {
+			oBase := outBase + oc*chStride
+			wBase := oc * wOCStride
+			var biasAcc float32
+			for z := 0; z < d; z++ {
+				kz0, kz1 := kernelRange(z, p, k, d)
+				for y := 0; y < h; y++ {
+					ky0, ky1 := kernelRange(y, p, k, h)
+					for xx := 0; xx < w; xx++ {
+						g := god[oBase+z*planeStride+y*rowStride+xx]
+						if g == 0 {
+							continue
+						}
+						biasAcc += g
+						kx0, kx1 := kernelRange(xx, p, k, w)
+						for icI := 0; icI < ic; icI++ {
+							iBase := inBase + icI*chStride
+							wcBase := wBase + icI*kk
+							for kz := kz0; kz < kz1; kz++ {
+								iz := z + kz - p
+								for ky := ky0; ky < ky1; ky++ {
+									iy := y + ky - p
+									iRow := iBase + iz*planeStride + iy*rowStride
+									wRow := wcBase + kz*k*k + ky*k
+									for kx := kx0; kx < kx1; kx++ {
+										ii := iRow + xx + kx - p
+										gwd[wRow+kx] += xd[ii] * g
+										gid[ii] += wd[wRow+kx] * g
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			gbd[oc] += biasAcc
+		}
+	}
+	return gradIn
+}
+
+// kernelRange returns [k0, k1) such that pos+kz-p stays within [0, dim).
+func kernelRange(pos, p, k, dim int) (int, int) {
+	k0 := p - pos
+	if k0 < 0 {
+		k0 = 0
+	}
+	k1 := dim + p - pos
+	if k1 > k {
+		k1 = k
+	}
+	return k0, k1
+}

@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ConvTranspose3D is the paper's up-convolution: a transposed convolution
+// with a 2x2x2 kernel and stride 2 in each dimension, exactly doubling the
+// spatial extent. Because the stride equals the kernel size, output windows
+// do not overlap.
+type ConvTranspose3D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int // kernel edge == stride
+
+	W *Param // [IC, OC, K, K, K]
+	B *Param // [OC]
+
+	input *tensor.Tensor
+}
+
+// NewConvTranspose3D creates a kernel-2 stride-2 transposed convolution.
+func NewConvTranspose3D(name string, inC, outC, kernel int, rng *rand.Rand) *ConvTranspose3D {
+	fanIn := inC * kernel * kernel * kernel
+	std := math.Sqrt(2.0 / float64(fanIn))
+	w := tensor.TruncatedNormal(rng, 0, std, inC, outC, kernel, kernel, kernel)
+	b := tensor.New(outC)
+	return &ConvTranspose3D{
+		InChannels:  inC,
+		OutChannels: outC,
+		Kernel:      kernel,
+		W:           NewParam(name+".w", w),
+		B:           NewParam(name+".b", b),
+	}
+}
+
+// Params returns the kernel and bias parameters.
+func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W].
+func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, ic, d, h, w := check5D("ConvTranspose3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
+	}
+	c.input = x
+	k := c.Kernel
+	od, oh, ow := d*k, h*k, w*k
+	out := tensor.New(n, c.OutChannels, od, oh, ow)
+
+	xd := x.Data()
+	outd := out.Data()
+	wd := c.W.Value.Data()
+	bd := c.B.Value.Data()
+
+	inCh := d * h * w
+	outCh := od * oh * ow
+	kk := k * k * k
+
+	// Initialize with bias.
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutChannels; oc++ {
+			base := (ni*c.OutChannels + oc) * outCh
+			bias := bd[oc]
+			seg := outd[base : base+outCh]
+			for i := range seg {
+				seg[i] = bias
+			}
+		}
+	}
+
+	for ni := 0; ni < n; ni++ {
+		for icI := 0; icI < ic; icI++ {
+			iBase := (ni*ic + icI) * inCh
+			for oc := 0; oc < c.OutChannels; oc++ {
+				oBase := (ni*c.OutChannels + oc) * outCh
+				wBase := (icI*c.OutChannels + oc) * kk
+				for z := 0; z < d; z++ {
+					for y := 0; y < h; y++ {
+						iRow := iBase + (z*h+y)*w
+						for xx := 0; xx < w; xx++ {
+							v := xd[iRow+xx]
+							if v == 0 {
+								continue
+							}
+							for kz := 0; kz < k; kz++ {
+								oz := z*k + kz
+								for ky := 0; ky < k; ky++ {
+									oy := y*k + ky
+									oRow := oBase + (oz*oh+oy)*ow + xx*k
+									wRow := wBase + (kz*k+ky)*k
+									for kx := 0; kx < k; kx++ {
+										outd[oRow+kx] += v * wd[wRow+kx]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients and returns dL/d(input).
+func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.input == nil {
+		panic("nn: ConvTranspose3D.Backward called before Forward")
+	}
+	x := c.input
+	n, ic, d, h, w := check5D("ConvTranspose3D.Backward", x)
+	k := c.Kernel
+	od, oh, ow := d*k, h*k, w*k
+	gradIn := tensor.New(x.Shape()...)
+
+	xd := x.Data()
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+	gwd := c.W.Grad.Data()
+	gbd := c.B.Grad.Data()
+
+	inCh := d * h * w
+	outCh := od * oh * ow
+	kk := k * k * k
+
+	// Bias gradient: sum of gradOut per output channel.
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutChannels; oc++ {
+			base := (ni*c.OutChannels + oc) * outCh
+			var acc float32
+			for _, g := range god[base : base+outCh] {
+				acc += g
+			}
+			gbd[oc] += acc
+		}
+	}
+
+	for ni := 0; ni < n; ni++ {
+		for icI := 0; icI < ic; icI++ {
+			iBase := (ni*ic + icI) * inCh
+			for oc := 0; oc < c.OutChannels; oc++ {
+				oBase := (ni*c.OutChannels + oc) * outCh
+				wBase := (icI*c.OutChannels + oc) * kk
+				for z := 0; z < d; z++ {
+					for y := 0; y < h; y++ {
+						iRow := iBase + (z*h+y)*w
+						for xx := 0; xx < w; xx++ {
+							v := xd[iRow+xx]
+							var acc float32
+							for kz := 0; kz < k; kz++ {
+								oz := z*k + kz
+								for ky := 0; ky < k; ky++ {
+									oy := y*k + ky
+									oRow := oBase + (oz*oh+oy)*ow + xx*k
+									wRow := wBase + (kz*k+ky)*k
+									for kx := 0; kx < k; kx++ {
+										g := god[oRow+kx]
+										acc += wd[wRow+kx] * g
+										gwd[wRow+kx] += v * g
+									}
+								}
+							}
+							gid[iRow+xx] += acc
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}

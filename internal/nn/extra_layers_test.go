@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLeakyReLUForward(t *testing.T) {
+	r := NewLeakyReLU(0.1)
+	x := tensor.FromSlice([]float32{-10, 0, 5}, 1, 1, 1, 1, 3)
+	y := r.Forward(x)
+	if y.Data()[0] != -1 || y.Data()[1] != 0 || y.Data()[2] != 5 {
+		t.Fatalf("got %v", y.Data())
+	}
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	// Keep inputs away from the kink at 0 so the central difference does
+	// not straddle the two slopes.
+	x := randInput(30, 1, 2, 2, 3, 2)
+	x.Apply(func(v float32) float32 {
+		if v >= 0 {
+			return v + 0.2
+		}
+		return v - 0.2
+	})
+	checkGradients(t, NewLeakyReLU(0.07), x, 0.05)
+}
+
+func TestLeakyReLUZeroAlphaIsReLU(t *testing.T) {
+	l := NewLeakyReLU(0)
+	r := NewReLU()
+	x := randInput(31, 1, 1, 2, 2, 2)
+	if tensor.MaxAbsDiff(l.Forward(x), r.Forward(x)) != 0 {
+		t.Fatal("alpha=0 must equal ReLU")
+	}
+}
+
+func TestDropoutTrainingStatistics(t *testing.T) {
+	d := NewDropout(0.4, 1)
+	x := tensor.Ones(1, 1, 8, 8, 8)
+	y := d.Forward(x)
+	zeros, kept := 0, 0
+	for _, v := range y.Data() {
+		if v == 0 {
+			zeros++
+		} else {
+			kept++
+			if math.Abs(float64(v)-1/0.6) > 1e-6 {
+				t.Fatalf("survivor not rescaled: %v", v)
+			}
+		}
+	}
+	frac := float64(zeros) / float64(zeros+kept)
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("drop fraction %v, want ≈0.4", frac)
+	}
+	// Expected value preserved: mean ≈ 1.
+	if m := y.Mean(); math.Abs(m-1) > 0.1 {
+		t.Fatalf("mean %v after inverted dropout", m)
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, 2)
+	d.SetTraining(false)
+	x := randInput(32, 1, 1, 2, 2, 2)
+	y := d.Forward(x)
+	if tensor.MaxAbsDiff(x, y) != 0 {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+	g := d.Backward(tensor.Ones(x.Shape()...))
+	for _, v := range g.Data() {
+		if v != 1 {
+			t.Fatal("eval-mode backward must be identity")
+		}
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, 3)
+	x := tensor.Ones(1, 1, 4, 4, 4)
+	y := d.Forward(x)
+	g := d.Backward(tensor.Ones(x.Shape()...))
+	for i := range y.Data() {
+		if (y.Data()[i] == 0) != (g.Data()[i] == 0) {
+			t.Fatal("gradient mask does not match forward mask")
+		}
+	}
+}
+
+func TestDropoutZeroRatePassThrough(t *testing.T) {
+	d := NewDropout(0, 4)
+	x := randInput(33, 1, 1, 2, 2, 2)
+	if tensor.MaxAbsDiff(d.Forward(x), x) != 0 {
+		t.Fatal("rate-0 dropout must pass through")
+	}
+}
+
+func TestDropoutRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout(1.0, 5)
+}
+
+func TestInstanceNormNormalizesPerInstance(t *testing.T) {
+	in := NewInstanceNorm("in", 2)
+	x := randInput(34, 3, 2, 4, 4, 4)
+	// Give each sample a wildly different scale; instance norm must still
+	// normalize each (sample, channel) slice independently.
+	xd := x.Data()
+	spatial := 64
+	for s := 0; s < 6; s++ {
+		for i := s * spatial; i < (s+1)*spatial; i++ {
+			xd[i] = xd[i]*float32(s+1) + float32(s*10)
+		}
+	}
+	y := in.Forward(x)
+	yd := y.Data()
+	for s := 0; s < 6; s++ {
+		var sum, sq float64
+		for i := s * spatial; i < (s+1)*spatial; i++ {
+			sum += float64(yd[i])
+			sq += float64(yd[i]) * float64(yd[i])
+		}
+		mean := sum / float64(spatial)
+		variance := sq/float64(spatial) - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("slice %d: mean %v var %v", s, mean, variance)
+		}
+	}
+}
+
+func TestInstanceNormGradients(t *testing.T) {
+	checkGradients(t, NewInstanceNorm("in", 2), randInput(35, 2, 2, 2, 3, 2), 0.08)
+}
+
+func TestInstanceNormNoTrainEvalGap(t *testing.T) {
+	// Unlike BatchNorm, instance norm must be identical regardless of any
+	// notion of mode — same input, same output, twice.
+	in := NewInstanceNorm("in", 1)
+	x := randInput(36, 1, 1, 2, 2, 2)
+	a := in.Forward(x).Clone()
+	b := in.Forward(x)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("instance norm must be deterministic")
+	}
+}
+
+func TestInstanceNormBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInstanceNorm("in", 1).Backward(tensor.New(1, 1, 2, 2, 2))
+}

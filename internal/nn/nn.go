@@ -1,0 +1,115 @@
+// Package nn implements the 3D convolutional neural-network layers needed by
+// the paper's 3D U-Net: Conv3D, ConvTranspose3D, MaxPool3D, BatchNorm, ReLU
+// and Sigmoid, each with a full backward pass.
+//
+// Activations are 5-D tensors laid out channels-first as [N, C, D, H, W],
+// matching the paper's "Channels First" data format. Layers cache whatever
+// they need during Forward so that Backward can be called immediately after
+// with the gradient of the loss w.r.t. the layer output.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter: its value and the gradient accumulated by
+// the most recent backward pass.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter with a zeroed gradient of the same shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{
+		Name:  name,
+		Value: value,
+		Grad:  tensor.New(value.Shape()...),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable computation. Forward must be called before
+// Backward; Backward receives dL/d(output) and returns dL/d(input).
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Trainable is implemented by layers that behave differently in training and
+// evaluation mode (e.g. BatchNorm).
+type Trainable interface {
+	SetTraining(training bool)
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs x through every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates gradOut through the layers in reverse order.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params returns the parameters of all layers in order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SetTraining forwards the training flag to every trainable layer.
+func (s *Sequential) SetTraining(training bool) {
+	for _, l := range s.Layers {
+		if t, ok := l.(Trainable); ok {
+			t.SetTraining(training)
+		}
+	}
+}
+
+// ParamCount sums the element counts of the given parameters.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// ZeroGrads clears the gradients of all given parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+func check5D(op string, t *tensor.Tensor) (n, c, d, h, w int) {
+	s := t.Shape()
+	if len(s) != 5 {
+		panic(fmt.Sprintf("nn: %s expects a 5-D [N,C,D,H,W] tensor, got shape %v", op, s))
+	}
+	return s[0], s[1], s[2], s[3], s[4]
+}

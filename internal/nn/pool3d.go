@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool3D is the paper's 2x2x2 max pooling with stride 2 in each
+// dimension. Spatial dimensions must be divisible by the pool size.
+type MaxPool3D struct {
+	Size int
+
+	inShape []int
+	argmax  []int32 // flat input index of each output element's winner
+}
+
+// NewMaxPool3D creates a cubic max-pool with stride equal to size.
+func NewMaxPool3D(size int) *MaxPool3D { return &MaxPool3D{Size: size} }
+
+// Params returns nil: pooling has no trainable parameters.
+func (m *MaxPool3D) Params() []*Param { return nil }
+
+// Forward downsamples x from [N, C, D, H, W] to [N, C, D/s, H/s, W/s].
+func (m *MaxPool3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, d, h, w := check5D("MaxPool3D", x)
+	s := m.Size
+	if d%s != 0 || h%s != 0 || w%s != 0 {
+		panic(fmt.Sprintf("nn: MaxPool3D size %d does not divide volume %dx%dx%d", s, d, h, w))
+	}
+	od, oh, ow := d/s, h/s, w/s
+	out := tensor.New(n, c, od, oh, ow)
+	m.inShape = append([]int(nil), x.Shape()...)
+	if cap(m.argmax) < out.Size() {
+		m.argmax = make([]int32, out.Size())
+	}
+	m.argmax = m.argmax[:out.Size()]
+
+	xd := x.Data()
+	outd := out.Data()
+	oi := 0
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * d * h * w
+			for z := 0; z < od; z++ {
+				for y := 0; y < oh; y++ {
+					for xx := 0; xx < ow; xx++ {
+						bestIdx := base + (z*s*h+y*s)*w + xx*s
+						best := xd[bestIdx]
+						for kz := 0; kz < s; kz++ {
+							for ky := 0; ky < s; ky++ {
+								row := base + ((z*s+kz)*h+y*s+ky)*w + xx*s
+								for kx := 0; kx < s; kx++ {
+									if v := xd[row+kx]; v > best {
+										best = v
+										bestIdx = row + kx
+									}
+								}
+							}
+						}
+						outd[oi] = best
+						m.argmax[oi] = int32(bestIdx)
+						oi++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input element that won the max.
+func (m *MaxPool3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if m.inShape == nil {
+		panic("nn: MaxPool3D.Backward called before Forward")
+	}
+	gradIn := tensor.New(m.inShape...)
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	if len(god) != len(m.argmax) {
+		panic(fmt.Sprintf("nn: MaxPool3D.Backward gradient size %d does not match cached %d", len(god), len(m.argmax)))
+	}
+	for i, g := range god {
+		gid[m.argmax[i]] += g
+	}
+	return gradIn
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ChannelSoftmax normalizes the channel axis of a [N, C, D, H, W] tensor
+// into per-voxel class probabilities. It is the multi-class head used when
+// training the original 4-class MSD task instead of the paper's binarized
+// whole-tumour variant.
+type ChannelSoftmax struct {
+	output *tensor.Tensor
+}
+
+// NewChannelSoftmax creates a channel-axis softmax layer.
+func NewChannelSoftmax() *ChannelSoftmax { return &ChannelSoftmax{} }
+
+// Params returns nil: softmax has no trainable parameters.
+func (s *ChannelSoftmax) Params() []*Param { return nil }
+
+// Forward computes softmax over the channel axis, numerically stabilized by
+// subtracting each voxel's max logit.
+func (s *ChannelSoftmax) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, d, h, w := check5D("ChannelSoftmax", x)
+	out := tensor.New(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	spatial := d * h * w
+	for ni := 0; ni < n; ni++ {
+		base := ni * c * spatial
+		for v := 0; v < spatial; v++ {
+			maxLogit := xd[base+v]
+			for ci := 1; ci < c; ci++ {
+				if l := xd[base+ci*spatial+v]; l > maxLogit {
+					maxLogit = l
+				}
+			}
+			var sum float64
+			for ci := 0; ci < c; ci++ {
+				e := math.Exp(float64(xd[base+ci*spatial+v] - maxLogit))
+				od[base+ci*spatial+v] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for ci := 0; ci < c; ci++ {
+				od[base+ci*spatial+v] *= inv
+			}
+		}
+	}
+	s.output = out
+	return out
+}
+
+// Backward computes the softmax Jacobian-vector product per voxel:
+// dL/dx_i = y_i·(g_i − Σ_j g_j·y_j).
+func (s *ChannelSoftmax) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if s.output == nil {
+		panic("nn: ChannelSoftmax.Backward called before Forward")
+	}
+	n, c, d, h, w := check5D("ChannelSoftmax.Backward", gradOut)
+	gradIn := tensor.New(gradOut.Shape()...)
+	god := gradOut.Data()
+	gid := gradIn.Data()
+	yd := s.output.Data()
+	spatial := d * h * w
+	for ni := 0; ni < n; ni++ {
+		base := ni * c * spatial
+		for v := 0; v < spatial; v++ {
+			var dot float64
+			for ci := 0; ci < c; ci++ {
+				i := base + ci*spatial + v
+				dot += float64(god[i]) * float64(yd[i])
+			}
+			for ci := 0; ci < c; ci++ {
+				i := base + ci*spatial + v
+				gid[i] = yd[i] * (god[i] - float32(dot))
+			}
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestChannelSoftmaxSumsToOne(t *testing.T) {
+	s := NewChannelSoftmax()
+	x := randInput(20, 2, 4, 2, 3, 2)
+	x.Scale(3)
+	y := s.Forward(x)
+	shape := y.Shape()
+	spatial := shape[2] * shape[3] * shape[4]
+	yd := y.Data()
+	for ni := 0; ni < shape[0]; ni++ {
+		for v := 0; v < spatial; v++ {
+			var sum float64
+			for ci := 0; ci < shape[1]; ci++ {
+				p := yd[(ni*shape[1]+ci)*spatial+v]
+				if p < 0 || p > 1 {
+					t.Fatalf("probability %v out of range", p)
+				}
+				sum += float64(p)
+			}
+			if math.Abs(sum-1) > 1e-5 {
+				t.Fatalf("voxel %d sums to %v", v, sum)
+			}
+		}
+	}
+}
+
+func TestChannelSoftmaxNumericallyStable(t *testing.T) {
+	s := NewChannelSoftmax()
+	x := tensor.New(1, 2, 1, 1, 1)
+	x.Set(1000, 0, 0, 0, 0, 0) // would overflow exp without max-shift
+	x.Set(999, 0, 1, 0, 0, 0)
+	y := s.Forward(x)
+	if !y.IsFinite() {
+		t.Fatal("softmax overflowed")
+	}
+	if y.At(0, 0, 0, 0, 0) <= y.At(0, 1, 0, 0, 0) {
+		t.Fatal("ordering lost")
+	}
+}
+
+func TestChannelSoftmaxArgmaxPreserved(t *testing.T) {
+	s := NewChannelSoftmax()
+	x := randInput(21, 1, 4, 2, 2, 2)
+	y := s.Forward(x)
+	spatial := 8
+	for v := 0; v < spatial; v++ {
+		bestX, bestY := 0, 0
+		for ci := 1; ci < 4; ci++ {
+			if x.Data()[ci*spatial+v] > x.Data()[bestX*spatial+v] {
+				bestX = ci
+			}
+			if y.Data()[ci*spatial+v] > y.Data()[bestY*spatial+v] {
+				bestY = ci
+			}
+		}
+		if bestX != bestY {
+			t.Fatalf("voxel %d: argmax changed %d -> %d", v, bestX, bestY)
+		}
+	}
+}
+
+func TestChannelSoftmaxGradients(t *testing.T) {
+	checkGradients(t, NewChannelSoftmax(), randInput(22, 1, 3, 2, 2, 2), 0.05)
+}
+
+func TestChannelSoftmaxBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChannelSoftmax().Backward(tensor.New(1, 2, 1, 1, 1))
+}

@@ -1,0 +1,187 @@
+// Package optim implements the optimizers used by the paper: Adam with an
+// initial learning rate of 1e-4 × #GPUs, plain SGD as a baseline, and the
+// cyclic learning-rate schedule (Smith, WACV 2017) the paper applies to
+// approximate the learning rate under data distribution.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients.
+	Step(params []*nn.Param)
+	// SetLR changes the current learning rate (used by schedules).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	lr       float64
+	Momentum float64
+
+	velocity map[*nn.Param][]float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum, velocity: make(map[*nn.Param][]float32)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v := p.Value.Data()
+		g := p.Grad.Data()
+		if s.Momentum == 0 {
+			for i := range v {
+				v[i] -= float32(s.lr) * g[i]
+			}
+			continue
+		}
+		vel, ok := s.velocity[p]
+		if !ok {
+			vel = make([]float32, len(v))
+			s.velocity[p] = vel
+		}
+		m := float32(s.Momentum)
+		for i := range v {
+			vel[i] = m*vel[i] + g[i]
+			v[i] -= float32(s.lr) * vel[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) used by the paper.
+type Adam struct {
+	lr      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*nn.Param][]float32
+	v map[*nn.Param][]float32
+}
+
+// NewAdam returns Adam with the canonical β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		lr:      lr,
+		Beta1:   0.9,
+		Beta2:   0.999,
+		Epsilon: 1e-8,
+		m:       make(map[*nn.Param][]float32),
+		v:       make(map[*nn.Param][]float32),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		val := p.Value.Data()
+		g := p.Grad.Data()
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float32, len(val))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float32, len(val))
+			a.v[p] = v
+		}
+		b1 := float32(a.Beta1)
+		b2 := float32(a.Beta2)
+		for i := range val {
+			m[i] = b1*m[i] + (1-b1)*g[i]
+			v[i] = b2*v[i] + (1-b2)*g[i]*g[i]
+			mh := float64(m[i]) / c1
+			vh := float64(v[i]) / c2
+			val[i] -= float32(a.lr * mh / (math.Sqrt(vh) + a.Epsilon))
+		}
+	}
+}
+
+// ByName constructs an optimizer ("adam" or "sgd") with the given base
+// learning rate; the hyper-parameter layer uses it to realize trial configs.
+func ByName(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "adam":
+		return NewAdam(lr), nil
+	case "sgd":
+		return NewSGD(lr, 0.9), nil
+	}
+	return nil, fmt.Errorf("optim: unknown optimizer %q", name)
+}
+
+// ScaleLRForReplicas implements the paper's linear scaling rule: the initial
+// learning rate is multiplied by the number of replicas because the global
+// batch grows with the replica count.
+func ScaleLRForReplicas(base float64, replicas int) float64 {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return base * float64(replicas)
+}
+
+// CyclicLR is the triangular cyclic learning-rate schedule (Smith 2017): the
+// rate oscillates linearly between Base and Max with a half-cycle of
+// StepSize optimizer steps, optionally decaying the amplitude each cycle.
+type CyclicLR struct {
+	Base     float64
+	Max      float64
+	StepSize int     // steps per half cycle
+	Gamma    float64 // amplitude decay per cycle; 1 = constant amplitude
+}
+
+// NewCyclicLR returns a triangular schedule with no amplitude decay.
+func NewCyclicLR(base, max float64, stepSize int) *CyclicLR {
+	return &CyclicLR{Base: base, Max: max, StepSize: stepSize, Gamma: 1}
+}
+
+// At returns the learning rate at the given 0-based optimizer step.
+func (c *CyclicLR) At(step int) float64 {
+	if c.StepSize <= 0 {
+		return c.Base
+	}
+	cycle := math.Floor(1 + float64(step)/float64(2*c.StepSize))
+	x := math.Abs(float64(step)/float64(c.StepSize) - 2*cycle + 1)
+	amp := c.Max - c.Base
+	if c.Gamma != 1 {
+		amp *= math.Pow(c.Gamma, cycle-1)
+	}
+	lr := c.Base + amp*math.Max(0, 1-x)
+	return lr
+}
+
+// Apply sets the optimizer's learning rate for the given step.
+func (c *CyclicLR) Apply(opt Optimizer, step int) { opt.SetLR(c.At(step)) }

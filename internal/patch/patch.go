@@ -1,0 +1,197 @@
+// Package patch implements sub-volume patch extraction and sliding-window
+// inference — the memory-saving alternative the paper argues against
+// ("numerous approaches ... use sampled sub-volume patches because of memory
+// limitations ... this approach loses spatial information and has very poor
+// performing time for both training and inference"). It exists so the
+// full-volume-vs-patches comparison can actually be run.
+package patch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+	"repro/internal/volume"
+)
+
+// Extract copies the [z0:z0+pd, y0:y0+ph, x0:x0+pw] sub-volume of a sample.
+func Extract(s *volume.Sample, z0, y0, x0, pd, ph, pw int) (*volume.Sample, error) {
+	cut := func(t *tensor.Tensor) (*tensor.Tensor, error) {
+		sh := t.Shape()
+		c, d, h, w := sh[0], sh[1], sh[2], sh[3]
+		if z0 < 0 || y0 < 0 || x0 < 0 || z0+pd > d || y0+ph > h || x0+pw > w {
+			return nil, fmt.Errorf("patch: [%d:%d, %d:%d, %d:%d] outside %dx%dx%d",
+				z0, z0+pd, y0, y0+ph, x0, x0+pw, d, h, w)
+		}
+		out := tensor.New(c, pd, ph, pw)
+		od := out.Data()
+		td := t.Data()
+		for ci := 0; ci < c; ci++ {
+			for z := 0; z < pd; z++ {
+				for y := 0; y < ph; y++ {
+					src := ((ci*d+z0+z)*h+y0+y)*w + x0
+					dst := ((ci*pd+z)*ph + y) * pw
+					copy(od[dst:dst+pw], td[src:src+pw])
+				}
+			}
+		}
+		return out, nil
+	}
+	in, err := cut(s.Input)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := cut(s.Mask)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s@%d,%d,%d", s.Name, z0, y0, x0)
+	return &volume.Sample{Name: name, Input: in, Mask: mask}, nil
+}
+
+// RandomPatches draws n random patches from the sample. With posBias > 0,
+// that fraction of draws is retried (up to a few attempts) until the patch
+// contains at least one positive voxel, the usual trick against the heavy
+// class imbalance.
+func RandomPatches(s *volume.Sample, n, pd, ph, pw int, posBias float64, rng *rand.Rand) ([]*volume.Sample, error) {
+	sh := s.Input.Shape()
+	d, h, w := sh[1], sh[2], sh[3]
+	if pd > d || ph > h || pw > w {
+		return nil, fmt.Errorf("patch: %dx%dx%d larger than volume %dx%dx%d", pd, ph, pw, d, h, w)
+	}
+	out := make([]*volume.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		wantPos := rng.Float64() < posBias
+		var p *volume.Sample
+		for attempt := 0; attempt < 8; attempt++ {
+			z0, y0, x0 := rng.Intn(d-pd+1), rng.Intn(h-ph+1), rng.Intn(w-pw+1)
+			cand, err := Extract(s, z0, y0, x0, pd, ph, pw)
+			if err != nil {
+				return nil, err
+			}
+			p = cand
+			if !wantPos || cand.Mask.Max() > 0 {
+				break
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Predictor produces per-voxel probabilities for a batched input; the U-Net
+// satisfies it.
+type Predictor interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+}
+
+// SlidingWindow reconstructs a full-volume prediction from overlapping
+// patch predictions, averaging where windows overlap — the inference-side
+// cost of patch-based training.
+type SlidingWindow struct {
+	Patch  [3]int // window extent (D, H, W)
+	Stride [3]int // window stride; ≤ patch for overlap
+}
+
+// Validate reports whether the window configuration is usable.
+func (sw SlidingWindow) Validate() error {
+	for i := 0; i < 3; i++ {
+		if sw.Patch[i] <= 0 {
+			return fmt.Errorf("patch: non-positive window extent %v", sw.Patch)
+		}
+		if sw.Stride[i] <= 0 || sw.Stride[i] > sw.Patch[i] {
+			return fmt.Errorf("patch: stride %v must be in (0, patch] %v", sw.Stride, sw.Patch)
+		}
+	}
+	return nil
+}
+
+// positions returns window origins covering [0, dim) with the given stride,
+// clamping the final window to the boundary.
+func positions(dim, patch, stride int) []int {
+	if patch >= dim {
+		return []int{0}
+	}
+	var out []int
+	for p := 0; ; p += stride {
+		if p+patch >= dim {
+			out = append(out, dim-patch)
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// Infer runs the predictor over every window of the sample's input and
+// returns the overlap-averaged full-volume probability map with the same
+// channel count as the model output.
+func (sw SlidingWindow) Infer(model Predictor, s *volume.Sample) (*tensor.Tensor, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	sh := s.Input.Shape()
+	d, h, w := sh[1], sh[2], sh[3]
+
+	var acc *tensor.Tensor
+	var weight []float32
+	outC := 0
+
+	for _, z0 := range positions(d, sw.Patch[0], sw.Stride[0]) {
+		for _, y0 := range positions(h, sw.Patch[1], sw.Stride[1]) {
+			for _, x0 := range positions(w, sw.Patch[2], sw.Stride[2]) {
+				pd, ph, pw := min(sw.Patch[0], d), min(sw.Patch[1], h), min(sw.Patch[2], w)
+				p, err := Extract(s, z0, y0, x0, pd, ph, pw)
+				if err != nil {
+					return nil, err
+				}
+				in := p.Input.Reshape(append([]int{1}, p.Input.Shape()...)...)
+				pred := model.Forward(in)
+				ps := pred.Shape()
+				if acc == nil {
+					outC = ps[1]
+					acc = tensor.New(outC, d, h, w)
+					weight = make([]float32, d*h*w)
+				}
+				pdd := pred.Data()
+				ad := acc.Data()
+				for ci := 0; ci < outC; ci++ {
+					for z := 0; z < pd; z++ {
+						for y := 0; y < ph; y++ {
+							src := ((ci*pd+z)*ph + y) * pw
+							dst := ((ci*d+z0+z)*h+y0+y)*w + x0
+							for x := 0; x < pw; x++ {
+								ad[dst+x] += pdd[src+x]
+							}
+						}
+					}
+				}
+				for z := 0; z < pd; z++ {
+					for y := 0; y < ph; y++ {
+						dst := ((z0+z)*h+y0+y)*w + x0
+						for x := 0; x < pw; x++ {
+							weight[dst+x]++
+						}
+					}
+				}
+			}
+		}
+	}
+
+	ad := acc.Data()
+	spatial := d * h * w
+	for ci := 0; ci < outC; ci++ {
+		for i := 0; i < spatial; i++ {
+			if weight[i] > 0 {
+				ad[ci*spatial+i] /= weight[i]
+			}
+		}
+	}
+	return acc, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,222 @@
+// Package perfmodel is the analytic performance model of the paper's
+// training campaigns on MareNostrum-CTE. It composes the device model
+// (gpusim), the interconnect model (netsim) and the workload facts of the
+// paper (339 training cases, batch 2 per replica, Adam with lr·#GPUs,
+// convergence around epoch 90 of a 250-epoch budget) into per-step,
+// per-epoch and per-experiment durations for both distribution strategies.
+//
+// The model is mechanistic, not a lookup table: data-parallel steps pay
+// compute, host-feed contention among the replicas of a node, a ring
+// all-reduce over NVLink or InfiniBand, and a straggler penalty growing with
+// the node count; experiment-parallel trials pay compute plus a shared-
+// filesystem contention term growing with the number of concurrently active
+// trials. Table I's shape (near-linear scaling, experiment parallelism ahead
+// of data parallelism, ×13 vs ×15 at 32 GPUs) emerges from these terms.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gpusim"
+	"repro/internal/netsim"
+	"repro/internal/unet"
+)
+
+// Params collects workload facts and calibration constants.
+type Params struct {
+	Device gpusim.Device
+	Fabric netsim.Fabric
+	Cost   gpusim.UNetCost
+
+	BatchPerReplica int // paper: 2
+	TrainCases      int // paper: 339 (70% of 484)
+	MaxEpochs       int // paper: 250
+
+	// Convergence: the paper reports stabilization around epoch 90; the
+	// effective trial length is drawn per trial around this mean.
+	MeanConvergenceEpoch float64
+	ConvergenceStdEpochs float64
+	MinConvergenceEpoch  int
+	MaxConvergenceEpoch  int
+
+	// Data-parallel overheads.
+	HostStallFactor float64 // quadratic host-feed contention coefficient
+	SWStepIntraSec  float64 // software overhead per ring step, NVLink
+	SWStepInterSec  float64 // software overhead per ring step, InfiniBand
+	StragglerFrac   float64 // straggler penalty as a fraction of compute
+	StragglerExp    float64 // growth exponent in (nodes-1)
+
+	// Experiment-parallel overheads.
+	IOContentionPerTrial float64 // marginal slowdown per active trial
+	IOContentionFree     int     // active trials before contention starts
+	TrialStartupSec      float64 // Ray actor launch + data staging
+
+	EpochFixedSec float64 // validation/checkpoint cost per epoch
+	JitterFrac    float64 // run-to-run duration noise (for repetitions)
+}
+
+// Paper returns the model parameterized for the paper's setup: the 3D U-Net
+// paper configuration on 240x240x152 volumes, V100 nodes, MSD split.
+func Paper() (Params, error) {
+	cost, err := gpusim.CostUNet(unet.PaperConfig(), 152, 240, 240)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{
+		Device:               gpusim.V100(),
+		Fabric:               netsim.MareNostrum(),
+		Cost:                 cost,
+		BatchPerReplica:      2,
+		TrainCases:           339,
+		MaxEpochs:            250,
+		MeanConvergenceEpoch: 90,
+		ConvergenceStdEpochs: 8,
+		MinConvergenceEpoch:  70,
+		MaxConvergenceEpoch:  120,
+		HostStallFactor:      0.5,
+		SWStepIntraSec:       1.5e-4,
+		SWStepInterSec:       1.2e-3,
+		StragglerFrac:        0.031,
+		StragglerExp:         1.5,
+		IOContentionPerTrial: 0.035,
+		IOContentionFree:     2,
+		TrialStartupSec:      20,
+		EpochFixedSec:        0.25,
+		JitterFrac:           0.03,
+	}, nil
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Device.Validate(); err != nil {
+		return err
+	}
+	if err := p.Fabric.Validate(); err != nil {
+		return err
+	}
+	if p.BatchPerReplica <= 0 {
+		return fmt.Errorf("perfmodel: BatchPerReplica must be positive")
+	}
+	if p.TrainCases <= 0 {
+		return fmt.Errorf("perfmodel: TrainCases must be positive")
+	}
+	if p.MaxEpochs <= 0 {
+		return fmt.Errorf("perfmodel: MaxEpochs must be positive")
+	}
+	if p.MinConvergenceEpoch > p.MaxConvergenceEpoch {
+		return fmt.Errorf("perfmodel: convergence epoch bounds inverted")
+	}
+	return nil
+}
+
+// StepsPerEpoch returns the optimizer steps per epoch when the global batch
+// is BatchPerReplica × nGPUs.
+func (p Params) StepsPerEpoch(nGPUs int) int {
+	global := p.BatchPerReplica * nGPUs
+	return (p.TrainCases + global - 1) / global
+}
+
+// ComputeSec returns the pure per-step compute time of one replica.
+func (p Params) ComputeSec() float64 {
+	return p.Device.StepComputeSec(p.Cost, p.BatchPerReplica)
+}
+
+// HostStallSec models input-feed contention when r replicas share one
+// node's host: synchronous steps are gated by the slowest feed, which grows
+// quadratically with the number of competing replicas.
+func (p Params) HostStallSec(replicasOnNode int) float64 {
+	if replicasOnNode <= 1 {
+		return 0
+	}
+	feed := p.Device.FeedSec(p.Cost, p.BatchPerReplica)
+	d := float64(replicasOnNode - 1)
+	return p.HostStallFactor * feed * d * d
+}
+
+// AllReduceSec returns the per-step gradient synchronization time over n
+// replicas, using the ring cost model with the software overhead of the
+// slowest tier.
+func (p Params) AllReduceSec(nGPUs int) float64 {
+	if nGPUs <= 1 {
+		return 0
+	}
+	sw := p.SWStepIntraSec
+	if nGPUs > p.Fabric.GPUsPerNode {
+		sw = p.SWStepInterSec
+	}
+	return p.Fabric.RingAllReduceTime(p.Cost.ParamBytes, nGPUs, sw)
+}
+
+// StragglerSec models the synchronization tail across nodes: jitter on any
+// node delays every synchronous step.
+func (p Params) StragglerSec(nGPUs int) float64 {
+	nodes := (nGPUs + p.Fabric.GPUsPerNode - 1) / p.Fabric.GPUsPerNode
+	if nodes <= 1 {
+		return 0
+	}
+	return p.ComputeSec() * p.StragglerFrac * math.Pow(float64(nodes-1), p.StragglerExp)
+}
+
+// StepTimeDataParallel returns the wall seconds of one synchronous
+// data-parallel step over n GPUs.
+func (p Params) StepTimeDataParallel(nGPUs int) float64 {
+	replicasOnNode := nGPUs
+	if replicasOnNode > p.Fabric.GPUsPerNode {
+		replicasOnNode = p.Fabric.GPUsPerNode
+	}
+	return p.ComputeSec() + p.HostStallSec(replicasOnNode) + p.AllReduceSec(nGPUs) + p.StragglerSec(nGPUs)
+}
+
+// EpochTimeDataParallel returns the wall seconds of one training epoch over
+// n GPUs, including fixed per-epoch costs.
+func (p Params) EpochTimeDataParallel(nGPUs int) float64 {
+	return float64(p.StepsPerEpoch(nGPUs))*p.StepTimeDataParallel(nGPUs) + p.EpochFixedSec
+}
+
+// ExperimentTimeDataParallel returns the wall seconds to train one
+// experiment for the given epoch count over n GPUs.
+func (p Params) ExperimentTimeDataParallel(nGPUs, epochs int) float64 {
+	return float64(epochs) * p.EpochTimeDataParallel(nGPUs)
+}
+
+// TrialTimeSingleGPU returns the wall seconds of one experiment-parallel
+// trial on a single uncontended GPU (excluding startup).
+func (p Params) TrialTimeSingleGPU(epochs int) float64 {
+	return float64(epochs) * (float64(p.StepsPerEpoch(1))*p.ComputeSec() + p.EpochFixedSec)
+}
+
+// IOSlowdown returns the multiplicative slowdown experienced by each trial
+// when nActive trials are concurrently reading the shared filesystem.
+func (p Params) IOSlowdown(nActive int) float64 {
+	excess := nActive - p.IOContentionFree
+	if excess <= 0 {
+		return 1
+	}
+	return 1 + p.IOContentionPerTrial*float64(excess)
+}
+
+// ConvergenceEpochs draws the effective epoch count of one trial: the paper
+// trains with a 250-epoch budget but stabilizes around epoch 90.
+func (p Params) ConvergenceEpochs(rng *rand.Rand) int {
+	e := int(math.Round(p.MeanConvergenceEpoch + rng.NormFloat64()*p.ConvergenceStdEpochs))
+	if e < p.MinConvergenceEpoch {
+		e = p.MinConvergenceEpoch
+	}
+	if e > p.MaxConvergenceEpoch {
+		e = p.MaxConvergenceEpoch
+	}
+	if e > p.MaxEpochs {
+		e = p.MaxEpochs
+	}
+	return e
+}
+
+// Jitter returns a multiplicative noise factor for one run.
+func (p Params) Jitter(rng *rand.Rand) float64 {
+	if p.JitterFrac == 0 {
+		return 1
+	}
+	return 1 + rng.NormFloat64()*p.JitterFrac
+}

@@ -1,0 +1,211 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func paper(t *testing.T) Params {
+	t.Helper()
+	p, err := Paper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPaperParamsValid(t *testing.T) {
+	if err := paper(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	p := paper(t)
+	p.BatchPerReplica = 0
+	if p.Validate() == nil {
+		t.Fatal("zero batch must fail")
+	}
+	p = paper(t)
+	p.TrainCases = 0
+	if p.Validate() == nil {
+		t.Fatal("zero cases must fail")
+	}
+	p = paper(t)
+	p.MinConvergenceEpoch, p.MaxConvergenceEpoch = 100, 50
+	if p.Validate() == nil {
+		t.Fatal("inverted bounds must fail")
+	}
+}
+
+func TestStepsPerEpochPaperLadder(t *testing.T) {
+	p := paper(t)
+	// 339 cases, batch 2 per replica: the paper's global batch is 2·n.
+	want := map[int]int{1: 170, 2: 85, 4: 43, 8: 22, 12: 15, 16: 11, 32: 6}
+	for n, steps := range want {
+		if got := p.StepsPerEpoch(n); got != steps {
+			t.Fatalf("StepsPerEpoch(%d) = %d, want %d", n, got, steps)
+		}
+	}
+}
+
+func TestComputeSecPlausible(t *testing.T) {
+	// Batch-2 step compute should be a few hundred ms on a V100, so one
+	// 90-epoch experiment on 1 GPU lands near the paper's ~1.4 h.
+	c := paper(t).ComputeSec()
+	if c < 0.1 || c > 1.0 {
+		t.Fatalf("compute %v s implausible", c)
+	}
+}
+
+func TestHostStallGrowsQuadratically(t *testing.T) {
+	p := paper(t)
+	if p.HostStallSec(1) != 0 {
+		t.Fatal("single replica has no feed contention")
+	}
+	s2, s3, s4 := p.HostStallSec(2), p.HostStallSec(3), p.HostStallSec(4)
+	if !(s2 < s3 && s3 < s4) {
+		t.Fatal("stall must grow with replicas")
+	}
+	if math.Abs(s4/s2-9) > 1e-9 {
+		t.Fatalf("quadratic growth violated: s4/s2 = %v", s4/s2)
+	}
+}
+
+func TestAllReduceTiers(t *testing.T) {
+	p := paper(t)
+	if p.AllReduceSec(1) != 0 {
+		t.Fatal("no all-reduce on one GPU")
+	}
+	intra := p.AllReduceSec(4)
+	inter := p.AllReduceSec(8)
+	if inter < 5*intra {
+		t.Fatalf("InfiniBand tier should dominate: intra %v inter %v", intra, inter)
+	}
+}
+
+func TestStragglerOnlyAcrossNodes(t *testing.T) {
+	p := paper(t)
+	for _, n := range []int{1, 2, 4} {
+		if p.StragglerSec(n) != 0 {
+			t.Fatalf("no straggler term within a node (n=%d)", n)
+		}
+	}
+	if !(p.StragglerSec(8) < p.StragglerSec(16) && p.StragglerSec(16) < p.StragglerSec(32)) {
+		t.Fatal("straggler term must grow with node count")
+	}
+}
+
+func TestStepTimeMonotoneInGPUs(t *testing.T) {
+	p := paper(t)
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 32} {
+		s := p.StepTimeDataParallel(n)
+		if s < prev {
+			t.Fatalf("step time decreased at n=%d", n)
+		}
+		prev = s
+	}
+}
+
+func TestEpochTimeDecreasesWithGPUs(t *testing.T) {
+	// More GPUs → fewer, slightly slower steps → shorter epochs overall.
+	p := paper(t)
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		e := p.EpochTimeDataParallel(n)
+		if e >= prev {
+			t.Fatalf("epoch time must shrink with GPUs, broke at n=%d", n)
+		}
+		prev = e
+	}
+}
+
+func TestSingleGPUExperimentNearPaperScale(t *testing.T) {
+	// 32 experiments × ~90 epochs on one GPU should land within a factor
+	// of two of the paper's 44:18:02 for the whole search.
+	p := paper(t)
+	total := 32 * p.ExperimentTimeDataParallel(1, 90)
+	paperSec := 44*3600 + 18*60 + 2.0
+	if total < paperSec/2 || total > paperSec*2 {
+		t.Fatalf("campaign %v h vs paper %v h: outside 2x band", total/3600, paperSec/3600)
+	}
+}
+
+func TestIOSlowdown(t *testing.T) {
+	p := paper(t)
+	if p.IOSlowdown(1) != 1 || p.IOSlowdown(2) != 1 {
+		t.Fatal("contention-free region violated")
+	}
+	if !(p.IOSlowdown(8) < p.IOSlowdown(16) && p.IOSlowdown(16) < p.IOSlowdown(32)) {
+		t.Fatal("slowdown must grow with active trials")
+	}
+	if p.IOSlowdown(32) > 3 {
+		t.Fatalf("slowdown at 32 trials %v too severe", p.IOSlowdown(32))
+	}
+}
+
+func TestConvergenceEpochsBounded(t *testing.T) {
+	p := paper(t)
+	rng := rand.New(rand.NewSource(1))
+	sum := 0
+	for i := 0; i < 1000; i++ {
+		e := p.ConvergenceEpochs(rng)
+		if e < p.MinConvergenceEpoch || e > p.MaxConvergenceEpoch || e > p.MaxEpochs {
+			t.Fatalf("epoch %d out of bounds", e)
+		}
+		sum += e
+	}
+	mean := float64(sum) / 1000
+	if math.Abs(mean-p.MeanConvergenceEpoch) > 3 {
+		t.Fatalf("mean convergence %v far from %v", mean, p.MeanConvergenceEpoch)
+	}
+}
+
+func TestJitterCentredOnOne(t *testing.T) {
+	p := paper(t)
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	for i := 0; i < 1000; i++ {
+		sum += p.Jitter(rng)
+	}
+	if math.Abs(sum/1000-1) > 0.01 {
+		t.Fatalf("jitter mean %v", sum/1000)
+	}
+	p.JitterFrac = 0
+	if p.Jitter(rng) != 1 {
+		t.Fatal("zero jitter must be exactly 1")
+	}
+}
+
+// Property: experiment time is linear in epochs.
+func TestPropertyExperimentLinearInEpochs(t *testing.T) {
+	p := paper(t)
+	f := func(nRaw, eRaw uint8) bool {
+		n := int(nRaw)%32 + 1
+		e := int(eRaw)%200 + 1
+		a := p.ExperimentTimeDataParallel(n, e)
+		b := p.ExperimentTimeDataParallel(n, 2*e)
+		return math.Abs(b-2*a) < 1e-6*math.Abs(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: experiment-parallel trials never run faster under contention.
+func TestPropertyIOSlowdownMonotone(t *testing.T) {
+	p := paper(t)
+	f := func(aRaw, bRaw uint8) bool {
+		a, b := int(aRaw)%64, int(bRaw)%64
+		if a > b {
+			a, b = b, a
+		}
+		return p.IOSlowdown(a) <= p.IOSlowdown(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package pipeline implements tf.Data-style input pipelines over goroutines:
+// deterministic-order Map with parallel workers, Interleave over a cycle of
+// sub-streams, Shuffle with a bounded buffer, Batch, Repeat, Take and
+// Prefetch. These are the combinators the paper relies on to feed the 3D
+// U-Net ("reading the files for binarization can be parallelized using
+// interleave functions, while the binarization process can be mapped over
+// the read data; in addition, the dataset can be pre-fetched").
+package pipeline
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Iterator yields elements until exhausted. Close releases background
+// resources; it must be safe to call multiple times and after exhaustion.
+type Iterator[T any] interface {
+	Next() (T, bool)
+	Close()
+}
+
+// Dataset is a re-openable stream of elements.
+type Dataset[T any] struct {
+	open func() Iterator[T]
+}
+
+// New wraps an iterator factory as a Dataset.
+func New[T any](open func() Iterator[T]) Dataset[T] { return Dataset[T]{open: open} }
+
+// Iterate opens a fresh iterator over the dataset.
+func (d Dataset[T]) Iterate() Iterator[T] { return d.open() }
+
+// Collect drains the dataset into a slice.
+func (d Dataset[T]) Collect() []T {
+	it := d.Iterate()
+	defer it.Close()
+	var out []T
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Count drains the dataset and returns the number of elements.
+func (d Dataset[T]) Count() int {
+	it := d.Iterate()
+	defer it.Close()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// funcIterator adapts a next function with an optional close hook.
+type funcIterator[T any] struct {
+	next  func() (T, bool)
+	close func()
+	done  bool
+}
+
+func (it *funcIterator[T]) Next() (T, bool) {
+	if it.done {
+		var zero T
+		return zero, false
+	}
+	v, ok := it.next()
+	if !ok {
+		it.done = true
+	}
+	return v, ok
+}
+
+func (it *funcIterator[T]) Close() {
+	if it.close != nil {
+		it.close()
+		it.close = nil
+	}
+	it.done = true
+}
+
+// FromSlice returns a dataset over the elements of xs.
+func FromSlice[T any](xs []T) Dataset[T] {
+	return New(func() Iterator[T] {
+		i := 0
+		return &funcIterator[T]{next: func() (T, bool) {
+			if i >= len(xs) {
+				var zero T
+				return zero, false
+			}
+			v := xs[i]
+			i++
+			return v, true
+		}}
+	})
+}
+
+// FromFunc returns a dataset of n elements produced by f(index).
+func FromFunc[T any](n int, f func(i int) T) Dataset[T] {
+	return New(func() Iterator[T] {
+		i := 0
+		return &funcIterator[T]{next: func() (T, bool) {
+			if i >= n {
+				var zero T
+				return zero, false
+			}
+			v := f(i)
+			i++
+			return v, true
+		}}
+	})
+}
+
+// Map applies f to every element, sequentially.
+func Map[T, U any](d Dataset[T], f func(T) U) Dataset[U] {
+	return New(func() Iterator[U] {
+		src := d.Iterate()
+		return &funcIterator[U]{
+			next: func() (U, bool) {
+				v, ok := src.Next()
+				if !ok {
+					var zero U
+					return zero, false
+				}
+				return f(v), true
+			},
+			close: src.Close,
+		}
+	})
+}
+
+// ParallelMap applies f with the given parallelism while preserving element
+// order, like tf.data's map(num_parallel_calls=...).
+func ParallelMap[T, U any](d Dataset[T], parallelism int, f func(T) U) Dataset[U] {
+	if parallelism <= 1 {
+		return Map(d, f)
+	}
+	return New(func() Iterator[U] {
+		src := d.Iterate()
+		type task struct {
+			v   T
+			out chan U
+		}
+		tasks := make(chan task)
+		order := make(chan chan U, parallelism)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+
+		wg.Add(parallelism)
+		for i := 0; i < parallelism; i++ {
+			go func() {
+				defer wg.Done()
+				for t := range tasks {
+					t.out <- f(t.v)
+				}
+			}()
+		}
+		// Dispatcher: reads the source and hands out tasks in order.
+		go func() {
+			defer close(tasks)
+			defer close(order)
+			for {
+				v, ok := src.Next()
+				if !ok {
+					return
+				}
+				out := make(chan U, 1)
+				select {
+				case order <- out:
+				case <-stop:
+					return
+				}
+				select {
+				case tasks <- task{v: v, out: out}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+
+		var once sync.Once
+		closeAll := func() {
+			once.Do(func() {
+				close(stop)
+				go func() {
+					// Drain pending promises so workers can finish.
+					for range order {
+					}
+					wg.Wait()
+					src.Close()
+				}()
+			})
+		}
+		return &funcIterator[U]{
+			next: func() (U, bool) {
+				out, ok := <-order
+				if !ok {
+					var zero U
+					return zero, false
+				}
+				return <-out, true
+			},
+			close: closeAll,
+		}
+	})
+}
+
+// Interleave maps each element of d to a sub-dataset and interleaves up to
+// cycle sub-streams round-robin, like tf.data's interleave(cycle_length=N).
+func Interleave[T, U any](d Dataset[T], cycle int, f func(T) Dataset[U]) Dataset[U] {
+	if cycle < 1 {
+		cycle = 1
+	}
+	return New(func() Iterator[U] {
+		src := d.Iterate()
+		active := make([]Iterator[U], 0, cycle)
+		pos := 0
+		refill := func() {
+			for len(active) < cycle {
+				v, ok := src.Next()
+				if !ok {
+					return
+				}
+				active = append(active, f(v).Iterate())
+			}
+		}
+		return &funcIterator[U]{
+			next: func() (U, bool) {
+				for {
+					refill()
+					if len(active) == 0 {
+						var zero U
+						return zero, false
+					}
+					if pos >= len(active) {
+						pos = 0
+					}
+					v, ok := active[pos].Next()
+					if !ok {
+						active[pos].Close()
+						active = append(active[:pos], active[pos+1:]...)
+						continue
+					}
+					pos++
+					return v, true
+				}
+			},
+			close: func() {
+				for _, it := range active {
+					it.Close()
+				}
+				src.Close()
+			},
+		}
+	})
+}
+
+// Shuffle returns a dataset that yields elements in randomized order using a
+// bounded reservoir of bufSize elements, like tf.data's shuffle(buffer_size).
+func Shuffle[T any](d Dataset[T], bufSize int, seed int64) Dataset[T] {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	return New(func() Iterator[T] {
+		src := d.Iterate()
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]T, 0, bufSize)
+		filled := false
+		return &funcIterator[T]{
+			next: func() (T, bool) {
+				if !filled {
+					for len(buf) < bufSize {
+						v, ok := src.Next()
+						if !ok {
+							break
+						}
+						buf = append(buf, v)
+					}
+					filled = true
+				}
+				if len(buf) == 0 {
+					var zero T
+					return zero, false
+				}
+				i := rng.Intn(len(buf))
+				out := buf[i]
+				if v, ok := src.Next(); ok {
+					buf[i] = v
+				} else {
+					buf[i] = buf[len(buf)-1]
+					buf = buf[:len(buf)-1]
+				}
+				return out, true
+			},
+			close: src.Close,
+		}
+	})
+}
+
+// Batch groups consecutive elements into slices of at most size elements;
+// the final batch may be smaller unless dropRemainder is set.
+func Batch[T any](d Dataset[T], size int, dropRemainder bool) Dataset[[]T] {
+	if size < 1 {
+		size = 1
+	}
+	return New(func() Iterator[[]T] {
+		src := d.Iterate()
+		return &funcIterator[[]T]{
+			next: func() ([]T, bool) {
+				batch := make([]T, 0, size)
+				for len(batch) < size {
+					v, ok := src.Next()
+					if !ok {
+						break
+					}
+					batch = append(batch, v)
+				}
+				if len(batch) == 0 || (dropRemainder && len(batch) < size) {
+					return nil, false
+				}
+				return batch, true
+			},
+			close: src.Close,
+		}
+	})
+}
+
+// Repeat cycles the dataset count times; count <= 0 repeats forever.
+func Repeat[T any](d Dataset[T], count int) Dataset[T] {
+	return New(func() Iterator[T] {
+		var src Iterator[T]
+		epoch := 0
+		return &funcIterator[T]{
+			next: func() (T, bool) {
+				for {
+					if src == nil {
+						if count > 0 && epoch >= count {
+							var zero T
+							return zero, false
+						}
+						src = d.Iterate()
+						epoch++
+					}
+					v, ok := src.Next()
+					if ok {
+						return v, true
+					}
+					src.Close()
+					src = nil
+					if count > 0 && epoch >= count {
+						var zero T
+						return zero, false
+					}
+				}
+			},
+			close: func() {
+				if src != nil {
+					src.Close()
+				}
+			},
+		}
+	})
+}
+
+// Take truncates the dataset to its first n elements.
+func Take[T any](d Dataset[T], n int) Dataset[T] {
+	return New(func() Iterator[T] {
+		src := d.Iterate()
+		left := n
+		return &funcIterator[T]{
+			next: func() (T, bool) {
+				if left <= 0 {
+					var zero T
+					return zero, false
+				}
+				v, ok := src.Next()
+				if !ok {
+					return v, false
+				}
+				left--
+				return v, true
+			},
+			close: src.Close,
+		}
+	})
+}
+
+// Prefetch decouples producer and consumer with a background goroutine and a
+// buffer of depth elements, like tf.data's prefetch(depth).
+func Prefetch[T any](d Dataset[T], depth int) Dataset[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	return New(func() Iterator[T] {
+		src := d.Iterate()
+		out := make(chan T, depth)
+		stop := make(chan struct{})
+		go func() {
+			defer close(out)
+			for {
+				v, ok := src.Next()
+				if !ok {
+					return
+				}
+				select {
+				case out <- v:
+				case <-stop:
+					return
+				}
+			}
+		}()
+		var once sync.Once
+		return &funcIterator[T]{
+			next: func() (T, bool) {
+				v, ok := <-out
+				return v, ok
+			},
+			close: func() {
+				once.Do(func() {
+					close(stop)
+					go func() {
+						for range out {
+						}
+						src.Close()
+					}()
+				})
+			},
+		}
+	})
+}

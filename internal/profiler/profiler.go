@@ -1,0 +1,137 @@
+// Package profiler is a lightweight analogue of the TensorBoard profiler the
+// paper used to find that data loading and binarization dominate the
+// preprocessing stage. It aggregates named spans into per-stage totals and
+// reports the pipeline's bottleneck stage.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profiler accumulates wall-clock time per named stage. It is safe for
+// concurrent use by pipeline workers.
+type Profiler struct {
+	mu     sync.Mutex
+	totals map[string]time.Duration
+	counts map[string]int
+	clock  func() time.Time
+}
+
+// New returns an empty profiler using the real clock.
+func New() *Profiler {
+	return &Profiler{
+		totals: map[string]time.Duration{},
+		counts: map[string]int{},
+		clock:  time.Now,
+	}
+}
+
+// NewWithClock returns a profiler with an injected clock, for tests.
+func NewWithClock(clock func() time.Time) *Profiler {
+	p := New()
+	p.clock = clock
+	return p
+}
+
+// Span starts a span for stage and returns a function that ends it.
+//
+//	defer prof.Span("binarize")()
+func (p *Profiler) Span(stage string) func() {
+	start := p.clock()
+	return func() {
+		d := p.clock().Sub(start)
+		p.Add(stage, d)
+	}
+}
+
+// Add records an externally measured duration for stage.
+func (p *Profiler) Add(stage string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.totals[stage] += d
+	p.counts[stage]++
+}
+
+// Total returns the accumulated time of a stage.
+func (p *Profiler) Total(stage string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totals[stage]
+}
+
+// Count returns how many spans were recorded for a stage.
+func (p *Profiler) Count(stage string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[stage]
+}
+
+// StageStat is one row of a profiler report.
+type StageStat struct {
+	Stage    string
+	Total    time.Duration
+	Count    int
+	Mean     time.Duration
+	Fraction float64 // of the summed total across stages
+}
+
+// Report returns per-stage statistics sorted by descending total time.
+func (p *Profiler) Report() []StageStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum time.Duration
+	for _, d := range p.totals {
+		sum += d
+	}
+	out := make([]StageStat, 0, len(p.totals))
+	for stage, d := range p.totals {
+		st := StageStat{Stage: stage, Total: d, Count: p.counts[stage]}
+		if st.Count > 0 {
+			st.Mean = d / time.Duration(st.Count)
+		}
+		if sum > 0 {
+			st.Fraction = float64(d) / float64(sum)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// Bottleneck returns the stage with the largest accumulated time, or "".
+func (p *Profiler) Bottleneck() string {
+	r := p.Report()
+	if len(r) == 0 {
+		return ""
+	}
+	return r[0].Stage
+}
+
+// String renders the report as an aligned text table.
+func (p *Profiler) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %8s %12s %7s\n", "stage", "total", "count", "mean", "share")
+	for _, st := range p.Report() {
+		fmt.Fprintf(&b, "%-16s %12s %8d %12s %6.1f%%\n",
+			st.Stage, st.Total.Round(time.Microsecond), st.Count,
+			st.Mean.Round(time.Microsecond), st.Fraction*100)
+	}
+	return b.String()
+}
+
+// Reset clears all recorded spans.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.totals = map[string]time.Duration{}
+	p.counts = map[string]int{}
+}

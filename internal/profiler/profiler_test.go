@@ -1,0 +1,130 @@
+package profiler
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances by a fixed step each call.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.now
+	f.now = f.now.Add(f.tick)
+	return t
+}
+
+func TestSpanMeasures(t *testing.T) {
+	fc := &fakeClock{tick: 10 * time.Millisecond}
+	p := NewWithClock(fc.Now)
+	end := p.Span("load")
+	end()
+	if got := p.Total("load"); got != 10*time.Millisecond {
+		t.Fatalf("total %v", got)
+	}
+	if p.Count("load") != 1 {
+		t.Fatalf("count %d", p.Count("load"))
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	p := New()
+	p.Add("binarize", 3*time.Second)
+	p.Add("binarize", 2*time.Second)
+	p.Add("train", time.Second)
+	if p.Total("binarize") != 5*time.Second {
+		t.Fatalf("total %v", p.Total("binarize"))
+	}
+	if p.Count("binarize") != 2 {
+		t.Fatalf("count %d", p.Count("binarize"))
+	}
+}
+
+func TestReportSortedWithFractions(t *testing.T) {
+	p := New()
+	p.Add("load", 6*time.Second)
+	p.Add("train", 3*time.Second)
+	p.Add("eval", 1*time.Second)
+	r := p.Report()
+	if len(r) != 3 || r[0].Stage != "load" || r[2].Stage != "eval" {
+		t.Fatalf("report order %v", r)
+	}
+	if r[0].Fraction != 0.6 {
+		t.Fatalf("fraction %v", r[0].Fraction)
+	}
+	if r[0].Mean != 6*time.Second {
+		t.Fatalf("mean %v", r[0].Mean)
+	}
+}
+
+func TestBottleneckFindsLoadStage(t *testing.T) {
+	// Reproduces the paper's profiling finding: loading+binarization
+	// dominates the preprocessing pipeline.
+	p := New()
+	p.Add("nifti-load", 40*time.Second)
+	p.Add("binarize", 35*time.Second)
+	p.Add("train-step", 20*time.Second)
+	if got := p.Bottleneck(); got != "nifti-load" {
+		t.Fatalf("bottleneck %q", got)
+	}
+}
+
+func TestBottleneckEmpty(t *testing.T) {
+	if New().Bottleneck() != "" {
+		t.Fatal("empty profiler must report no bottleneck")
+	}
+}
+
+func TestStringRendersTable(t *testing.T) {
+	p := New()
+	p.Add("stage-a", time.Second)
+	s := p.String()
+	if !strings.Contains(s, "stage-a") || !strings.Contains(s, "100.0%") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Add("x", time.Second)
+	p.Reset()
+	if len(p.Report()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Add("s", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Count("s") != 1600 {
+		t.Fatalf("count %d, want 1600", p.Count("s"))
+	}
+}
+
+func TestDeterministicTieOrder(t *testing.T) {
+	p := New()
+	p.Add("b", time.Second)
+	p.Add("a", time.Second)
+	r := p.Report()
+	if r[0].Stage != "a" {
+		t.Fatal("ties must sort by name")
+	}
+}

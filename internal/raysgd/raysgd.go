@@ -1,0 +1,255 @@
+// Package raysgd is the multi-node data-parallel orchestration layer, the
+// analogue of Ray.SGD over Distributed TensorFlow: it selects the paper's
+// three parallelism cases from the GPU count (§III-B.2) — sequential on one
+// GPU, MirroredStrategy within a node, Ray cluster across nodes — builds the
+// matching trainer (plugging the hierarchical intra-node/inter-node
+// all-reduce in the multi-node case) and drives the epoch loop over the
+// preprocessed dataset with shuffling, batching, validation and optional
+// cyclic learning rates.
+package raysgd
+
+import (
+	"fmt"
+
+	"repro/internal/allreduce"
+	"repro/internal/augment"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/mirrored"
+	"repro/internal/optim"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+	"repro/internal/unet"
+	"repro/internal/volume"
+)
+
+// Mode is the parallelism case selected from the GPU count.
+type Mode int
+
+// The paper's three cases (§III-B.2).
+const (
+	// Sequential: n = 1, no parallelism.
+	Sequential Mode = iota
+	// MirroredSingleNode: 1 < n ≤ M, Distributed TensorFlow inside one node.
+	MirroredSingleNode
+	// RayCluster: n > M, Ray.SGD across physical nodes.
+	RayCluster
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case MirroredSingleNode:
+		return "mirrored-single-node"
+	case RayCluster:
+		return "ray-cluster"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ModeFor returns the parallelism case for n GPUs on nodes of width m.
+func ModeFor(n, m int) Mode {
+	switch {
+	case n <= 1:
+		return Sequential
+	case n <= m:
+		return MirroredSingleNode
+	default:
+		return RayCluster
+	}
+}
+
+// Config describes a distributed training job.
+type Config struct {
+	Cluster         *cluster.Cluster
+	GPUs            int
+	Net             unet.Config
+	Loss            string
+	Optimizer       string
+	BaseLR          float64
+	BatchPerReplica int // paper: 2
+	Seed            int64
+
+	// CyclicLR optionally applies the paper's cyclic learning-rate
+	// schedule across optimizer steps.
+	CyclicLR *optim.CyclicLR
+
+	// Augment optionally transforms training samples each epoch (seeded by
+	// epoch and sample index); nil trains on the raw samples.
+	Augment *augment.Pipeline
+}
+
+// Trainer is a distributed data-parallel trainer.
+type Trainer struct {
+	cfg  Config
+	mode Mode
+	mt   *mirrored.Trainer
+	step int
+}
+
+// New validates the config and builds the trainer for the selected mode.
+func New(cfg Config) (*Trainer, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("raysgd: nil cluster")
+	}
+	if cfg.GPUs < 1 || cfg.GPUs > cfg.Cluster.TotalGPUs() {
+		return nil, fmt.Errorf("raysgd: %d GPUs requested, cluster has %d", cfg.GPUs, cfg.Cluster.TotalGPUs())
+	}
+	if cfg.BatchPerReplica < 1 {
+		return nil, fmt.Errorf("raysgd: BatchPerReplica must be ≥ 1")
+	}
+	mode := ModeFor(cfg.GPUs, cfg.Cluster.GPUsPerNode)
+
+	mcfg := mirrored.Config{
+		Replicas:  cfg.GPUs,
+		Net:       cfg.Net,
+		Loss:      cfg.Loss,
+		Optimizer: cfg.Optimizer,
+		BaseLR:    cfg.BaseLR,
+		ScaleLR:   true,
+	}
+	if mode == RayCluster {
+		group := cfg.Cluster.GPUsPerNode
+		mcfg.Reducer = func(bufs [][]float32) error {
+			return allreduce.HierarchicalAverage(bufs, group)
+		}
+	}
+	mt, err := mirrored.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{cfg: cfg, mode: mode, mt: mt}, nil
+}
+
+// Mode returns the selected parallelism case.
+func (t *Trainer) Mode() Mode { return t.mode }
+
+// GlobalBatch returns BatchPerReplica × GPUs, the paper's scaling rule.
+func (t *Trainer) GlobalBatch() int { return t.cfg.BatchPerReplica * t.cfg.GPUs }
+
+// EffectiveLR returns the scaled learning rate in use.
+func (t *Trainer) EffectiveLR() float64 { return t.mt.LR() }
+
+// Model returns the (synchronized) model.
+func (t *Trainer) Model() *unet.UNet { return t.mt.Model() }
+
+// InSync reports whether all replicas agree bitwise.
+func (t *Trainer) InSync() bool { return t.mt.InSync() }
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch    int
+	MeanLoss float64
+	ValDice  float64
+	Steps    int
+}
+
+// Fit trains for the given number of epochs over the training samples,
+// evaluating on the validation samples after each epoch. The report
+// callback, when non-nil, receives per-epoch statistics; returning false
+// stops training early (the hook the experiment-parallel layer uses).
+func (t *Trainer) Fit(train, val []*volume.Sample, epochs int, report func(EpochStats) bool) (*EpochStats, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("raysgd: empty training set")
+	}
+	global := t.GlobalBatch()
+	var last EpochStats
+	for epoch := 0; epoch < epochs; epoch++ {
+		epochSamples := train
+		if t.cfg.Augment != nil {
+			epochSamples = t.cfg.Augment.ApplyAll(train, epoch)
+		}
+		ds := pipeline.FromSlice(epochSamples)
+		ds = pipeline.Shuffle(ds, len(epochSamples), t.cfg.Seed+int64(epoch))
+		batches := pipeline.Batch(ds, global, true)
+
+		var lossSum float64
+		steps := 0
+		it := batches.Iterate()
+		for {
+			batch, ok := it.Next()
+			if !ok {
+				break
+			}
+			inputs, masks, err := volume.Batch(batch)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			if t.cfg.CyclicLR != nil {
+				t.mt.SetLR(t.cfg.CyclicLR.At(t.step))
+			}
+			l, err := t.mt.Step(inputs, masks)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			lossSum += l
+			steps++
+			t.step++
+		}
+		it.Close()
+		if steps == 0 {
+			return nil, fmt.Errorf("raysgd: global batch %d larger than training set %d", global, len(train))
+		}
+
+		stats := EpochStats{Epoch: epoch, MeanLoss: lossSum / float64(steps), Steps: steps}
+		if len(val) > 0 {
+			stats.ValDice = t.evaluate(val)
+		}
+		last = stats
+		if report != nil && !report(stats) {
+			break
+		}
+	}
+	return &last, nil
+}
+
+// Predict runs full-volume inference on one sample in evaluation mode and
+// returns the per-voxel probability map ([OutChannels, D, H, W]).
+func (t *Trainer) Predict(s *volume.Sample) (*tensor.Tensor, error) {
+	in, _, err := volume.Batch([]*volume.Sample{s})
+	if err != nil {
+		return nil, err
+	}
+	m := t.Model()
+	m.SetTraining(false)
+	defer m.SetTraining(true)
+	pred := m.Forward(in)
+	shape := pred.Shape()
+	return pred.Reshape(shape[1:]...), nil
+}
+
+// EvaluateSet returns the mean hard Dice of the current model over a sample
+// set — the paper's test-set evaluation ("the dataset is split for training,
+// validation and evaluation").
+func (t *Trainer) EvaluateSet(samples []*volume.Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("raysgd: empty evaluation set")
+	}
+	var sum float64
+	for _, s := range samples {
+		pred, err := t.Predict(s)
+		if err != nil {
+			return 0, err
+		}
+		sum += metrics.DiceScore(pred, s.Mask)
+	}
+	return sum / float64(len(samples)), nil
+}
+
+// evaluate computes the mean Dice over the validation samples, one at a
+// time (full-volume inference as in the paper).
+func (t *Trainer) evaluate(val []*volume.Sample) float64 {
+	var sum float64
+	for _, s := range val {
+		in, mask, err := volume.Batch([]*volume.Sample{s})
+		if err != nil {
+			continue
+		}
+		sum += t.mt.Evaluate(in, mask)
+	}
+	return sum / float64(len(val))
+}

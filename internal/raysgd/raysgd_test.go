@@ -1,0 +1,276 @@
+package raysgd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/cluster"
+	"repro/internal/msd"
+	"repro/internal/optim"
+	"repro/internal/unet"
+	"repro/internal/volume"
+)
+
+func tinyNet() unet.Config {
+	return unet.Config{
+		InChannels:  4,
+		OutChannels: 1,
+		BaseFilters: 2,
+		Steps:       2,
+		Kernel:      3,
+		UpKernel:    2,
+		Seed:        5,
+	}
+}
+
+func testConfig(t *testing.T, gpus int) Config {
+	t.Helper()
+	cl, err := cluster.ForGPUs(gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Cluster:         cl,
+		GPUs:            gpus,
+		Net:             tinyNet(),
+		Loss:            "dice",
+		Optimizer:       "sgd",
+		BaseLR:          0.05,
+		BatchPerReplica: 2,
+		Seed:            1,
+	}
+}
+
+func samples(t *testing.T, n int) []*volume.Sample {
+	t.Helper()
+	cfg := msd.Config{Cases: n, D: 8, H: 8, W: 8, Seed: 9}
+	out := make([]*volume.Sample, n)
+	for i := 0; i < n; i++ {
+		s, err := volume.Preprocess(msd.GenerateCase(cfg, i), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestModeForPaperCases(t *testing.T) {
+	// The paper's three parallelism cases (§III-B.2) with M = 4.
+	cases := map[int]Mode{1: Sequential, 2: MirroredSingleNode, 4: MirroredSingleNode,
+		5: RayCluster, 8: RayCluster, 32: RayCluster}
+	for n, want := range cases {
+		if got := ModeFor(n, 4); got != want {
+			t.Fatalf("ModeFor(%d, 4) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sequential.String() != "sequential" || RayCluster.String() != "ray-cluster" {
+		t.Fatal("mode rendering broken")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Cluster = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil cluster must error")
+	}
+	cfg = testConfig(t, 2)
+	cfg.GPUs = 9 // cluster sized for 2
+	if _, err := New(cfg); err == nil {
+		t.Fatal("too many GPUs must error")
+	}
+	cfg = testConfig(t, 2)
+	cfg.BatchPerReplica = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero batch must error")
+	}
+}
+
+func TestTrainerModeAndBatchScaling(t *testing.T) {
+	tr, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mode() != MirroredSingleNode {
+		t.Fatalf("mode %v", tr.Mode())
+	}
+	if tr.GlobalBatch() != 4 {
+		t.Fatalf("global batch %d, want 2×2", tr.GlobalBatch())
+	}
+	// Paper's scaling rule: lr = base × GPUs.
+	if math.Abs(tr.EffectiveLR()-0.1) > 1e-12 {
+		t.Fatalf("lr %v, want 0.1", tr.EffectiveLR())
+	}
+}
+
+func TestMultiNodeUsesHierarchicalReducerAndStaysInSync(t *testing.T) {
+	tr, err := New(testConfig(t, 6)) // 2 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mode() != RayCluster {
+		t.Fatalf("mode %v, want ray-cluster", tr.Mode())
+	}
+	train := samples(t, 12)
+	if _, err := tr.Fit(train, nil, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.InSync() {
+		t.Fatal("replicas diverged under hierarchical all-reduce")
+	}
+}
+
+func TestFitTrainsAndReports(t *testing.T) {
+	tr, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := samples(t, 8)
+	val := samples(t, 2)
+	var epochs []EpochStats
+	last, err := tr.Fit(train, val, 3, func(s EpochStats) bool {
+		epochs = append(epochs, s)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 {
+		t.Fatalf("reported %d epochs", len(epochs))
+	}
+	if last.Epoch != 2 {
+		t.Fatalf("last epoch %d", last.Epoch)
+	}
+	// Global batch 4 over 8 samples with drop-remainder: 2 steps/epoch.
+	if last.Steps != 2 {
+		t.Fatalf("steps %d, want 2", last.Steps)
+	}
+	if last.ValDice < 0 || last.ValDice > 1 {
+		t.Fatalf("dice %v", last.ValDice)
+	}
+	// Loss should not explode across epochs.
+	if epochs[len(epochs)-1].MeanLoss > epochs[0].MeanLoss*1.5 {
+		t.Fatalf("loss diverged: %v -> %v", epochs[0].MeanLoss, epochs[len(epochs)-1].MeanLoss)
+	}
+}
+
+func TestFitEarlyStopViaCallback(t *testing.T) {
+	tr, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := samples(t, 4)
+	count := 0
+	_, err = tr.Fit(train, nil, 10, func(s EpochStats) bool {
+		count++
+		return count < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("callback ran %d times, want 2", count)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	tr, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Fit(nil, nil, 1, nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	// Batch larger than the dataset.
+	if _, err := tr.Fit(samples(t, 1), nil, 1, nil); err == nil {
+		t.Fatal("global batch > dataset must error")
+	}
+}
+
+func TestPredictShapeAndRange(t *testing.T) {
+	tr, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := samples(t, 1)[0]
+	pred, err := tr.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.SameShape(s.Mask) {
+		t.Fatalf("prediction shape %v vs mask %v", pred.Shape(), s.Mask.Shape())
+	}
+	for _, v := range pred.Data() {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("probability %v out of (0,1)", v)
+		}
+	}
+}
+
+func TestEvaluateSet(t *testing.T) {
+	tr, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := samples(t, 3)
+	d, err := tr.EvaluateSet(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || d > 1 {
+		t.Fatalf("dice %v", d)
+	}
+	if _, err := tr.EvaluateSet(nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+}
+
+func TestAugmentedFitRuns(t *testing.T) {
+	cfg := testConfig(t, 1)
+	p, err := augment.ByName("full", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Augment = p
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := samples(t, 4)
+	if _, err := tr.Fit(train, nil, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Augmentation must not mutate the caller's samples.
+	fresh := samples(t, 4)
+	for i := range train {
+		for j, v := range fresh[i].Input.Data() {
+			if train[i].Input.Data()[j] != v {
+				t.Fatal("Fit mutated the training samples")
+			}
+		}
+	}
+}
+
+func TestCyclicLRApplied(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.CyclicLR = optim.NewCyclicLR(0.001, 0.009, 2)
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := samples(t, 4)
+	if _, err := tr.Fit(train, nil, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// After 4 steps (2 epochs × 2 steps) the LR must follow the schedule,
+	// not the scaled base rate.
+	got := tr.EffectiveLR()
+	if got < 0.001 || got > 0.009 {
+		t.Fatalf("cyclic LR not applied: %v", got)
+	}
+}

@@ -1,0 +1,259 @@
+package record
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msd"
+	"repro/internal/volume"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := [][]byte{[]byte("hello"), {}, []byte("tfrecord framing")}
+	for _, p := range payloads {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count %d", w.Count())
+	}
+	r := NewReader(&buf)
+	for i, want := range payloads {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestFramingIsByteExactTFRecord(t *testing.T) {
+	// Golden check of the framing for payload "abc": length=3, and the
+	// masked CRCs must follow TensorFlow's masking formula.
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) != 12+3+4 {
+		t.Fatalf("framed length %d, want 19", len(raw))
+	}
+	le := binary.LittleEndian
+	if le.Uint64(raw[0:8]) != 3 {
+		t.Fatal("length field wrong")
+	}
+	// Masked CRC of the payload: recompute the masking formula from the
+	// raw CRC-32C so the mask implementation is checked independently.
+	crc := crc32.Checksum([]byte("abc"), crc32.MakeTable(crc32.Castagnoli))
+	wantMasked := ((crc >> 15) | (crc << 17)) + 0xa282ead8
+	if got := le.Uint32(raw[15:19]); got != wantMasked {
+		t.Fatalf("payload CRC %#x, want %#x", got, wantMasked)
+	}
+}
+
+func TestMaskUnmaskInverse(t *testing.T) {
+	f := func(x uint32) bool { return unmaskCRC(maskCRC(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderDetectsPayloadCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write([]byte("sensitive bits")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[13] ^= 0x01 // flip a payload bit
+	_, err := NewReader(bytes.NewReader(raw)).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestReaderDetectsLengthCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0x01 // corrupt the length
+	_, err := NewReader(bytes.NewReader(raw)).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:15] // cut mid-payload
+	_, err := NewReader(bytes.NewReader(raw)).Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncation must be an error, got %v", err)
+	}
+}
+
+func TestFeaturesRoundTrip(t *testing.T) {
+	f := NewFeatures()
+	f.AddBytes("name", []byte("BRATS_007"))
+	f.AddFloats("vals", []float32{1.5, -2.25, 0})
+	f.AddInts("shape", []int64{4, 240, 240, 152})
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes["name"]) != "BRATS_007" {
+		t.Fatalf("name %q", got.Bytes["name"])
+	}
+	if got.Floats["vals"][1] != -2.25 {
+		t.Fatalf("vals %v", got.Floats["vals"])
+	}
+	if got.Ints["shape"][3] != 152 {
+		t.Fatalf("shape %v", got.Ints["shape"])
+	}
+}
+
+func TestUnmarshalRejectsTruncated(t *testing.T) {
+	f := NewFeatures()
+	f.AddFloats("v", []float32{1, 2, 3})
+	raw := f.Marshal()
+	for cut := 1; cut < len(raw); cut += 3 {
+		if _, err := Unmarshal(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestUnmarshalRejectsUnknownKind(t *testing.T) {
+	f := NewFeatures()
+	f.AddBytes("k", []byte("v"))
+	raw := f.Marshal()
+	raw[4+4+1] = 99 // kind byte of key "k"
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func makeSample(t *testing.T, seed int64) *volume.Sample {
+	t.Helper()
+	v := msd.GenerateCase(msd.Config{Cases: 1, D: 8, H: 8, W: 8, Seed: seed}, 0)
+	s, err := volume.Preprocess(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampleRoundTrip(t *testing.T) {
+	s := makeSample(t, 5)
+	got, err := UnmarshalSample(MarshalSample(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name {
+		t.Fatalf("name %q", got.Name)
+	}
+	if !got.Input.SameShape(s.Input) || !got.Mask.SameShape(s.Mask) {
+		t.Fatal("shapes do not round-trip")
+	}
+	for i, v := range s.Input.Data() {
+		if got.Input.Data()[i] != v {
+			t.Fatal("input data mismatch")
+		}
+	}
+	for i, v := range s.Mask.Data() {
+		if got.Mask.Data()[i] != v {
+			t.Fatal("mask data mismatch")
+		}
+	}
+}
+
+func TestUnmarshalSampleMissingFields(t *testing.T) {
+	f := NewFeatures()
+	f.AddBytes("name", []byte("x"))
+	if _, err := UnmarshalSample(f.Marshal()); err == nil {
+		t.Fatal("missing tensors must error")
+	}
+}
+
+func TestUnmarshalSampleShapeMismatch(t *testing.T) {
+	s := makeSample(t, 6)
+	f := NewFeatures()
+	f.AddBytes("name", []byte(s.Name))
+	f.AddInts("input_shape", []int64{1, 1, 1, 1}) // wrong volume
+	f.AddFloats("input", s.Input.Data())
+	f.AddInts("mask_shape", []int64{1, 8, 8, 8})
+	f.AddFloats("mask", s.Mask.Data())
+	if _, err := UnmarshalSample(f.Marshal()); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestWriteReadSamplesStream(t *testing.T) {
+	samples := []*volume.Sample{makeSample(t, 7), makeSample(t, 8), makeSample(t, 9)}
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d samples", len(got))
+	}
+	for i := range samples {
+		if got[i].Name != samples[i].Name {
+			t.Fatalf("sample %d name %q want %q", i, got[i].Name, samples[i].Name)
+		}
+	}
+}
+
+// Property: arbitrary payloads frame and unframe identically.
+func TestPropertyFramingRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		if len(payloads) > 20 {
+			return true
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range payloads {
+			if err := w.Write(p); err != nil {
+				return false
+			}
+		}
+		r := NewReader(&buf)
+		for _, want := range payloads {
+			got, err := r.Next()
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err := r.Next()
+		return err == io.EOF
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package record
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/volume"
+)
+
+// ShardPath returns the conventional shard filename,
+// e.g. train-00002-of-00008.tfrecord.
+func ShardPath(dir, base string, index, total int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%05d-of-%05d.tfrecord", base, index, total))
+}
+
+// WriteShards distributes samples round-robin over n shard files, the
+// layout tf.data consumes with interleave: each shard is opened as its own
+// sub-stream so reads parallelize.
+func WriteShards(dir, base string, samples []*volume.Sample, n int) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("record: shard count must be positive, got %d", n)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("record: no samples to shard")
+	}
+	if n > len(samples) {
+		n = len(samples)
+	}
+	paths := make([]string, n)
+	writers := make([]*Writer, n)
+	files := make([]*os.File, n)
+	for i := 0; i < n; i++ {
+		paths[i] = ShardPath(dir, base, i, n)
+		f, err := os.Create(paths[i])
+		if err != nil {
+			return nil, fmt.Errorf("record: %w", err)
+		}
+		files[i] = f
+		writers[i] = NewWriter(f)
+	}
+	var firstErr error
+	for i, s := range samples {
+		if err := writers[i%n].Write(MarshalSample(s)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("record: %w", err)
+		}
+	}
+	return paths, firstErr
+}
+
+// ListShards returns the shard files for a base name under dir, sorted by
+// shard index.
+func ListShards(dir, base string) ([]string, error) {
+	pattern := filepath.Join(dir, base+"-*-of-*.tfrecord")
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("record: no shards matching %s", pattern)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// ReadShard decodes every sample of one shard file.
+func ReadShard(path string) ([]*volume.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	defer f.Close()
+	samples, err := ReadSamples(f)
+	if err != nil {
+		return nil, fmt.Errorf("record: reading %s: %w", path, err)
+	}
+	return samples, nil
+}
+
+// ReadAllShards decodes every sample across all shards of a base name, in
+// shard order.
+func ReadAllShards(dir, base string) ([]*volume.Sample, error) {
+	paths, err := ListShards(dir, base)
+	if err != nil {
+		return nil, err
+	}
+	var out []*volume.Sample
+	for _, p := range paths {
+		s, err := ReadShard(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package record
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/volume"
+)
+
+func shardSamples(t *testing.T, n int) []*volume.Sample {
+	t.Helper()
+	out := make([]*volume.Sample, n)
+	for i := range out {
+		out[i] = makeSample(t, int64(100+i))
+	}
+	return out
+}
+
+func TestShardPathFormat(t *testing.T) {
+	got := ShardPath("/data", "train", 2, 8)
+	want := filepath.Join("/data", "train-00002-of-00008.tfrecord")
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestWriteReadShardsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	samples := shardSamples(t, 7)
+	paths, err := WriteShards(dir, "train", samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths %v", paths)
+	}
+	// Round-robin: shard 0 holds samples 0,3,6; shard 1 holds 1,4; etc.
+	s0, err := ReadShard(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s0) != 3 || s0[0].Name != samples[0].Name || s0[2].Name != samples[6].Name {
+		t.Fatalf("shard 0 contents wrong: %d samples", len(s0))
+	}
+
+	all, err := ReadAllShards(dir, "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Fatalf("read %d samples", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		seen[s.Name] = true
+	}
+	for _, s := range samples {
+		if !seen[s.Name] {
+			t.Fatalf("sample %s lost in sharding", s.Name)
+		}
+	}
+}
+
+func TestWriteShardsClampToSampleCount(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteShards(dir, "small", shardSamples(t, 2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("expected clamp to 2 shards, got %d", len(paths))
+	}
+}
+
+func TestWriteShardsValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteShards(dir, "x", shardSamples(t, 1), 0); err == nil {
+		t.Fatal("0 shards must error")
+	}
+	if _, err := WriteShards(dir, "x", nil, 2); err == nil {
+		t.Fatal("no samples must error")
+	}
+}
+
+func TestListShardsSortedAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ListShards(dir, "none"); err == nil {
+		t.Fatal("missing shards must error")
+	}
+	if _, err := WriteShards(dir, "train", shardSamples(t, 6), 3); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ListShards(dir, "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i] <= paths[i-1] {
+			t.Fatal("shards not sorted")
+		}
+	}
+}
+
+func TestReadShardMissingFile(t *testing.T) {
+	if _, err := ReadShard(filepath.Join(t.TempDir(), "nope.tfrecord")); err == nil {
+		t.Fatal("missing shard must error")
+	}
+}

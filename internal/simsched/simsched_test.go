@@ -1,0 +1,177 @@
+package simsched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	if New().Now() != 0 {
+		t.Fatal("fresh engine must start at 0")
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	final := e.Run()
+	if final != 3 {
+		t.Fatalf("final time %v", final)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestTiesRunInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestAtAbsolute(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(7.5, func() { at = e.Now() })
+	e.Run()
+	if at != 7.5 {
+		t.Fatalf("got %v", at)
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := New()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("step should run an event")
+	}
+	if e.Pending() != 1 || e.Now() != 1 {
+		t.Fatalf("pending %d now %v", e.Pending(), e.Now())
+	}
+	e.Step()
+	if e.Step() {
+		t.Fatal("step on empty queue must report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := map[float64]bool{}
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { ran[d] = true })
+	}
+	e.RunUntil(2.5)
+	if !ran[1] || !ran[2] || ran[3] || ran[4] {
+		t.Fatalf("ran %v", ran)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.Run()
+	if !ran[4] {
+		t.Fatal("remaining events lost")
+	}
+}
+
+// Property: Run() always ends at the max scheduled time.
+func TestPropertyRunEndsAtMax(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 || len(delaysRaw) > 64 {
+			return true
+		}
+		e := New()
+		var max float64
+		for _, d := range delaysRaw {
+			delay := float64(d) / 100
+			if delay > max {
+				max = delay
+			}
+			e.Schedule(delay, func() {})
+		}
+		return e.Run() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards.
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) > 50 {
+			return true
+		}
+		e := New()
+		prev := 0.0
+		ok := true
+		for _, d := range delays {
+			e.Schedule(float64(d), func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// AddInto computes dst = a + b elementwise.
+func AddInto(dst, a, b *Tensor) {
+	assertSameShape("AddInto", a, b)
+	assertSameShape("AddInto", dst, a)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// AddScaled accumulates t += alpha * src (AXPY).
+func (t *Tensor) AddScaled(alpha float32, src *Tensor) {
+	assertSameShape("AddScaled", t, src)
+	for i := range t.data {
+		t.data[i] += alpha * src.data[i]
+	}
+}
+
+// Accumulate adds src into t elementwise.
+func (t *Tensor) Accumulate(src *Tensor) { t.AddScaled(1, src) }
+
+// Scale multiplies every element by alpha in place.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	return t.Sum() / float64(len(t.data))
+}
+
+// Variance returns the population variance of all elements.
+func (t *Tensor) Variance() float64 {
+	m := t.Mean()
+	var s float64
+	for _, v := range t.data {
+		d := float64(v) - m
+		s += d * d
+	}
+	return s / float64(len(t.data))
+}
+
+// Max returns the maximum element.
+func (t *Tensor) Max() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func (t *Tensor) Min() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of a and b flattened.
+func Dot(a, b *Tensor) float64 {
+	assertSameShape("Dot", a, b)
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b; useful for gradient checking.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	assertSameShape("MaxAbsDiff", a, b)
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Map returns a new tensor whose elements are f applied to t's elements.
+func (t *Tensor) Map(f func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Clamp limits every element to [lo, hi] in place.
+func (t *Tensor) Clamp(lo, hi float32) {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}

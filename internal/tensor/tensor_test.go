@@ -1,0 +1,307 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 || x.Size() != 24 {
+		t.Fatalf("got rank %d size %d, want 3 and 24", x.Rank(), x.Size())
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad dims %v", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	x := FromSlice(d, 2, 3)
+	if x.At(0, 0) != 1 || x.At(1, 2) != 6 {
+		t.Fatalf("bad layout: %v", x.Data())
+	}
+	x.Set(42, 1, 0)
+	if d[3] != 42 {
+		t.Fatal("FromSlice must share the backing slice")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestStridesRowMajor(t *testing.T) {
+	x := New(2, 3, 4)
+	s := x.Strides()
+	if s[0] != 12 || s[1] != 4 || s[2] != 1 {
+		t.Fatalf("strides %v, want [12 4 1]", s)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	x.Set(7.5, 2, 1, 3)
+	if got := x.At(2, 1, 3); got != 7.5 {
+		t.Fatalf("got %v", got)
+	}
+	// Flat offset must match row-major formula.
+	if x.Data()[2*20+1*5+3] != 7.5 {
+		t.Fatal("row-major offset mismatch")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := Full(3, 2, 2)
+	c := x.Clone()
+	c.Set(9, 0, 0)
+	if x.At(0, 0) != 3 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 1)
+	if x.At(0, 1) != 99 {
+		t.Fatal("Reshape must share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape volume")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	if got := Add(a, b).Data(); got[0] != 6 || got[3] != 12 {
+		t.Fatalf("Add got %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 4 || got[3] != 4 {
+		t.Fatalf("Sub got %v", got)
+	}
+	if got := Mul(a, b).Data(); got[0] != 5 || got[3] != 32 {
+		t.Fatalf("Mul got %v", got)
+	}
+	dst := New(2, 2)
+	AddInto(dst, a, b)
+	if dst.At(1, 1) != 12 {
+		t.Fatalf("AddInto got %v", dst.Data())
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	a.AddScaled(0.5, b)
+	if a.At(0) != 6 || a.At(1) != 12 {
+		t.Fatalf("got %v", a.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if x.Sum() != 10 {
+		t.Fatalf("Sum got %v", x.Sum())
+	}
+	if x.Mean() != 2.5 {
+		t.Fatalf("Mean got %v", x.Mean())
+	}
+	if x.Max() != 4 || x.Min() != 1 {
+		t.Fatalf("Max/Min got %v/%v", x.Max(), x.Min())
+	}
+	if v := x.Variance(); math.Abs(v-1.25) > 1e-9 {
+		t.Fatalf("Variance got %v, want 1.25", v)
+	}
+	if x.ArgMax() != 3 {
+		t.Fatalf("ArgMax got %d", x.ArgMax())
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot got %v", Dot(a, a))
+	}
+	if a.L2Norm() != 5 {
+		t.Fatalf("L2Norm got %v", a.L2Norm())
+	}
+}
+
+func TestApplyMapClamp(t *testing.T) {
+	x := FromSlice([]float32{-1, 0, 2}, 3)
+	y := x.Map(func(v float32) float32 { return v * v })
+	if y.At(0) != 1 || y.At(2) != 4 {
+		t.Fatalf("Map got %v", y.Data())
+	}
+	x.Apply(func(v float32) float32 { return v + 1 })
+	if x.At(0) != 0 {
+		t.Fatalf("Apply got %v", x.Data())
+	}
+	x.Clamp(0.5, 1.5)
+	if x.At(0) != 0.5 || x.At(2) != 1.5 {
+		t.Fatalf("Clamp got %v", x.Data())
+	}
+}
+
+func TestRandnStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := Randn(rng, 2, 3, 100, 100)
+	if m := x.Mean(); math.Abs(m-2) > 0.1 {
+		t.Fatalf("mean %v too far from 2", m)
+	}
+	if v := x.Variance(); math.Abs(v-9) > 0.5 {
+		t.Fatalf("variance %v too far from 9", v)
+	}
+}
+
+func TestTruncatedNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := TruncatedNormal(rng, 0, 1, 10000)
+	for _, v := range x.Data() {
+		if v < -2 || v > 2 {
+			t.Fatalf("value %v outside ±2σ", v)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := Uniform(rng, -1, 1, 1000)
+	for _, v := range x.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	if !x.IsFinite() {
+		t.Fatal("finite tensor reported non-finite")
+	}
+	x.Set(float32(math.NaN()), 0)
+	if x.IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+	x.Set(float32(math.Inf(1)), 0)
+	if x.IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a := New(2, 2)
+	b := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(a, b)
+}
+
+// Property: Add is commutative and Sub(Add(a,b),b) == a.
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(vals [8]int8) bool {
+		a := New(8)
+		b := New(8)
+		for i := 0; i < 8; i++ {
+			a.Data()[i] = float32(vals[i])
+			b.Data()[i] = float32(vals[(i+3)%8])
+		}
+		ab := Add(a, b)
+		ba := Add(b, a)
+		if MaxAbsDiff(ab, ba) != 0 {
+			return false
+		}
+		back := Sub(ab, b)
+		return MaxAbsDiff(back, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale then Scale by reciprocal approximately restores the tensor.
+func TestPropertyScaleInverse(t *testing.T) {
+	f := func(vals [6]int8, k uint8) bool {
+		alpha := float32(int(k)%7 + 1)
+		x := New(6)
+		for i := range vals {
+			x.Data()[i] = float32(vals[i])
+		}
+		orig := x.Clone()
+		x.Scale(alpha)
+		x.Scale(1 / alpha)
+		return MaxAbsDiff(x, orig) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CopyFrom + Clone produce equal tensors.
+func TestPropertyCopyClone(t *testing.T) {
+	f := func(vals [5]int16) bool {
+		x := New(5)
+		for i := range vals {
+			x.Data()[i] = float32(vals[i])
+		}
+		y := New(5)
+		y.CopyFrom(x)
+		return MaxAbsDiff(y, x.Clone()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddInto(b *testing.B) {
+	x := Full(1, 64, 64, 64)
+	y := Full(2, 64, 64, 64)
+	dst := New(64, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AddInto(dst, x, y)
+	}
+}

@@ -1,0 +1,81 @@
+package tune
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV exports an analysis as CSV: one row per trial with its
+// hyper-parameters, lifecycle status, report count and best metric. Columns
+// are the union of all config keys, sorted, so heterogeneous spaces export
+// cleanly.
+func (a *Analysis) WriteCSV(w io.Writer) error {
+	keySet := map[string]bool{}
+	for _, t := range a.Trials {
+		for k := range t.Config {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"trial"}, keys...)
+	header = append(header, "status", "reports", "best_"+a.Metric)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	for _, t := range a.Trials {
+		row := []string{strconv.Itoa(t.ID)}
+		for _, k := range keys {
+			v, ok := t.Config[k]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+		row = append(row, t.Status().String(), strconv.Itoa(len(t.Reports())))
+		if best, ok := t.BestMetric(a.Metric, a.Mode); ok {
+			row = append(row, strconv.FormatFloat(best, 'g', 6, 64))
+		} else {
+			row = append(row, "")
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("tune: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	return nil
+}
+
+// Summary renders a human-readable leaderboard of the top n trials.
+func (a *Analysis) Summary(n int) string {
+	var b strings.Builder
+	ranked := a.Ranked()
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	fmt.Fprintf(&b, "%d trials, metric %s (%s). Top %d:\n", len(a.Trials), a.Metric, a.Mode, n)
+	for i := 0; i < n; i++ {
+		t := ranked[i]
+		best, ok := t.BestMetric(a.Metric, a.Mode)
+		val := "n/a"
+		if ok {
+			val = strconv.FormatFloat(best, 'f', 4, 64)
+		}
+		fmt.Fprintf(&b, "%3d. trial %-3d %s=%s  %-10s  %s\n",
+			i+1, t.ID, a.Metric, val, t.Status(), renderConfig(t.Config))
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func exportAnalysis() *Analysis {
+	a := &Analysis{Metric: "dice", Mode: "max"}
+	for i, v := range []float64{0.5, 0.9} {
+		tr := NewTrial(i, Config{"lr": 0.01 * float64(i+1), "loss": "dice"})
+		tr.addReport(Report{Step: 1, Metrics: map[string]float64{"dice": v}})
+		tr.setStatus(Terminated)
+		a.Trials = append(a.Trials, tr)
+	}
+	noMetric := NewTrial(2, Config{"lr": 0.5, "loss": "bce"})
+	noMetric.setStatus(Errored)
+	a.Trials = append(a.Trials, noMetric)
+	return a
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := exportAnalysis()
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	header := rows[0]
+	want := []string{"trial", "loss", "lr", "status", "reports", "best_dice"}
+	if len(header) != len(want) {
+		t.Fatalf("header %v", header)
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			t.Fatalf("header %v, want %v", header, want)
+		}
+	}
+	if rows[1][0] != "0" || rows[1][3] != "TERMINATED" || rows[1][5] != "0.5" {
+		t.Fatalf("row 1: %v", rows[1])
+	}
+	if rows[3][3] != "ERRORED" || rows[3][5] != "" {
+		t.Fatalf("errored row: %v", rows[3])
+	}
+}
+
+func TestSummaryLeaderboard(t *testing.T) {
+	a := exportAnalysis()
+	s := a.Summary(2)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("summary:\n%s", s)
+	}
+	// Best trial (dice 0.9, id 1) first.
+	if !strings.Contains(lines[1], "trial 1") || !strings.Contains(lines[1], "0.9000") {
+		t.Fatalf("leaderboard order wrong:\n%s", s)
+	}
+}
+
+func TestSummaryClampsN(t *testing.T) {
+	a := exportAnalysis()
+	if s := a.Summary(100); !strings.Contains(s, "Top 3") {
+		t.Fatalf("clamp failed:\n%s", s)
+	}
+}

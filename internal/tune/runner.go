@@ -1,0 +1,147 @@
+package tune
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// TrialContext is handed to the user's training function. Its Report method
+// is the paper's "reporting callback function" protocol: the trainable
+// reports metrics each epoch and learns whether to keep going.
+type TrialContext struct {
+	Trial *Trial
+
+	runner *Runner
+	stop   bool
+}
+
+// Report records metrics at a step and returns false when the scheduler
+// wants the trial stopped; the trainable should then return promptly.
+func (c *TrialContext) Report(step int, metrics map[string]float64) bool {
+	if c.stop {
+		return false
+	}
+	rep := Report{Step: step, Metrics: metrics}
+	c.Trial.addReport(rep)
+	if c.runner.scheduler.OnReport(c.Trial, rep, c.runner.trials) == StopTrial {
+		c.stop = true
+		return false
+	}
+	return true
+}
+
+// Stopped reports whether the scheduler has requested an early stop.
+func (c *TrialContext) Stopped() bool { return c.stop }
+
+// Trainable is the user's training function, the analogue of the "training
+// function to be called from Ray, having a dictionary containing the
+// hyperparameters as argument".
+type Trainable func(ctx *TrialContext) error
+
+// Runner executes a set of trials over a cluster, one GPU per trial.
+type Runner struct {
+	Cluster   *cluster.Cluster
+	Placement cluster.PlacementPolicy
+	Metric    string
+	Mode      string // "max" (default) or "min"
+
+	scheduler Scheduler
+	trials    []*Trial
+}
+
+// NewRunner builds a runner; a nil scheduler means FIFO.
+func NewRunner(cl *cluster.Cluster, sched Scheduler, metric, mode string) (*Runner, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("tune: nil cluster")
+	}
+	if metric == "" {
+		return nil, fmt.Errorf("tune: metric name required")
+	}
+	if mode != "max" && mode != "min" {
+		return nil, fmt.Errorf("tune: mode must be \"max\" or \"min\", got %q", mode)
+	}
+	if sched == nil {
+		sched = FIFO{}
+	}
+	return &Runner{Cluster: cl, Placement: cluster.Pack, Metric: metric, Mode: mode, scheduler: sched}, nil
+}
+
+// Run executes one trial per configuration, at most one per GPU
+// concurrently, and blocks until all trials finish. This is the analogue of
+// Tune.Run: "the batch of experiments are run through Tune.Run, passing the
+// set of hyper-parameters to explore".
+func (r *Runner) Run(configs []Config, trainable Trainable) (*Analysis, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("tune: no configurations to run")
+	}
+	if trainable == nil {
+		return nil, fmt.Errorf("tune: nil trainable")
+	}
+	r.trials = make([]*Trial, len(configs))
+	for i, cfg := range configs {
+		r.trials[i] = NewTrial(i, cfg)
+	}
+
+	alloc := r.Cluster.NewAlloc(r.Placement)
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+
+	// One worker per GPU pulls pending trials until none remain.
+	workers := r.Cluster.TotalGPUs()
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(r.trials) {
+					mu.Unlock()
+					return
+				}
+				trial := r.trials[next]
+				next++
+				gpu, ok := alloc.Acquire()
+				mu.Unlock()
+				if !ok {
+					// Cannot happen: workers ≤ GPUs.
+					trial.setErr(fmt.Errorf("tune: no GPU available"))
+					continue
+				}
+				trial.setGPU(gpu)
+				trial.setStatus(Running)
+				ctx := &TrialContext{Trial: trial, runner: r}
+				err := runTrial(ctx, trainable)
+				switch {
+				case err != nil:
+					trial.setErr(err)
+				case ctx.stop:
+					trial.setStatus(Stopped)
+				default:
+					trial.setStatus(Terminated)
+				}
+				mu.Lock()
+				alloc.Release(gpu)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return &Analysis{Trials: r.trials, Metric: r.Metric, Mode: r.Mode}, nil
+}
+
+// runTrial isolates trainable panics into trial errors so one bad
+// configuration cannot take down the whole search.
+func runTrial(ctx *TrialContext, trainable Trainable) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("tune: trial %d panicked: %v", ctx.Trial.ID, rec)
+		}
+	}()
+	return trainable(ctx)
+}

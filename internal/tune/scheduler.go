@@ -1,0 +1,169 @@
+package tune
+
+import (
+	"sort"
+	"sync"
+)
+
+// Decision is a scheduler's verdict on a reporting trial.
+type Decision int
+
+// Scheduler decisions.
+const (
+	Continue Decision = iota
+	StopTrial
+)
+
+// Scheduler decides, on every report, whether a trial keeps running. This is
+// the extension point Ray.Tune calls a trial scheduler; FIFO reproduces the
+// paper's behaviour, median-stopping and ASHA implement the "smarter
+// tuning" extensions.
+type Scheduler interface {
+	Name() string
+	OnReport(trial *Trial, rep Report, peers []*Trial) Decision
+}
+
+// FIFO runs every trial to completion (Ray.Tune's default; the paper's
+// benchmark behaviour).
+type FIFO struct{}
+
+// Name implements Scheduler.
+func (FIFO) Name() string { return "fifo" }
+
+// OnReport implements Scheduler.
+func (FIFO) OnReport(*Trial, Report, []*Trial) Decision { return Continue }
+
+// MedianStopping stops a trial whose best metric is worse than the median
+// of its peers' bests, after a grace period.
+type MedianStopping struct {
+	Metric      string
+	Mode        string // "max" or "min"
+	GracePeriod int    // reports before the rule may fire
+	MinPeers    int    // peers with data required before the rule may fire
+}
+
+// Name implements Scheduler.
+func (m MedianStopping) Name() string { return "median-stopping" }
+
+// OnReport implements Scheduler.
+func (m MedianStopping) OnReport(trial *Trial, rep Report, peers []*Trial) Decision {
+	if rep.Step < m.GracePeriod {
+		return Continue
+	}
+	var peerBests []float64
+	for _, p := range peers {
+		if p == trial {
+			continue
+		}
+		if v, ok := p.BestMetric(m.Metric, m.Mode); ok {
+			peerBests = append(peerBests, v)
+		}
+	}
+	if len(peerBests) < m.MinPeers {
+		return Continue
+	}
+	sort.Float64s(peerBests)
+	median := peerBests[len(peerBests)/2]
+	mine, ok := trial.BestMetric(m.Metric, m.Mode)
+	if !ok {
+		return Continue
+	}
+	worse := mine < median
+	if m.Mode == "min" {
+		worse = mine > median
+	}
+	if worse {
+		return StopTrial
+	}
+	return Continue
+}
+
+// ASHA is the asynchronous successive-halving scheduler: rungs sit at
+// MinT·Reduction^k steps; at each rung a trial survives only if it ranks in
+// the top 1/Reduction of the metric values recorded at that rung so far.
+type ASHA struct {
+	Metric    string
+	Mode      string
+	MinT      int // first rung
+	Reduction int // η
+
+	mu     sync.Mutex
+	rungs  map[int][]float64       // rung step → recorded metric values
+	judged map[*Trial]map[int]bool // rungs already judged per trial
+}
+
+// NewASHA returns an ASHA scheduler with the given first rung and reduction
+// factor η (commonly 3 or 4).
+func NewASHA(metric, mode string, minT, reduction int) *ASHA {
+	if minT < 1 {
+		minT = 1
+	}
+	if reduction < 2 {
+		reduction = 2
+	}
+	return &ASHA{
+		Metric:    metric,
+		Mode:      mode,
+		MinT:      minT,
+		Reduction: reduction,
+		rungs:     map[int][]float64{},
+		judged:    map[*Trial]map[int]bool{},
+	}
+}
+
+// Name implements Scheduler.
+func (a *ASHA) Name() string { return "asha" }
+
+// rungFor returns the highest rung boundary ≤ step, or 0 if below MinT.
+func (a *ASHA) rungFor(step int) int {
+	r := a.MinT
+	best := 0
+	for r <= step {
+		best = r
+		r *= a.Reduction
+	}
+	return best
+}
+
+// OnReport implements Scheduler.
+func (a *ASHA) OnReport(trial *Trial, rep Report, peers []*Trial) Decision {
+	v, ok := rep.Metrics[a.Metric]
+	if !ok {
+		return Continue
+	}
+	rung := a.rungFor(rep.Step)
+	if rung == 0 {
+		return Continue
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Each trial is recorded and judged at most once per rung; later
+	// reports inside the same rung band are ignored.
+	if a.judged[trial] == nil {
+		a.judged[trial] = map[int]bool{}
+	}
+	if a.judged[trial][rung] {
+		return Continue
+	}
+	a.judged[trial][rung] = true
+	vals := append(a.rungs[rung], v)
+	a.rungs[rung] = vals
+	if len(vals) < a.Reduction {
+		return Continue // not enough evidence at this rung yet
+	}
+	sorted := append([]float64(nil), vals...)
+	if a.Mode == "min" {
+		sort.Float64s(sorted)
+	} else {
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	}
+	cut := sorted[(len(sorted)-1)/a.Reduction]
+	survives := v >= cut
+	if a.Mode == "min" {
+		survives = v <= cut
+	}
+	if survives {
+		return Continue
+	}
+	return StopTrial
+}

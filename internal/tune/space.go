@@ -1,0 +1,221 @@
+// Package tune is the experiment-distribution layer of the reproduction,
+// standing in for Ray.Tune: hyper-parameter search spaces, trial lifecycle,
+// early-stopping schedulers (FIFO, median stopping, ASHA) and a concurrent
+// runner that places one trial per GPU on a cluster, exactly the paper's
+// experiment-parallel strategy.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config is one hyper-parameter assignment.
+type Config map[string]any
+
+// Float returns the float64 value of key; integers are widened.
+func (c Config) Float(key string) float64 {
+	switch v := c[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	panic(fmt.Sprintf("tune: config key %q is not numeric: %v", key, c[key]))
+}
+
+// Str returns the string value of key.
+func (c Config) Str(key string) string {
+	if s, ok := c[key].(string); ok {
+		return s
+	}
+	panic(fmt.Sprintf("tune: config key %q is not a string: %v", key, c[key]))
+}
+
+// Has reports whether the key is present.
+func (c Config) Has(key string) bool { _, ok := c[key]; return ok }
+
+// clone returns a shallow copy.
+func (c Config) clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Dimension is one axis of a search space.
+type Dimension interface {
+	Name() string
+	// GridValues enumerates the axis for grid search; nil means the axis
+	// is continuous and cannot be grid-enumerated.
+	GridValues() []any
+	// Sample draws one value for random search.
+	Sample(rng *rand.Rand) any
+}
+
+type gridDim struct {
+	name   string
+	values []any
+}
+
+func (d gridDim) Name() string              { return d.name }
+func (d gridDim) GridValues() []any         { return d.values }
+func (d gridDim) Sample(rng *rand.Rand) any { return d.values[rng.Intn(len(d.values))] }
+
+// Grid declares a discrete axis with explicit values.
+func Grid(name string, values ...any) Dimension {
+	if len(values) == 0 {
+		panic("tune: Grid needs at least one value")
+	}
+	return gridDim{name: name, values: values}
+}
+
+// Choice is an alias of Grid matching Ray.Tune's tune.choice.
+func Choice(name string, values ...any) Dimension { return Grid(name, values...) }
+
+type uniformDim struct {
+	name   string
+	lo, hi float64
+}
+
+func (d uniformDim) Name() string              { return d.name }
+func (d uniformDim) GridValues() []any         { return nil }
+func (d uniformDim) Sample(rng *rand.Rand) any { return d.lo + rng.Float64()*(d.hi-d.lo) }
+
+// Uniform declares a continuous axis sampled uniformly from [lo, hi).
+func Uniform(name string, lo, hi float64) Dimension {
+	if hi <= lo {
+		panic("tune: Uniform needs hi > lo")
+	}
+	return uniformDim{name: name, lo: lo, hi: hi}
+}
+
+type logUniformDim struct {
+	name   string
+	lo, hi float64
+}
+
+func (d logUniformDim) Name() string      { return d.name }
+func (d logUniformDim) GridValues() []any { return nil }
+func (d logUniformDim) Sample(rng *rand.Rand) any {
+	return math.Exp(math.Log(d.lo) + rng.Float64()*(math.Log(d.hi)-math.Log(d.lo)))
+}
+
+// LogUniform declares a continuous axis sampled log-uniformly from [lo, hi),
+// the conventional scale for learning rates.
+func LogUniform(name string, lo, hi float64) Dimension {
+	if lo <= 0 || hi <= lo {
+		panic("tune: LogUniform needs 0 < lo < hi")
+	}
+	return logUniformDim{name: name, lo: lo, hi: hi}
+}
+
+// Space is a product of dimensions.
+type Space struct {
+	dims []Dimension
+}
+
+// NewSpace builds a search space; dimension names must be unique.
+func NewSpace(dims ...Dimension) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("tune: empty search space")
+	}
+	seen := map[string]bool{}
+	for _, d := range dims {
+		if seen[d.Name()] {
+			return nil, fmt.Errorf("tune: duplicate dimension %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+	return &Space{dims: dims}, nil
+}
+
+// GridConfigs enumerates the cross product of all axes ("this set of
+// configurations becomes the cross-product of the different values for each
+// option", §III-B.2). It fails if any axis is continuous.
+func (s *Space) GridConfigs() ([]Config, error) {
+	out := []Config{{}}
+	for _, d := range s.dims {
+		values := d.GridValues()
+		if values == nil {
+			return nil, fmt.Errorf("tune: dimension %q is continuous; use SampleConfigs", d.Name())
+		}
+		next := make([]Config, 0, len(out)*len(values))
+		for _, base := range out {
+			for _, v := range values {
+				c := base.clone()
+				c[d.Name()] = v
+				next = append(next, c)
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// SampleConfigs draws n random configurations.
+func (s *Space) SampleConfigs(n int, seed int64) []Config {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Config, n)
+	for i := range out {
+		c := Config{}
+		for _, d := range s.dims {
+			c[d.Name()] = d.Sample(rng)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Size returns the grid cardinality, or 0 if any axis is continuous.
+func (s *Space) Size() int {
+	n := 1
+	for _, d := range s.dims {
+		vs := d.GridValues()
+		if vs == nil {
+			return 0
+		}
+		n *= len(vs)
+	}
+	return n
+}
+
+// PaperSpace returns the benchmark's hyper-parameter search space: a
+// 4 × 2 × 2 × 2 = 32-experiment cross product over learning rate, loss
+// variant, optimizer and data augmentation.
+func PaperSpace() *Space {
+	s, err := NewSpace(
+		Grid("lr", 1e-5, 3e-5, 1e-4, 3e-4),
+		Grid("loss", "dice", "quadratic-dice"),
+		Grid("optimizer", "adam", "sgd"),
+		Grid("augment", "none", "flip"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SortConfigs orders configurations deterministically by their rendered
+// form, so distributed schedulers enumerate trials identically.
+func SortConfigs(cfgs []Config) {
+	sort.Slice(cfgs, func(i, j int) bool {
+		return renderConfig(cfgs[i]) < renderConfig(cfgs[j])
+	})
+}
+
+func renderConfig(c Config) string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%v;", k, c[k])
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package volume
+
+import (
+	"testing"
+)
+
+func TestOneHotLabels(t *testing.T) {
+	v := NewVolume("t", 1, 1, 1, 4)
+	v.Labels = []uint8{LabelBackground, LabelEdema, LabelNonEnhancingTumor, LabelEnhancingTumor}
+	oh := v.OneHotLabels()
+	shape := oh.Shape()
+	if shape[0] != NumClasses || shape[3] != 4 {
+		t.Fatalf("shape %v", shape)
+	}
+	// Each voxel has exactly one hot class, matching its label.
+	for x := 0; x < 4; x++ {
+		hot := -1
+		for c := 0; c < NumClasses; c++ {
+			if oh.At(c, 0, 0, x) == 1 {
+				if hot != -1 {
+					t.Fatalf("voxel %d has two hot classes", x)
+				}
+				hot = c
+			}
+		}
+		if hot != int(v.Labels[x]) {
+			t.Fatalf("voxel %d hot class %d, label %d", x, hot, v.Labels[x])
+		}
+	}
+}
+
+func TestOneHotSumsToOne(t *testing.T) {
+	v := randVolume(21, 2, 3, 4, 4)
+	oh := v.OneHotLabels()
+	spatial := 3 * 4 * 4
+	for i := 0; i < spatial; i++ {
+		var sum float32
+		for c := 0; c < NumClasses; c++ {
+			sum += oh.Data()[c*spatial+i]
+		}
+		if sum != 1 {
+			t.Fatalf("voxel %d one-hot sum %v", i, sum)
+		}
+	}
+}
+
+func TestPreprocessMultiClass(t *testing.T) {
+	v := randVolume(22, 4, 10, 8, 8)
+	s, err := PreprocessMultiClass(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mask.Dim(0) != NumClasses {
+		t.Fatalf("mask channels %d, want %d", s.Mask.Dim(0), NumClasses)
+	}
+	if s.Mask.Dim(1) != 8 {
+		t.Fatalf("mask depth %d must match cropped input", s.Mask.Dim(1))
+	}
+	if s.Input.Dim(0) != 4 {
+		t.Fatalf("input channels %d", s.Input.Dim(0))
+	}
+	// Mask voxel count per class must match the cropped label histogram.
+	work := v.CropDepth(8)
+	counts := make([]float64, NumClasses)
+	for _, l := range work.Labels {
+		counts[l]++
+	}
+	spatial := 8 * 8 * 8
+	for c := 0; c < NumClasses; c++ {
+		var sum float64
+		for i := 0; i < spatial; i++ {
+			sum += float64(s.Mask.Data()[c*spatial+i])
+		}
+		if sum != counts[c] {
+			t.Fatalf("class %d: mask %v vs labels %v", c, sum, counts[c])
+		}
+	}
+}
+
+func TestPreprocessMultiClassErrors(t *testing.T) {
+	v := randVolume(23, 1, 4, 8, 8)
+	if _, err := PreprocessMultiClass(v, 8); err == nil {
+		t.Fatal("depth < divisor must error")
+	}
+}
+
+func TestFlipWInvolutionAndAlignment(t *testing.T) {
+	v := randVolume(24, 2, 4, 4, 6)
+	s, err := Preprocess(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FlipW(s)
+	if f.Name != s.Name+"-flip" {
+		t.Fatalf("name %q", f.Name)
+	}
+	// Flip twice restores.
+	ff := FlipW(f)
+	for i := range s.Input.Data() {
+		if ff.Input.Data()[i] != s.Input.Data()[i] {
+			t.Fatal("input flip not involutive")
+		}
+	}
+	for i := range s.Mask.Data() {
+		if ff.Mask.Data()[i] != s.Mask.Data()[i] {
+			t.Fatal("mask flip not involutive")
+		}
+	}
+	// Voxel correspondence: x ↔ W-1-x.
+	w := s.Input.Dim(3)
+	if f.Input.At(0, 1, 2, 0) != s.Input.At(0, 1, 2, w-1) {
+		t.Fatal("flip misaligned")
+	}
+}

@@ -1,0 +1,114 @@
+package volume
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample rescales the volume to new spatial extents using trilinear
+// interpolation for intensities and nearest-neighbour for labels — the
+// spacing normalization real MSD ingestion performs when a scanner's voxel
+// spacing differs from the dataset's uniform 1.0x1.0x1.0 mm³.
+func Resample(v *Volume, nd, nh, nw int) (*Volume, error) {
+	if nd <= 0 || nh <= 0 || nw <= 0 {
+		return nil, fmt.Errorf("volume: invalid resample target %dx%dx%d", nd, nh, nw)
+	}
+	out := NewVolume(v.Name, v.Channels, nd, nh, nw)
+	// Map output voxel centres onto the source grid (align-corners when the
+	// extent allows, degenerate axes pin to 0).
+	scale := func(n, o int) float64 {
+		if n <= 1 {
+			return 0
+		}
+		return float64(o-1) / float64(n-1)
+	}
+	sz, sy, sx := scale(nd, v.D), scale(nh, v.H), scale(nw, v.W)
+
+	for z := 0; z < nd; z++ {
+		fz := float64(z) * sz
+		z0 := int(math.Floor(fz))
+		z1 := z0 + 1
+		if z1 >= v.D {
+			z1 = v.D - 1
+		}
+		wz := fz - float64(z0)
+		for y := 0; y < nh; y++ {
+			fy := float64(y) * sy
+			y0 := int(math.Floor(fy))
+			y1 := y0 + 1
+			if y1 >= v.H {
+				y1 = v.H - 1
+			}
+			wy := fy - float64(y0)
+			for x := 0; x < nw; x++ {
+				fx := float64(x) * sx
+				x0 := int(math.Floor(fx))
+				x1 := x0 + 1
+				if x1 >= v.W {
+					x1 = v.W - 1
+				}
+				wx := fx - float64(x0)
+
+				for c := 0; c < v.Channels; c++ {
+					c000 := float64(v.Intensity(c, z0, y0, x0))
+					c001 := float64(v.Intensity(c, z0, y0, x1))
+					c010 := float64(v.Intensity(c, z0, y1, x0))
+					c011 := float64(v.Intensity(c, z0, y1, x1))
+					c100 := float64(v.Intensity(c, z1, y0, x0))
+					c101 := float64(v.Intensity(c, z1, y0, x1))
+					c110 := float64(v.Intensity(c, z1, y1, x0))
+					c111 := float64(v.Intensity(c, z1, y1, x1))
+					top := lerp2(c000, c001, c010, c011, wx, wy)
+					bot := lerp2(c100, c101, c110, c111, wx, wy)
+					out.SetIntensity(float32(top*(1-wz)+bot*wz), c, z, y, x)
+				}
+
+				// Labels: nearest neighbour keeps classes intact.
+				nzi := int(math.Round(fz))
+				nyi := int(math.Round(fy))
+				nxi := int(math.Round(fx))
+				if nzi >= v.D {
+					nzi = v.D - 1
+				}
+				if nyi >= v.H {
+					nyi = v.H - 1
+				}
+				if nxi >= v.W {
+					nxi = v.W - 1
+				}
+				out.Labels[out.VoxelIndex(z, y, x)] = v.Labels[v.VoxelIndex(nzi, nyi, nxi)]
+			}
+		}
+	}
+	return out, nil
+}
+
+// lerp2 bilinearly interpolates four corner values.
+func lerp2(c00, c01, c10, c11, wx, wy float64) float64 {
+	a := c00*(1-wx) + c01*wx
+	b := c10*(1-wx) + c11*wx
+	return a*(1-wy) + b*wy
+}
+
+// ResampleToSpacing rescales the volume from srcSpacing (mm per voxel along
+// D, H, W) to dstSpacing, preserving physical extent.
+func ResampleToSpacing(v *Volume, srcSpacing, dstSpacing [3]float64) (*Volume, error) {
+	for i := 0; i < 3; i++ {
+		if srcSpacing[i] <= 0 || dstSpacing[i] <= 0 {
+			return nil, fmt.Errorf("volume: non-positive spacing %v -> %v", srcSpacing, dstSpacing)
+		}
+	}
+	nd := int(math.Round(float64(v.D) * srcSpacing[0] / dstSpacing[0]))
+	nh := int(math.Round(float64(v.H) * srcSpacing[1] / dstSpacing[1]))
+	nw := int(math.Round(float64(v.W) * srcSpacing[2] / dstSpacing[2]))
+	if nd < 1 {
+		nd = 1
+	}
+	if nh < 1 {
+		nh = 1
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return Resample(v, nd, nh, nw)
+}

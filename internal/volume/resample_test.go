@@ -1,0 +1,119 @@
+package volume
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gradientVolume(c, d, h, w int) *Volume {
+	v := NewVolume("g", c, d, h, w)
+	for ci := 0; ci < c; ci++ {
+		for z := 0; z < d; z++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v.SetIntensity(float32(x), ci, z, y, x)
+				}
+			}
+		}
+	}
+	return v
+}
+
+func TestResampleIdentity(t *testing.T) {
+	src := randVolume(1, 2, 4, 5, 6)
+	out, err := Resample(src, 4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Intensities {
+		if math.Abs(float64(out.Intensities[i]-src.Intensities[i])) > 1e-6 {
+			t.Fatal("identity resample changed intensities")
+		}
+	}
+	for i := range src.Labels {
+		if out.Labels[i] != src.Labels[i] {
+			t.Fatal("identity resample changed labels")
+		}
+	}
+}
+
+func TestResampleLinearRamp(t *testing.T) {
+	// Doubling resolution of a linear ramp keeps it linear: midpoint
+	// voxels interpolate halfway.
+	src := gradientVolume(1, 2, 2, 3) // values 0,1,2 along x
+	out, err := Resample(src, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0.5, 1, 1.5, 2}
+	for x, w := range want {
+		got := out.Intensity(0, 0, 0, x)
+		if math.Abs(float64(got-w)) > 1e-6 {
+			t.Fatalf("x=%d: got %v want %v", x, got, w)
+		}
+	}
+}
+
+func TestResampleDownThenDims(t *testing.T) {
+	src := randVolume(11, 4, 8, 8, 8)
+	out, err := Resample(src, 4, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.D != 4 || out.H != 6 || out.W != 5 || out.Channels != 4 {
+		t.Fatalf("dims %d %d %d %d", out.D, out.H, out.W, out.Channels)
+	}
+}
+
+func TestResampleLabelsStayValid(t *testing.T) {
+	src := randVolume(12, 1, 6, 6, 6)
+	out, err := Resample(src, 9, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range out.Labels {
+		if l >= NumClasses {
+			t.Fatalf("invalid label %d after resample", l)
+		}
+	}
+}
+
+func TestResampleRejectsBadTarget(t *testing.T) {
+	src := randVolume(13, 1, 4, 4, 4)
+	if _, err := Resample(src, 0, 4, 4); err == nil {
+		t.Fatal("zero extent must error")
+	}
+}
+
+func TestResampleToSpacing(t *testing.T) {
+	src := randVolume(14, 1, 10, 10, 10)
+	// 2 mm voxels resampled to 1 mm: extent doubles.
+	out, err := ResampleToSpacing(src, [3]float64{2, 2, 2}, [3]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.D != 20 || out.H != 20 || out.W != 20 {
+		t.Fatalf("dims %d %d %d, want 20^3", out.D, out.H, out.W)
+	}
+	if _, err := ResampleToSpacing(src, [3]float64{0, 1, 1}, [3]float64{1, 1, 1}); err == nil {
+		t.Fatal("zero spacing must error")
+	}
+}
+
+func TestResamplePreservesValueRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	src := NewVolume("r", 1, 6, 6, 6)
+	for i := range src.Intensities {
+		src.Intensities[i] = float32(rng.Float64())
+	}
+	out, err := Resample(src, 11, 7, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Intensities {
+		if v < 0 || v > 1 {
+			t.Fatalf("interpolation overshoot: %v", v)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package volume
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVolume(seed int64, c, d, h, w int) *Volume {
+	rng := rand.New(rand.NewSource(seed))
+	v := NewVolume("t", c, d, h, w)
+	for i := range v.Intensities {
+		v.Intensities[i] = float32(rng.NormFloat64()*3 + 5)
+	}
+	for i := range v.Labels {
+		v.Labels[i] = uint8(rng.Intn(NumClasses))
+	}
+	return v
+}
+
+func TestNewVolumePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVolume("x", 0, 2, 2, 2)
+}
+
+func TestIntensityRoundTrip(t *testing.T) {
+	v := NewVolume("t", 2, 3, 4, 5)
+	v.SetIntensity(7, 1, 2, 3, 4)
+	if got := v.Intensity(1, 2, 3, 4); got != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if got := v.Intensity(0, 2, 3, 4); got != 0 {
+		t.Fatalf("channel bleed: %v", got)
+	}
+}
+
+func TestStandardizeZeroMeanUnitVar(t *testing.T) {
+	v := randVolume(1, 3, 4, 6, 8)
+	v.Standardize()
+	n := v.D * v.H * v.W
+	for c := 0; c < v.Channels; c++ {
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := float64(v.Intensities[i*v.Channels+c])
+			sum += x
+			sq += x * x
+		}
+		mean := sum / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean %v", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d variance %v", c, variance)
+		}
+	}
+}
+
+func TestStandardizeConstantChannel(t *testing.T) {
+	v := NewVolume("t", 1, 2, 2, 2)
+	for i := range v.Intensities {
+		v.Intensities[i] = 5
+	}
+	v.Standardize() // must not divide by zero
+	for _, x := range v.Intensities {
+		if x != 0 {
+			t.Fatalf("constant channel should centre to 0, got %v", x)
+		}
+	}
+}
+
+func TestCropDepth(t *testing.T) {
+	v := randVolume(2, 2, 5, 3, 3)
+	c := v.CropDepth(4)
+	if c.D != 4 || c.H != 3 || c.W != 3 {
+		t.Fatalf("bad crop dims %dx%dx%d", c.D, c.H, c.W)
+	}
+	// Data of retained slices must be identical.
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				if c.Intensity(1, z, y, x) != v.Intensity(1, z, y, x) {
+					t.Fatal("crop corrupted intensities")
+				}
+				if c.Labels[c.VoxelIndex(z, y, x)] != v.Labels[v.VoxelIndex(z, y, x)] {
+					t.Fatal("crop corrupted labels")
+				}
+			}
+		}
+	}
+}
+
+func TestCropDepthPaperShape(t *testing.T) {
+	// The paper crops 155 slices to 152 = 8·19 so three 2x poolings fit.
+	v := NewVolume("t", 1, 155, 8, 8)
+	c := v.CropDepth(152)
+	if c.D != 152 || c.D%8 != 0 {
+		t.Fatalf("paper crop failed: D=%d", c.D)
+	}
+}
+
+func TestCropDepthPanics(t *testing.T) {
+	v := NewVolume("t", 1, 4, 2, 2)
+	for _, d := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CropDepth(%d) did not panic", d)
+				}
+			}()
+			v.CropDepth(d)
+		}()
+	}
+}
+
+func TestBinarizeLabels(t *testing.T) {
+	v := NewVolume("t", 1, 1, 1, 4)
+	v.Labels = []uint8{LabelBackground, LabelEdema, LabelNonEnhancingTumor, LabelEnhancingTumor}
+	m := v.BinarizeLabels()
+	want := []float32{0, 1, 1, 1}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("binarize got %v", m)
+		}
+	}
+}
+
+func TestTumorFraction(t *testing.T) {
+	v := NewVolume("t", 1, 1, 1, 4)
+	v.Labels = []uint8{0, 1, 2, 0}
+	if f := v.TumorFraction(); f != 0.5 {
+		t.Fatalf("fraction %v", f)
+	}
+}
+
+func TestToChannelsFirstLayout(t *testing.T) {
+	v := NewVolume("t", 2, 2, 2, 2)
+	v.SetIntensity(3, 0, 1, 0, 1)
+	v.SetIntensity(9, 1, 0, 1, 0)
+	tns := v.ToChannelsFirst()
+	if tns.At(0, 1, 0, 1) != 3 {
+		t.Fatal("channel 0 misplaced")
+	}
+	if tns.At(1, 0, 1, 0) != 9 {
+		t.Fatal("channel 1 misplaced")
+	}
+	shape := tns.Shape()
+	if shape[0] != 2 || shape[1] != 2 || shape[2] != 2 || shape[3] != 2 {
+		t.Fatalf("shape %v", shape)
+	}
+}
+
+func TestLabelMaskShape(t *testing.T) {
+	v := randVolume(3, 4, 2, 4, 4)
+	m := v.LabelMask()
+	want := []int{1, 2, 4, 4}
+	for i, d := range want {
+		if m.Shape()[i] != d {
+			t.Fatalf("mask shape %v", m.Shape())
+		}
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	v := randVolume(4, 4, 10, 8, 8)
+	s, err := Preprocess(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth cropped to the largest multiple of 8 below 10 = 8.
+	if s.Input.Dim(1) != 8 {
+		t.Fatalf("depth %d, want 8", s.Input.Dim(1))
+	}
+	if s.Input.Dim(0) != 4 {
+		t.Fatalf("channels %d", s.Input.Dim(0))
+	}
+	// Original volume must be untouched.
+	if v.D != 10 {
+		t.Fatal("Preprocess mutated the input volume")
+	}
+	// Standardization applied: mean ≈ 0 per channel on the crop.
+	if m := s.Input.Mean(); math.Abs(m) > 0.01 {
+		t.Fatalf("input mean %v after standardize", m)
+	}
+}
+
+func TestPreprocessErrors(t *testing.T) {
+	v := randVolume(5, 1, 4, 8, 8)
+	if _, err := Preprocess(v, 0); err == nil {
+		t.Fatal("minDiv 0 must error")
+	}
+	if _, err := Preprocess(v, 8); err == nil {
+		t.Fatal("depth 4 < minDiv 8 must error")
+	}
+	vv := randVolume(6, 1, 8, 6, 8)
+	if _, err := Preprocess(vv, 8); err == nil {
+		t.Fatal("H not divisible must error")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	v1 := randVolume(7, 2, 4, 4, 4)
+	v2 := randVolume(8, 2, 4, 4, 4)
+	s1, _ := Preprocess(v1, 4)
+	s2, _ := Preprocess(v2, 4)
+	in, mask, err := Batch([]*Sample{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dim(0) != 2 || in.Dim(1) != 2 || mask.Dim(0) != 2 || mask.Dim(1) != 1 {
+		t.Fatalf("batch shapes %v %v", in.Shape(), mask.Shape())
+	}
+	// Sample order preserved.
+	if in.Data()[0] != s1.Input.Data()[0] {
+		t.Fatal("batch order wrong")
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if _, _, err := Batch(nil); err == nil {
+		t.Fatal("empty batch must error")
+	}
+	a, _ := Preprocess(randVolume(9, 1, 4, 4, 4), 4)
+	b, _ := Preprocess(randVolume(10, 1, 8, 4, 4), 4)
+	if _, _, err := Batch([]*Sample{a, b}); err == nil {
+		t.Fatal("mixed shapes must error")
+	}
+}
+
+func TestSplitPaperProportions(t *testing.T) {
+	train, val, test := Split(484)
+	if len(train) != 339 {
+		t.Fatalf("train %d, want 339 (70%% of 484)", len(train))
+	}
+	if len(val) != 73 {
+		t.Fatalf("val %d, want 73", len(val))
+	}
+	if len(test) != 72 {
+		t.Fatalf("test %d, want 72", len(test))
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	train, val, test := Split(0)
+	if train != nil || val != nil || test != nil {
+		t.Fatal("Split(0) must be empty")
+	}
+	train, val, test = Split(1)
+	if len(train)+len(val)+len(test) != 1 {
+		t.Fatal("Split(1) must cover the single case")
+	}
+}
+
+// Property: Split partitions 0..n-1 exactly (no overlap, no loss).
+func TestPropertySplitPartition(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw)%200 + 1
+		train, val, test := Split(n)
+		seen := map[int]int{}
+		for _, xs := range [][]int{train, val, test} {
+			for _, i := range xs {
+				seen[i]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 1 {
+				return false
+			}
+		}
+		// Train is always the largest split.
+		return len(train) >= len(val) && len(train) >= len(test)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: binarized mask voxel count equals TumorFraction · volume.
+func TestPropertyBinarizeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randVolume(seed, 1, 3, 4, 4)
+		m := v.BinarizeLabels()
+		var pos float64
+		for _, x := range m {
+			pos += float64(x)
+		}
+		return math.Abs(pos/float64(len(m))-v.TumorFraction()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
