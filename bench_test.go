@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation,
-// plus the ablations called out in DESIGN.md §7. Run with:
+// plus ablations around them. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -187,7 +187,7 @@ func BenchmarkPipelineOnlineVsOffline(b *testing.B) {
 }
 
 // BenchmarkAllReduce compares the real ring, naive and hierarchical
-// reductions at the paper's gradient size (DESIGN.md §7 ablation).
+// reductions at the paper's gradient size (all-reduce ablation).
 func BenchmarkAllReduce(b *testing.B) {
 	const replicas = 8
 	size := unet.MustNew(unet.PaperConfig()).ParamCount()
@@ -284,7 +284,7 @@ func BenchmarkUNetTrainStep(b *testing.B) {
 	}
 }
 
-// BenchmarkPrefetchDepth sweeps the pipeline prefetch depth (DESIGN.md §7).
+// BenchmarkPrefetchDepth sweeps the pipeline prefetch depth.
 func BenchmarkPrefetchDepth(b *testing.B) {
 	for _, depth := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
@@ -303,7 +303,7 @@ func BenchmarkPrefetchDepth(b *testing.B) {
 	}
 }
 
-// BenchmarkInterleaveWidth sweeps the interleave cycle length (DESIGN.md §7).
+// BenchmarkInterleaveWidth sweeps the interleave cycle length.
 func BenchmarkInterleaveWidth(b *testing.B) {
 	for _, cycle := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("cycle=%d", cycle), func(b *testing.B) {
@@ -321,7 +321,7 @@ func BenchmarkInterleaveWidth(b *testing.B) {
 }
 
 // BenchmarkMemoryModel exercises the 16 GB memory wall check across batch
-// sizes (DESIGN.md §7: per-replica batch 1 vs 2 under the V100 model).
+// sizes (ablation: per-replica batch 1 vs 2 under the V100 model).
 func BenchmarkMemoryModel(b *testing.B) {
 	dev := gpusim.V100()
 	cost, err := gpusim.CostUNet(unet.PaperConfig(), 152, 240, 240)

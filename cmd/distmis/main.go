@@ -36,6 +36,7 @@ func main() {
 	filters := flag.Int("filters", 2, "U-Net base filters")
 	scheduler := flag.String("scheduler", "fifo", "trial scheduler: fifo, median or asha")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "compute-worker budget shared across replicas/trials (0 = all cores)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -55,6 +56,7 @@ func main() {
 	}
 	opts.MaxTrainCases = 0
 	opts.MaxValCases = 0
+	opts.Workers = *workers
 
 	switch *scheduler {
 	case "fifo":

@@ -2,16 +2,16 @@
 // Hyperparameter Tuning for 3D Medical Image Segmentation" (Berral et al.,
 // IPDPS 2022, arXiv:2110.15884).
 //
-// The library lives under internal/: a float32 tensor engine and 3D CNN
-// layers (tensor, nn), the paper's 3D U-Net (unet), Dice losses and
-// optimizers (loss, optim, metrics), the data path from NIfTI phantoms to
-// TFRecords and tf.Data-style pipelines (msd, nifti, volume, record,
-// pipeline, profiler), the distribution layer (allreduce, mirrored, raysgd,
-// tune, cluster), the MareNostrum performance model and discrete-event
-// simulator regenerating the paper's Table I and Figure 4 (gpusim, netsim,
-// perfmodel, simsched, experiments), and the DistMIS facade (core).
+// The library lives under internal/: a float32 tensor engine, the fork-join
+// worker pool and 3D CNN layers (tensor, parallel, nn), the paper's 3D U-Net
+// (unet), Dice losses and optimizers (loss, optim, metrics), the data path
+// from NIfTI phantoms to TFRecords and tf.Data-style pipelines (msd, nifti,
+// volume, record, pipeline, profiler), the distribution layer (allreduce,
+// mirrored, raysgd, tune, cluster), the MareNostrum performance model and
+// discrete-event simulator regenerating the paper's Table I and Figure 4
+// (gpusim, netsim, perfmodel, simsched, experiments), and the DistMIS facade
+// (core).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. Executables live in cmd/
-// and runnable examples in examples/.
+// See README.md for a tour and PAPER.md for the source-paper summary.
+// Executables live in cmd/ and runnable examples in examples/.
 package repro

@@ -14,6 +14,7 @@ import (
 	"repro/internal/augment"
 	"repro/internal/cluster"
 	"repro/internal/msd"
+	"repro/internal/parallel"
 	"repro/internal/raysgd"
 	"repro/internal/tune"
 	"repro/internal/unet"
@@ -41,6 +42,11 @@ type Options struct {
 	Epochs          int
 	BatchPerReplica int
 	Seed            int64
+
+	// Workers is the machine-wide compute-worker budget (0 = all cores).
+	// Data-parallel runs hand it to the single trainer; experiment-parallel
+	// runs divide it among the concurrent single-GPU trials.
+	Workers int
 
 	// Scheduler optionally enables early stopping in experiment-parallel
 	// mode (nil = FIFO, the paper's behaviour).
@@ -183,7 +189,7 @@ func prepareData(opts Options) (train, val []*volume.Sample, err error) {
 
 // trainOne trains one configuration on the given GPU count and returns the
 // final validation Dice. The report hook forwards per-epoch metrics.
-func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus int,
+func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus, workers int,
 	train, val []*volume.Sample, report func(epoch int, dice float64) bool) (float64, error) {
 
 	var aug *augment.Pipeline
@@ -205,6 +211,7 @@ func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus int,
 		BaseLR:          cfg.Float("lr"),
 		BatchPerReplica: opts.BatchPerReplica,
 		Seed:            opts.Seed,
+		Workers:         workers,
 		Augment:         aug,
 	})
 	if err != nil {
@@ -228,7 +235,7 @@ func runDataParallel(opts Options, cl *cluster.Cluster, configs []tune.Config,
 
 	out := make([]TrialResult, 0, len(configs))
 	for _, cfg := range configs {
-		dice, err := trainOne(opts, cl, cfg, opts.GPUs, train, val, nil)
+		dice, err := trainOne(opts, cl, cfg, opts.GPUs, opts.Workers, train, val, nil)
 		res := TrialResult{Config: cfg, Dice: dice, Status: "TERMINATED", Err: err}
 		if err != nil {
 			res.Status = "ERRORED"
@@ -247,8 +254,17 @@ func runExperimentParallel(opts Options, cl *cluster.Cluster, configs []tune.Con
 	if err != nil {
 		return nil, err
 	}
+	// The runner schedules one single-GPU trial per cluster GPU (rounded up
+	// to whole nodes, so possibly more than opts.GPUs) but never more than
+	// there are configs; divide the budget by the real concurrency so the
+	// trials share the machine without oversubscribing or idling it.
+	concurrent := cl.TotalGPUs()
+	if len(configs) < concurrent {
+		concurrent = len(configs)
+	}
+	perTrial := parallel.Share(opts.Workers, concurrent)
 	analysis, err := runner.Run(configs, func(ctx *tune.TrialContext) error {
-		_, err := trainOne(opts, cl, ctx.Trial.Config, 1, train, val,
+		_, err := trainOne(opts, cl, ctx.Trial.Config, 1, perTrial, train, val,
 			func(epoch int, dice float64) bool {
 				return ctx.Report(epoch, map[string]float64{"dice": dice})
 			})

@@ -9,7 +9,7 @@ import (
 )
 
 // AllReduceAblation compares the campaign makespan of the data-parallel
-// method under ring vs naive all-reduce across the GPU ladder (DESIGN.md §7:
+// method under ring vs naive all-reduce across the GPU ladder (ablation:
 // the all-reduce algorithm is a design choice worth quantifying).
 type AllReduceAblation struct {
 	GPUs         int

@@ -36,7 +36,7 @@ func TestPaperCampaignShape(t *testing.T) {
 }
 
 // TestTable1ReproducesPaperShape asserts the reproduction criteria from
-// DESIGN.md §5 against the paper's Table I.
+// the experiments package against the paper's Table I.
 func TestTable1ReproducesPaperShape(t *testing.T) {
 	rows := paperRows(t)
 	byGPU := map[int]Measurement{}
@@ -65,7 +65,7 @@ func TestTable1ReproducesPaperShape(t *testing.T) {
 	}
 
 	// (3) The 32-GPU endpoints land in the paper's bands (×13.18 and
-	// ×15.19 measured; shape bands per DESIGN.md).
+	// ×15.19 measured; shape bands are documented inline).
 	r32 := byGPU[32]
 	if r32.Data.Speedup < 11 || r32.Data.Speedup > 14.5 {
 		t.Errorf("data speedup at 32 GPUs %0.2f outside [11, 14.5]", r32.Data.Speedup)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/unet"
 )
@@ -28,6 +29,13 @@ type Config struct {
 	Optimizer string  // "adam", "sgd"
 	BaseLR    float64 // scaled by Replicas per the paper's rule
 	ScaleLR   bool    // apply the linear scaling rule (paper: yes)
+
+	// Workers is the total compute-worker budget for the whole trainer
+	// (0 = the parallel package default, i.e. all cores). It is divided
+	// evenly among the replicas — each replica goroutine already stands in
+	// for one GPU, so replicas sharing the budget keeps a step at ~Workers
+	// cores instead of oversubscribing Replicas × Workers.
+	Workers int
 
 	// Reducer averages the replica gradient buffers in place; nil means
 	// flat ring all-reduce. The multi-node layer plugs in the
@@ -58,8 +66,11 @@ func New(cfg Config) (*Trainer, error) {
 		lr = optim.ScaleLRForReplicas(cfg.BaseLR, cfg.Replicas)
 	}
 	t := &Trainer{cfg: cfg, lossName: cfg.Loss}
+	perReplica := parallel.Share(cfg.Workers, cfg.Replicas)
 	for r := 0; r < cfg.Replicas; r++ {
-		net, err := unet.New(cfg.Net) // same seed → identical weights
+		netCfg := cfg.Net // same seed → identical weights
+		netCfg.Workers = perReplica
+		net, err := unet.New(netCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -156,6 +167,10 @@ func (t *Trainer) Evaluate(inputs, masks *tensor.Tensor) float64 {
 	m := t.Model()
 	m.SetTraining(false)
 	defer m.SetTraining(true)
+	// The other replicas are idle during evaluation, so replica 0 may use
+	// the trainer's whole worker budget instead of its training share.
+	m.SetWorkers(parallel.Resolve(t.cfg.Workers))
+	defer m.SetWorkers(parallel.Share(t.cfg.Workers, len(t.replicas)))
 	pred := m.Forward(inputs)
 	return metrics.DiceScore(pred, masks)
 }

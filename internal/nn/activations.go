@@ -3,12 +3,19 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// elemGrain is the chunk size for parallel elementwise kernels: big enough
+// to amortize chunk dispatch, small enough to balance load across workers.
+const elemGrain = 16384
 
 // ReLU is the rectified linear unit used after every batch-normalized
 // convolution in the paper's U-Net.
 type ReLU struct {
+	workerBudget
+
 	mask []bool // true where input > 0
 }
 
@@ -27,14 +34,16 @@ func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 		r.mask = make([]bool, len(xd))
 	}
 	r.mask = r.mask[:len(xd)]
-	for i, v := range xd {
-		if v > 0 {
-			od[i] = v
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
+	parallel.ForWorkers(r.workers, len(xd), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := xd[i]; v > 0 {
+				od[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -46,16 +55,20 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := tensor.New(gradOut.Shape()...)
 	god := gradOut.Data()
 	gid := gradIn.Data()
-	for i, g := range god {
-		if r.mask[i] {
-			gid[i] = g
+	parallel.ForWorkers(r.workers, len(god), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if r.mask[i] {
+				gid[i] = god[i]
+			}
 		}
-	}
+	})
 	return gradIn
 }
 
 // Sigmoid is the final activation producing per-voxel tumour probabilities.
 type Sigmoid struct {
+	workerBudget
+
 	output *tensor.Tensor
 }
 
@@ -70,9 +83,11 @@ func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
 	xd := x.Data()
 	od := out.Data()
-	for i, v := range xd {
-		od[i] = float32(1.0 / (1.0 + math.Exp(-float64(v))))
-	}
+	parallel.ForWorkers(s.workers, len(xd), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = float32(1.0 / (1.0 + math.Exp(-float64(xd[i]))))
+		}
+	})
 	s.output = out
 	return out
 }
@@ -86,10 +101,12 @@ func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	god := gradOut.Data()
 	gid := gradIn.Data()
 	od := s.output.Data()
-	for i, g := range god {
-		y := od[i]
-		gid[i] = g * y * (1 - y)
-	}
+	parallel.ForWorkers(s.workers, len(god), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y := od[i]
+			gid[i] = god[i] * y * (1 - y)
+		}
+	})
 	return gradIn
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -10,7 +11,13 @@ import (
 // as the paper applies before each ReLU. In training mode it uses batch
 // statistics and updates running estimates; in evaluation mode it uses the
 // running estimates.
+//
+// Forward and Backward parallelize over channels: each channel's statistics,
+// running estimates and output plane belong to exactly one worker, so the
+// float64 accumulation order per channel is unchanged from the serial code.
 type BatchNorm struct {
+	workerBudget
+
 	Channels int
 	Eps      float64
 	Momentum float64 // running-stat update rate
@@ -76,53 +83,57 @@ func (b *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 			b.rstd = make([]float64, c)
 		}
 		xh := b.xhat.Data()
-		for ci := 0; ci < c; ci++ {
-			var sum float64
-			for ni := 0; ni < n; ni++ {
-				base := (ni*c + ci) * spatial
-				for _, v := range xd[base : base+spatial] {
-					sum += float64(v)
+		parallel.ForWorkers(b.workers, c, 1, func(lo, hi int) {
+			for ci := lo; ci < hi; ci++ {
+				var sum float64
+				for ni := 0; ni < n; ni++ {
+					base := (ni*c + ci) * spatial
+					for _, v := range xd[base : base+spatial] {
+						sum += float64(v)
+					}
+				}
+				mean := sum / float64(m)
+				var varSum float64
+				for ni := 0; ni < n; ni++ {
+					base := (ni*c + ci) * spatial
+					for _, v := range xd[base : base+spatial] {
+						dv := float64(v) - mean
+						varSum += dv * dv
+					}
+				}
+				variance := varSum / float64(m)
+				rstd := 1.0 / math.Sqrt(variance+b.Eps)
+				b.mean[ci] = mean
+				b.rstd[ci] = rstd
+				b.RunningMean[ci] = (1-b.Momentum)*b.RunningMean[ci] + b.Momentum*mean
+				b.RunningVar[ci] = (1-b.Momentum)*b.RunningVar[ci] + b.Momentum*variance
+				g, bt := gd[ci], bd[ci]
+				for ni := 0; ni < n; ni++ {
+					base := (ni*c + ci) * spatial
+					for i := base; i < base+spatial; i++ {
+						xh[i] = float32((float64(xd[i]) - mean) * rstd)
+						od[i] = g*xh[i] + bt
+					}
 				}
 			}
-			mean := sum / float64(m)
-			var varSum float64
-			for ni := 0; ni < n; ni++ {
-				base := (ni*c + ci) * spatial
-				for _, v := range xd[base : base+spatial] {
-					dv := float64(v) - mean
-					varSum += dv * dv
-				}
-			}
-			variance := varSum / float64(m)
-			rstd := 1.0 / math.Sqrt(variance+b.Eps)
-			b.mean[ci] = mean
-			b.rstd[ci] = rstd
-			b.RunningMean[ci] = (1-b.Momentum)*b.RunningMean[ci] + b.Momentum*mean
-			b.RunningVar[ci] = (1-b.Momentum)*b.RunningVar[ci] + b.Momentum*variance
-			g, bt := gd[ci], bd[ci]
-			for ni := 0; ni < n; ni++ {
-				base := (ni*c + ci) * spatial
-				for i := base; i < base+spatial; i++ {
-					xh[i] = float32((float64(xd[i]) - mean) * rstd)
-					od[i] = g*xh[i] + bt
-				}
-			}
-		}
+		})
 		return out
 	}
 
 	// Evaluation mode: use running statistics.
-	for ci := 0; ci < c; ci++ {
-		rstd := 1.0 / math.Sqrt(b.RunningVar[ci]+b.Eps)
-		mean := b.RunningMean[ci]
-		g, bt := gd[ci], bd[ci]
-		for ni := 0; ni < n; ni++ {
-			base := (ni*c + ci) * spatial
-			for i := base; i < base+spatial; i++ {
-				od[i] = g*float32((float64(xd[i])-mean)*rstd) + bt
+	parallel.ForWorkers(b.workers, c, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			rstd := 1.0 / math.Sqrt(b.RunningVar[ci]+b.Eps)
+			mean := b.RunningMean[ci]
+			g, bt := gd[ci], bd[ci]
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * spatial
+				for i := base; i < base+spatial; i++ {
+					od[i] = g*float32((float64(xd[i])-mean)*rstd) + bt
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -143,29 +154,31 @@ func (b *BatchNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	ggd := b.Gamma.Grad.Data()
 	gbd := b.Beta.Grad.Data()
 
-	for ci := 0; ci < c; ci++ {
-		var sumDy, sumDyXhat float64
-		for ni := 0; ni < n; ni++ {
-			base := (ni*c + ci) * spatial
-			for i := base; i < base+spatial; i++ {
-				dy := float64(god[i])
-				sumDy += dy
-				sumDyXhat += dy * float64(xh[i])
+	parallel.ForWorkers(b.workers, c, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			var sumDy, sumDyXhat float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * spatial
+				for i := base; i < base+spatial; i++ {
+					dy := float64(god[i])
+					sumDy += dy
+					sumDyXhat += dy * float64(xh[i])
+				}
+			}
+			ggd[ci] += float32(sumDyXhat)
+			gbd[ci] += float32(sumDy)
+			g := float64(gd[ci])
+			rstd := b.rstd[ci]
+			// dx = gamma*rstd/m * (m*dy - sum(dy) - xhat*sum(dy*xhat))
+			k := g * rstd / m
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * spatial
+				for i := base; i < base+spatial; i++ {
+					dy := float64(god[i])
+					gid[i] = float32(k * (m*dy - sumDy - float64(xh[i])*sumDyXhat))
+				}
 			}
 		}
-		ggd[ci] += float32(sumDyXhat)
-		gbd[ci] += float32(sumDy)
-		g := float64(gd[ci])
-		rstd := b.rstd[ci]
-		// dx = gamma*rstd/m * (m*dy - sum(dy) - xhat*sum(dy*xhat))
-		k := g * rstd / m
-		for ni := 0; ni < n; ni++ {
-			base := (ni*c + ci) * spatial
-			for i := base; i < base+spatial; i++ {
-				dy := float64(god[i])
-				gid[i] = float32(k * (m*dy - sumDy - float64(xh[i])*sumDyXhat))
-			}
-		}
-	}
+	})
 	return gradIn
 }

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Benchmark configuration: a mid-network U-Net layer shape (16 channels at
+// 16^3 after two pooling steps of a 64^3 input, batch 2).
+const (
+	benchN   = 2
+	benchIC  = 8
+	benchOC  = 16
+	benchDim = 16
+)
+
+func benchInput(seed int64, c int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(benchN, c, benchDim, benchDim, benchDim)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// budgets are the worker counts benchmarked against the serial reference;
+// the speedup claim in the README compares serial vs workers=NumCPU.
+func budgets() []int {
+	set := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		set = append(set, n)
+	}
+	return set
+}
+
+func BenchmarkConv3DForward(b *testing.B) {
+	x := benchInput(1, benchIC)
+	b.Run("serial", func(b *testing.B) {
+		c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.forwardSerial(x)
+		}
+	})
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+			c.SetWorkers(w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Forward(x)
+			}
+		})
+	}
+}
+
+func BenchmarkConv3DBackward(b *testing.B) {
+	x := benchInput(1, benchIC)
+	g := benchInput(3, benchOC)
+	b.Run("serial", func(b *testing.B) {
+		c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+		c.forwardSerial(x)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.backwardSerial(g)
+		}
+	})
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+			c.SetWorkers(w)
+			c.Forward(x)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Backward(g)
+			}
+		})
+	}
+}
+
+func BenchmarkConvTranspose3DForward(b *testing.B) {
+	x := benchInput(1, benchIC)
+	b.Run("serial", func(b *testing.B) {
+		c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.forwardSerial(x)
+		}
+	})
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
+			c.SetWorkers(w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Forward(x)
+			}
+		})
+	}
+}
+
+func BenchmarkConvTranspose3DBackward(b *testing.B) {
+	x := benchInput(1, benchIC)
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.New(benchN, benchOC, 2*benchDim, 2*benchDim, 2*benchDim)
+	gd := g.Data()
+	for i := range gd {
+		gd[i] = float32(rng.NormFloat64())
+	}
+	b.Run("serial", func(b *testing.B) {
+		c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
+		c.forwardSerial(x)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.backwardSerial(g)
+		}
+	})
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
+			c.SetWorkers(w)
+			c.Forward(x)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Backward(g)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	x := benchInput(1, benchOC)
+	for _, w := range append([]int{0}, budgets()...) {
+		name := "default"
+		if w > 0 {
+			name = fmt.Sprintf("workers=%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			bn := NewBatchNorm("bn", benchOC)
+			bn.SetWorkers(w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bn.Forward(x)
+			}
+		})
+	}
+}

@@ -5,13 +5,24 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // Conv3D is a 3-D convolution with stride 1 and "same" zero padding, the
 // building block of the paper's 3D U-Net (3x3x3 body convolutions and the
 // 1x1x1 sigmoid head).
+//
+// Forward and Backward run on the parallel worker pool: the forward pass is
+// partitioned over (sample × output-channel) slabs, and the backward pass is
+// split into three disjoint-output passes (bias over output channels, kernel
+// gradient over (output × input)-channel blocks, input gradient over
+// (sample × input-channel) slabs). Every float is accumulated in exactly the
+// order of the serial reference, so results are bit-for-bit identical to the
+// serial kernels for any worker budget — see TestConv3DParallelMatchesSerial.
 type Conv3D struct {
+	workerBudget
+
 	InChannels  int
 	OutChannels int
 	Kernel      int // cubic kernel edge; must be odd for "same" padding
@@ -46,7 +57,222 @@ func NewConv3D(name string, inC, outC, kernel int, rng *rand.Rand) *Conv3D {
 func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
 
 // Forward computes the convolution of x ([N, IC, D, H, W]) and caches x.
+// The work is divided over (sample × output-channel) slabs; each output
+// element is written by exactly one worker.
 func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, ic, d, h, w := check5D("Conv3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
+	}
+	c.input = x
+	k := c.Kernel
+	p := k / 2
+	out := tensor.New(n, c.OutChannels, d, h, w)
+
+	xd := x.Data()
+	od := out.Data()
+	wd := c.W.Value.Data()
+	bd := c.B.Value.Data()
+
+	chStride := d * h * w
+	rowStride := w
+	planeStride := h * w
+	sampleStrideIn := ic * chStride
+	sampleStrideOut := c.OutChannels * chStride
+	kk := k * k * k
+	wOCStride := c.InChannels * kk
+
+	oc := c.OutChannels
+	parallel.ForWorkers(c.workers, n*oc, 1, func(lo, hi int) {
+		for slab := lo; slab < hi; slab++ {
+			ni, oci := slab/oc, slab%oc
+			inBase := ni * sampleStrideIn
+			bias := bd[oci]
+			oBase := ni*sampleStrideOut + oci*chStride
+			wBase := oci * wOCStride
+			for z := 0; z < d; z++ {
+				kz0, kz1 := kernelRange(z, p, k, d)
+				for y := 0; y < h; y++ {
+					ky0, ky1 := kernelRange(y, p, k, h)
+					for xx := 0; xx < w; xx++ {
+						kx0, kx1 := kernelRange(xx, p, k, w)
+						acc := bias
+						for icI := 0; icI < ic; icI++ {
+							iBase := inBase + icI*chStride
+							wcBase := wBase + icI*kk
+							for kz := kz0; kz < kz1; kz++ {
+								iz := z + kz - p
+								for ky := ky0; ky < ky1; ky++ {
+									iy := y + ky - p
+									iRow := iBase + iz*planeStride + iy*rowStride
+									wRow := wcBase + kz*k*k + ky*k
+									for kx := kx0; kx < kx1; kx++ {
+										acc += xd[iRow+xx+kx-p] * wd[wRow+kx]
+									}
+								}
+							}
+						}
+						od[oBase+z*planeStride+y*rowStride+xx] = acc
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns dL/d(input).
+//
+// Three passes with disjoint outputs replace the fused serial loop: bias
+// gradients are owned per output channel, kernel gradients per
+// (output, input)-channel block, and input gradients per (sample,
+// input-channel) slab. Within each owned element the contributions are
+// summed in the serial reference's order, so no atomics, no per-worker
+// scratch buffers and no result drift.
+func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.input == nil {
+		panic("nn: Conv3D.Backward called before Forward")
+	}
+	if parallel.Resolve(c.workers) == 1 {
+		// One worker gains nothing from the pass split; the fused serial
+		// kernel traverses gradOut once and is bit-for-bit identical.
+		return c.backwardSerial(gradOut)
+	}
+	x := c.input
+	n, ic, d, h, w := check5D("Conv3D.Backward", x)
+	k := c.Kernel
+	p := k / 2
+	gradIn := tensor.New(x.Shape()...)
+
+	xd := x.Data()
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+	gwd := c.W.Grad.Data()
+	gbd := c.B.Grad.Data()
+
+	chStride := d * h * w
+	rowStride := w
+	planeStride := h * w
+	sampleStrideIn := ic * chStride
+	sampleStrideOut := c.OutChannels * chStride
+	kk := k * k * k
+	wOCStride := c.InChannels * kk
+	oc := c.OutChannels
+	workers := c.workers
+
+	// Pass 1 — bias gradient, one owner per output channel. Matches the
+	// serial reference: a float32 sub-total per (sample, channel), samples
+	// added in ascending order.
+	biasPass := func() {
+		parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
+			for oci := lo; oci < hi; oci++ {
+				for ni := 0; ni < n; ni++ {
+					oBase := ni*sampleStrideOut + oci*chStride
+					var biasAcc float32
+					for _, g := range god[oBase : oBase+chStride] {
+						if g != 0 {
+							biasAcc += g
+						}
+					}
+					gbd[oci] += biasAcc
+				}
+			}
+		})
+	}
+
+	// Pass 2 — kernel gradient, one owner per (output, input)-channel
+	// block of W. For a fixed block the serial order is samples ascending,
+	// then output voxels in scan order.
+	weightPass := func() {
+		parallel.ForWorkers(workers, oc*ic, 1, func(lo, hi int) {
+			for blk := lo; blk < hi; blk++ {
+				oci, icI := blk/ic, blk%ic
+				oBaseC := oci * chStride
+				wcBase := oci*wOCStride + icI*kk
+				for ni := 0; ni < n; ni++ {
+					inBase := ni*sampleStrideIn + icI*chStride
+					oBase := ni*sampleStrideOut + oBaseC
+					for z := 0; z < d; z++ {
+						kz0, kz1 := kernelRange(z, p, k, d)
+						for y := 0; y < h; y++ {
+							ky0, ky1 := kernelRange(y, p, k, h)
+							for xx := 0; xx < w; xx++ {
+								g := god[oBase+z*planeStride+y*rowStride+xx]
+								if g == 0 {
+									continue
+								}
+								kx0, kx1 := kernelRange(xx, p, k, w)
+								for kz := kz0; kz < kz1; kz++ {
+									iz := z + kz - p
+									for ky := ky0; ky < ky1; ky++ {
+										iy := y + ky - p
+										iRow := inBase + iz*planeStride + iy*rowStride
+										wRow := wcBase + kz*k*k + ky*k
+										for kx := kx0; kx < kx1; kx++ {
+											gwd[wRow+kx] += xd[iRow+xx+kx-p] * g
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+
+	// Pass 3 — input gradient, one owner per (sample, input-channel) slab.
+	// For a fixed input element the serial order is output channels
+	// ascending, then output voxels in scan order.
+	inputPass := func() {
+		parallel.ForWorkers(workers, n*ic, 1, func(lo, hi int) {
+			for slab := lo; slab < hi; slab++ {
+				ni, icI := slab/ic, slab%ic
+				iBase := ni*sampleStrideIn + icI*chStride
+				for oci := 0; oci < oc; oci++ {
+					oBase := ni*sampleStrideOut + oci*chStride
+					wcBase := oci*wOCStride + icI*kk
+					for z := 0; z < d; z++ {
+						kz0, kz1 := kernelRange(z, p, k, d)
+						for y := 0; y < h; y++ {
+							ky0, ky1 := kernelRange(y, p, k, h)
+							for xx := 0; xx < w; xx++ {
+								g := god[oBase+z*planeStride+y*rowStride+xx]
+								if g == 0 {
+									continue
+								}
+								kx0, kx1 := kernelRange(xx, p, k, w)
+								for kz := kz0; kz < kz1; kz++ {
+									iz := z + kz - p
+									for ky := ky0; ky < ky1; ky++ {
+										iy := y + ky - p
+										iRow := iBase + iz*planeStride + iy*rowStride
+										wRow := wcBase + kz*k*k + ky*k
+										for kx := kx0; kx < kx1; kx++ {
+											gid[iRow+xx+kx-p] += wd[wRow+kx] * g
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+
+	// Each pass is internally parallel under the layer budget; running them
+	// back-to-back keeps concurrency at exactly that budget.
+	biasPass()
+	weightPass()
+	inputPass()
+	return gradIn
+}
+
+// forwardSerial is the original single-threaded kernel, kept as the golden
+// reference for the equality tests and benchmarks.
+func (c *Conv3D) forwardSerial(x *tensor.Tensor) *tensor.Tensor {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
@@ -107,8 +333,9 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates kernel/bias gradients and returns dL/d(input).
-func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+// backwardSerial is the original fused single-threaded backward kernel, kept
+// as the golden reference for the equality tests and benchmarks.
+func (c *Conv3D) backwardSerial(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: Conv3D.Backward called before Forward")
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -12,7 +13,13 @@ import (
 // with a 2x2x2 kernel and stride 2 in each dimension, exactly doubling the
 // spatial extent. Because the stride equals the kernel size, output windows
 // do not overlap.
+//
+// Like Conv3D, the kernels run on the parallel worker pool with disjoint
+// output partitions chosen so that every accumulation happens in the serial
+// reference's order — results are bit-for-bit independent of the budget.
 type ConvTranspose3D struct {
+	workerBudget
+
 	InChannels  int
 	OutChannels int
 	Kernel      int // kernel edge == stride
@@ -42,7 +49,162 @@ func NewConvTranspose3D(name string, inC, outC, kernel int, rng *rand.Rand) *Con
 func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }
 
 // Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W].
+// Work is partitioned over (sample × output-channel) slabs; each slab owner
+// initializes its bias plane and accumulates input channels in ascending
+// order, exactly as the serial reference does.
 func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, ic, d, h, w := check5D("ConvTranspose3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
+	}
+	c.input = x
+	k := c.Kernel
+	od, oh, ow := d*k, h*k, w*k
+	out := tensor.New(n, c.OutChannels, od, oh, ow)
+
+	xd := x.Data()
+	outd := out.Data()
+	wd := c.W.Value.Data()
+	bd := c.B.Value.Data()
+
+	inCh := d * h * w
+	outCh := od * oh * ow
+	kk := k * k * k
+	oc := c.OutChannels
+
+	parallel.ForWorkers(c.workers, n*oc, 1, func(lo, hi int) {
+		for slab := lo; slab < hi; slab++ {
+			ni, oci := slab/oc, slab%oc
+			oBase := slab * outCh
+			bias := bd[oci]
+			seg := outd[oBase : oBase+outCh]
+			for i := range seg {
+				seg[i] = bias
+			}
+			for icI := 0; icI < ic; icI++ {
+				iBase := (ni*ic + icI) * inCh
+				wBase := (icI*oc + oci) * kk
+				for z := 0; z < d; z++ {
+					for y := 0; y < h; y++ {
+						iRow := iBase + (z*h+y)*w
+						for xx := 0; xx < w; xx++ {
+							v := xd[iRow+xx]
+							if v == 0 {
+								continue
+							}
+							for kz := 0; kz < k; kz++ {
+								oz := z*k + kz
+								for ky := 0; ky < k; ky++ {
+									oy := y*k + ky
+									oRow := oBase + (oz*oh+oy)*ow + xx*k
+									wRow := wBase + (kz*k+ky)*k
+									for kx := 0; kx < k; kx++ {
+										outd[oRow+kx] += v * wd[wRow+kx]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates parameter gradients and returns dL/d(input).
+//
+// Two disjoint-output passes: bias per output channel, then a fused kernel-
+// and input-gradient pass owned per input channel — an input channel owns
+// both its W gradient block [icI, :, :] and its input-gradient slabs across
+// all samples, so the fused traversal of gradOut (the serial kernel's main
+// cost saver) survives parallelization. Samples are visited in ascending
+// order inside each owner, keeping every accumulation in the serial
+// reference's order.
+func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.input == nil {
+		panic("nn: ConvTranspose3D.Backward called before Forward")
+	}
+	if parallel.Resolve(c.workers) == 1 {
+		// One worker gains nothing from the pass split; the fused serial
+		// kernel is bit-for-bit identical and slightly cheaper.
+		return c.backwardSerial(gradOut)
+	}
+	x := c.input
+	n, ic, d, h, w := check5D("ConvTranspose3D.Backward", x)
+	k := c.Kernel
+	od, oh, ow := d*k, h*k, w*k
+	gradIn := tensor.New(x.Shape()...)
+
+	xd := x.Data()
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+	gwd := c.W.Grad.Data()
+	gbd := c.B.Grad.Data()
+
+	inCh := d * h * w
+	outCh := od * oh * ow
+	kk := k * k * k
+	oc := c.OutChannels
+	workers := c.workers
+
+	// Pass 1 — bias gradient: sum of gradOut per output channel, samples in
+	// ascending order as in the serial reference.
+	parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
+		for oci := lo; oci < hi; oci++ {
+			for ni := 0; ni < n; ni++ {
+				base := (ni*oc + oci) * outCh
+				var acc float32
+				for _, g := range god[base : base+outCh] {
+					acc += g
+				}
+				gbd[oci] += acc
+			}
+		}
+	})
+
+	// Pass 2 — fused kernel and input gradients, one owner per input channel.
+	parallel.ForWorkers(workers, ic, 1, func(lo, hi int) {
+		for icI := lo; icI < hi; icI++ {
+			for ni := 0; ni < n; ni++ {
+				iBase := (ni*ic + icI) * inCh
+				for oci := 0; oci < oc; oci++ {
+					oBase := (ni*oc + oci) * outCh
+					wBase := (icI*oc + oci) * kk
+					for z := 0; z < d; z++ {
+						for y := 0; y < h; y++ {
+							iRow := iBase + (z*h+y)*w
+							for xx := 0; xx < w; xx++ {
+								v := xd[iRow+xx]
+								var acc float32
+								for kz := 0; kz < k; kz++ {
+									oz := z*k + kz
+									for ky := 0; ky < k; ky++ {
+										oy := y*k + ky
+										oRow := oBase + (oz*oh+oy)*ow + xx*k
+										wRow := wBase + (kz*k+ky)*k
+										for kx := 0; kx < k; kx++ {
+											g := god[oRow+kx]
+											acc += wd[wRow+kx] * g
+											gwd[wRow+kx] += v * g
+										}
+									}
+								}
+								gid[iRow+xx] += acc
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return gradIn
+}
+
+// forwardSerial is the original single-threaded kernel, kept as the golden
+// reference for the equality tests and benchmarks.
+func (c *ConvTranspose3D) forwardSerial(x *tensor.Tensor) *tensor.Tensor {
 	n, ic, d, h, w := check5D("ConvTranspose3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
@@ -107,8 +269,9 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates parameter gradients and returns dL/d(input).
-func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+// backwardSerial is the original fused single-threaded backward kernel, kept
+// as the golden reference for the equality tests and benchmarks.
+func (c *ConvTranspose3D) backwardSerial(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: ConvTranspose3D.Backward called before Forward")
 	}

@@ -4,12 +4,15 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // LeakyReLU is the leaky rectifier max(x, α·x), a common U-Net variant
 // activation (e.g. nnU-Net uses α = 0.01).
 type LeakyReLU struct {
+	workerBudget
+
 	Alpha float32
 	mask  []bool // true where input > 0
 }
@@ -29,15 +32,17 @@ func (r *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 		r.mask = make([]bool, len(xd))
 	}
 	r.mask = r.mask[:len(xd)]
-	for i, v := range xd {
-		if v > 0 {
-			od[i] = v
-			r.mask[i] = true
-		} else {
-			od[i] = r.Alpha * v
-			r.mask[i] = false
+	parallel.ForWorkers(r.workers, len(xd), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := xd[i]; v > 0 {
+				od[i] = v
+				r.mask[i] = true
+			} else {
+				od[i] = r.Alpha * v
+				r.mask[i] = false
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -49,13 +54,15 @@ func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := tensor.New(gradOut.Shape()...)
 	god := gradOut.Data()
 	gid := gradIn.Data()
-	for i, g := range god {
-		if r.mask[i] {
-			gid[i] = g
-		} else {
-			gid[i] = r.Alpha * g
+	parallel.ForWorkers(r.workers, len(god), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if r.mask[i] {
+				gid[i] = god[i]
+			} else {
+				gid[i] = r.Alpha * god[i]
+			}
 		}
-	}
+	})
 	return gradIn
 }
 
@@ -132,7 +139,13 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 // extent — the normalization of choice when batch sizes collapse to 1-2, as
 // the paper's memory wall forces. Unlike BatchNorm it has no running
 // statistics, so training and evaluation behave identically.
+//
+// Forward parallelizes over (sample, channel) slices, which are fully
+// independent; Backward parallelizes over channels because gamma/beta
+// gradients sum across the batch within a channel.
 type InstanceNorm struct {
+	workerBudget
+
 	Channels int
 	Eps      float64
 
@@ -174,26 +187,28 @@ func (n *InstanceNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	gd := n.Gamma.Value.Data()
 	bd := n.Beta.Value.Data()
 
-	for s := 0; s < nb*c; s++ {
-		base := s * spatial
-		var sum float64
-		for _, v := range xd[base : base+spatial] {
-			sum += float64(v)
+	parallel.ForWorkers(n.workers, nb*c, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			base := s * spatial
+			var sum float64
+			for _, v := range xd[base : base+spatial] {
+				sum += float64(v)
+			}
+			mean := sum / float64(spatial)
+			var varSum float64
+			for _, v := range xd[base : base+spatial] {
+				dv := float64(v) - mean
+				varSum += dv * dv
+			}
+			rstd := 1 / math.Sqrt(varSum/float64(spatial)+n.Eps)
+			n.rstd[s] = rstd
+			g, bt := gd[s%c], bd[s%c]
+			for i := base; i < base+spatial; i++ {
+				xh[i] = float32((float64(xd[i]) - mean) * rstd)
+				od[i] = g*xh[i] + bt
+			}
 		}
-		mean := sum / float64(spatial)
-		var varSum float64
-		for _, v := range xd[base : base+spatial] {
-			dv := float64(v) - mean
-			varSum += dv * dv
-		}
-		rstd := 1 / math.Sqrt(varSum/float64(spatial)+n.Eps)
-		n.rstd[s] = rstd
-		g, bt := gd[s%c], bd[s%c]
-		for i := base; i < base+spatial; i++ {
-			xh[i] = float32((float64(xd[i]) - mean) * rstd)
-			od[i] = g*xh[i] + bt
-		}
-	}
+	})
 	return out
 }
 
@@ -213,22 +228,28 @@ func (n *InstanceNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	ggd := n.Gamma.Grad.Data()
 	gbd := n.Beta.Grad.Data()
 
-	for s := 0; s < nb*c; s++ {
-		base := s * spatial
-		var sumDy, sumDyXhat float64
-		for i := base; i < base+spatial; i++ {
-			dy := float64(god[i])
-			sumDy += dy
-			sumDyXhat += dy * float64(xh[i])
+	// One owner per channel: gamma/beta gradients accumulate across the
+	// batch in ascending sample order, exactly like the serial loop.
+	parallel.ForWorkers(n.workers, c, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for ni := 0; ni < nb; ni++ {
+				s := ni*c + ci
+				base := s * spatial
+				var sumDy, sumDyXhat float64
+				for i := base; i < base+spatial; i++ {
+					dy := float64(god[i])
+					sumDy += dy
+					sumDyXhat += dy * float64(xh[i])
+				}
+				ggd[ci] += float32(sumDyXhat)
+				gbd[ci] += float32(sumDy)
+				k := float64(gd[ci]) * n.rstd[s] / m
+				for i := base; i < base+spatial; i++ {
+					dy := float64(god[i])
+					gid[i] = float32(k * (m*dy - sumDy - float64(xh[i])*sumDyXhat))
+				}
+			}
 		}
-		ci := s % c
-		ggd[ci] += float32(sumDyXhat)
-		gbd[ci] += float32(sumDy)
-		k := float64(gd[ci]) * n.rstd[s] / m
-		for i := base; i < base+spatial; i++ {
-			dy := float64(god[i])
-			gid[i] = float32(k * (m*dy - sumDy - float64(xh[i])*sumDyXhat))
-		}
-	}
+	})
 	return gradIn
 }

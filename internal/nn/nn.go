@@ -48,6 +48,23 @@ type Trainable interface {
 	SetTraining(training bool)
 }
 
+// WorkerSetter is implemented by layers whose kernels run on the parallel
+// worker pool and accept a per-layer budget override. A budget of 0 (the
+// zero value of every layer) means the package-wide parallel default.
+type WorkerSetter interface {
+	SetWorkers(workers int)
+}
+
+// workerBudget is embedded by compute layers to carry the per-layer worker
+// budget. Kernels resolve it through parallel.Resolve at call time, so a
+// zero budget tracks the global default dynamically.
+type workerBudget struct {
+	workers int
+}
+
+// SetWorkers sets the layer's worker budget; 0 restores the global default.
+func (w *workerBudget) SetWorkers(workers int) { w.workers = workers }
+
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer
@@ -86,6 +103,15 @@ func (s *Sequential) SetTraining(training bool) {
 	for _, l := range s.Layers {
 		if t, ok := l.(Trainable); ok {
 			t.SetTraining(training)
+		}
+	}
+}
+
+// SetWorkers forwards the worker budget to every parallel-capable layer.
+func (s *Sequential) SetWorkers(workers int) {
+	for _, l := range s.Layers {
+		if w, ok := l.(WorkerSetter); ok {
+			w.SetWorkers(workers)
 		}
 	}
 }

@@ -3,12 +3,19 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // MaxPool3D is the paper's 2x2x2 max pooling with stride 2 in each
 // dimension. Spatial dimensions must be divisible by the pool size.
+//
+// Both passes parallelize over (sample × channel) blocks: pooling windows
+// never cross a channel, so each block's outputs, argmax records and input
+// gradients are disjoint from every other block's.
 type MaxPool3D struct {
+	workerBudget
+
 	Size int
 
 	inShape []int
@@ -38,10 +45,11 @@ func (m *MaxPool3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 	xd := x.Data()
 	outd := out.Data()
-	oi := 0
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c; ci++ {
-			base := (ni*c + ci) * d * h * w
+	outCh := od * oh * ow
+	parallel.ForWorkers(m.workers, n*c, 1, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			base := blk * d * h * w
+			oi := blk * outCh
 			for z := 0; z < od; z++ {
 				for y := 0; y < oh; y++ {
 					for xx := 0; xx < ow; xx++ {
@@ -65,7 +73,7 @@ func (m *MaxPool3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -80,8 +88,15 @@ func (m *MaxPool3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(god) != len(m.argmax) {
 		panic(fmt.Sprintf("nn: MaxPool3D.Backward gradient size %d does not match cached %d", len(god), len(m.argmax)))
 	}
-	for i, g := range god {
-		gid[m.argmax[i]] += g
-	}
+	// Argmax indices from one (sample, channel) block always point into that
+	// block's input region, so chunking on block boundaries keeps the
+	// scatter-add race-free.
+	n, c := m.inShape[0], m.inShape[1]
+	outCh := len(god) / (n * c)
+	parallel.ForWorkers(m.workers, n*c, 1, func(lo, hi int) {
+		for i := lo * outCh; i < hi*outCh; i++ {
+			gid[m.argmax[i]] += god[i]
+		}
+	})
 	return gradIn
 }

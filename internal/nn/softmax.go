@@ -3,14 +3,18 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // ChannelSoftmax normalizes the channel axis of a [N, C, D, H, W] tensor
 // into per-voxel class probabilities. It is the multi-class head used when
 // training the original 4-class MSD task instead of the paper's binarized
-// whole-tumour variant.
+// whole-tumour variant. Voxels are independent, so both passes parallelize
+// over (sample × voxel) chunks.
 type ChannelSoftmax struct {
+	workerBudget
+
 	output *tensor.Tensor
 }
 
@@ -28,9 +32,10 @@ func (s *ChannelSoftmax) Forward(x *tensor.Tensor) *tensor.Tensor {
 	xd := x.Data()
 	od := out.Data()
 	spatial := d * h * w
-	for ni := 0; ni < n; ni++ {
-		base := ni * c * spatial
-		for v := 0; v < spatial; v++ {
+	parallel.ForWorkers(s.workers, n*spatial, elemGrain/4, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			base := (j / spatial) * c * spatial
+			v := j % spatial
 			maxLogit := xd[base+v]
 			for ci := 1; ci < c; ci++ {
 				if l := xd[base+ci*spatial+v]; l > maxLogit {
@@ -48,7 +53,7 @@ func (s *ChannelSoftmax) Forward(x *tensor.Tensor) *tensor.Tensor {
 				od[base+ci*spatial+v] *= inv
 			}
 		}
-	}
+	})
 	s.output = out
 	return out
 }
@@ -65,9 +70,10 @@ func (s *ChannelSoftmax) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gid := gradIn.Data()
 	yd := s.output.Data()
 	spatial := d * h * w
-	for ni := 0; ni < n; ni++ {
-		base := ni * c * spatial
-		for v := 0; v < spatial; v++ {
+	parallel.ForWorkers(s.workers, n*spatial, elemGrain/4, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			base := (j / spatial) * c * spatial
+			v := j % spatial
 			var dot float64
 			for ci := 0; ci < c; ci++ {
 				i := base + ci*spatial + v
@@ -78,6 +84,6 @@ func (s *ChannelSoftmax) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				gid[i] = yd[i] * (god[i] - float32(dot))
 			}
 		}
-	}
+	})
 	return gradIn
 }

@@ -1,0 +1,154 @@
+// Package parallel is the multi-core compute engine underneath the nn
+// kernels: a fork-join worker pool that partitions index ranges across a
+// configurable worker budget. The budget defaults to GOMAXPROCS and can be
+// overridden globally (SetDefaultWorkers, or the REPRO_WORKERS environment
+// variable) or per call (ForWorkers), so higher layers — one mirrored
+// replica per simulated GPU, several trials per tuning run — can divide the
+// machine instead of oversubscribing it.
+//
+// Workers claim fixed-size chunks from a shared atomic counter, so the
+// partition of [0, n) into chunks depends only on n and grain, never on the
+// worker count or scheduling order. Kernels that write disjoint chunks are
+// therefore bit-for-bit deterministic for any worker budget.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable consulted at startup for the
+// default worker budget (a positive integer; anything else is ignored).
+const EnvWorkers = "REPRO_WORKERS"
+
+var defaultWorkers atomic.Int64
+
+func init() {
+	w := runtime.GOMAXPROCS(0)
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			w = v
+		}
+	}
+	defaultWorkers.Store(int64(w))
+}
+
+// DefaultWorkers returns the current global worker budget.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// SetDefaultWorkers sets the global worker budget; n <= 0 resets it to
+// GOMAXPROCS. It returns the budget now in effect.
+func SetDefaultWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	defaultWorkers.Store(int64(n))
+	return n
+}
+
+// Resolve maps a per-call or per-layer budget to an effective worker count:
+// positive values pass through, everything else means the global default.
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return DefaultWorkers()
+}
+
+// Share divides a total worker budget (0 = the global default) evenly among
+// parts concurrent consumers, never returning less than 1. Mirrored replicas
+// use it so R replica goroutines running kernels with Share(budget, R)
+// workers each keep the whole step at ~budget cores instead of R×budget.
+func Share(total, parts int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	w := Resolve(total) / parts
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For partitions [0, n) into chunks of at most grain indices and calls
+// fn(lo, hi) for every chunk using the default worker budget. It blocks
+// until every chunk is done. fn must treat [lo, hi) as its exclusive
+// property; chunks never overlap.
+func For(n, grain int, fn func(lo, hi int)) {
+	ForWorkers(0, n, grain, fn)
+}
+
+// ForWorkers is For with an explicit worker budget (0 = global default).
+//
+// The chunk decomposition depends only on n and grain, and workers pull
+// chunk indices from an atomic counter, so every chunk runs exactly once
+// regardless of the budget. With an effective budget of one worker (or a
+// single chunk) fn runs on the calling goroutine with no synchronization.
+// A panic in any chunk is re-raised on the calling goroutine after all
+// workers have drained.
+func ForWorkers(workers, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Resolve(workers)
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[panicValue]
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{val: r})
+			}
+		}()
+		for {
+			c := next.Add(1) - 1
+			if c >= int64(chunks) || panicked.Load() != nil {
+				return
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	wg.Add(w)
+	for i := 1; i < w; i++ {
+		go body()
+	}
+	body() // the caller is worker 0
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		// Re-raise the original value so recover-based handlers see the
+		// same panic regardless of the worker budget.
+		panic(p.val)
+	}
+}
+
+// panicValue boxes a recovered panic for transport across goroutines.
+type panicValue struct{ val any }

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRangeExactlyOnce checks that every index in [0, n) is visited
+// exactly once for a grid of sizes, grains and worker budgets.
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, grain := range []int{0, 1, 3, 64, 5000} {
+			for _, workers := range []int{1, 2, 3, 8, 100} {
+				hits := make([]int32, n+1)
+				ForWorkers(workers, n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("n=%d grain=%d workers=%d: bad chunk [%d,%d)", n, grain, workers, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i := 0; i < n; i++ {
+					if hits[i] != 1 {
+						t.Fatalf("n=%d grain=%d workers=%d: index %d visited %d times", n, grain, workers, i, hits[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForChunkBoundaries checks the chunk decomposition is exactly the
+// grain-sized partition of [0, n), independent of the worker budget.
+func TestForChunkBoundaries(t *testing.T) {
+	const n, grain = 103, 10
+	for _, workers := range []int{1, 4} {
+		var starts sync32Set
+		ForWorkers(workers, n, grain, func(lo, hi int) {
+			if lo%grain != 0 {
+				t.Errorf("workers=%d: chunk start %d not aligned to grain %d", workers, lo, grain)
+			}
+			want := lo + grain
+			if want > n {
+				want = n
+			}
+			if hi != want {
+				t.Errorf("workers=%d: chunk [%d,%d), want [%d,%d)", workers, lo, hi, lo, want)
+			}
+			starts.add(int32(lo))
+		})
+		if got := starts.len(); got != (n+grain-1)/grain {
+			t.Errorf("workers=%d: %d chunks, want %d", workers, got, (n+grain-1)/grain)
+		}
+	}
+}
+
+// TestForPanicPropagates checks a worker panic resurfaces on the caller
+// with the original panic value, for any worker budget.
+func TestForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if r != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want original value \"boom\"", workers, r)
+				}
+			}()
+			ForWorkers(workers, 100, 1, func(lo, hi int) {
+				if lo == 50 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	orig := DefaultWorkers()
+	defer SetDefaultWorkers(orig)
+
+	if got := SetDefaultWorkers(3); got != 3 || DefaultWorkers() != 3 {
+		t.Fatalf("SetDefaultWorkers(3) = %d, DefaultWorkers() = %d", got, DefaultWorkers())
+	}
+	if got := SetDefaultWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetDefaultWorkers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if Resolve(5) != 5 {
+		t.Fatalf("Resolve(5) = %d", Resolve(5))
+	}
+	if Resolve(0) != DefaultWorkers() || Resolve(-2) != DefaultWorkers() {
+		t.Fatalf("Resolve should fall back to the default budget")
+	}
+}
+
+func TestShare(t *testing.T) {
+	cases := []struct{ total, parts, want int }{
+		{8, 2, 4},
+		{8, 3, 2},
+		{2, 4, 1}, // never below one worker
+		{5, 0, 5}, // parts clamped to 1
+	}
+	for _, c := range cases {
+		if got := Share(c.total, c.parts); got != c.want {
+			t.Errorf("Share(%d, %d) = %d, want %d", c.total, c.parts, got, c.want)
+		}
+	}
+	orig := DefaultWorkers()
+	defer SetDefaultWorkers(orig)
+	SetDefaultWorkers(6)
+	if got := Share(0, 2); got != 3 {
+		t.Errorf("Share(0, 2) with default 6 = %d, want 3", got)
+	}
+}
+
+// sync32Set is a tiny concurrent set for test bookkeeping.
+type sync32Set struct {
+	mu   sync.Mutex
+	vals map[int32]bool
+}
+
+func (s *sync32Set) add(v int32) {
+	s.mu.Lock()
+	if s.vals == nil {
+		s.vals = map[int32]bool{}
+	}
+	s.vals[v] = true
+	s.mu.Unlock()
+}
+
+func (s *sync32Set) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}

@@ -72,6 +72,10 @@ type Config struct {
 	BatchPerReplica int // paper: 2
 	Seed            int64
 
+	// Workers is the total compute-worker budget shared by all replicas
+	// (0 = all cores); forwarded to the mirrored layer.
+	Workers int
+
 	// CyclicLR optionally applies the paper's cyclic learning-rate
 	// schedule across optimizer steps.
 	CyclicLR *optim.CyclicLR
@@ -109,6 +113,7 @@ func New(cfg Config) (*Trainer, error) {
 		Optimizer: cfg.Optimizer,
 		BaseLR:    cfg.BaseLR,
 		ScaleLR:   true,
+		Workers:   cfg.Workers,
 	}
 	if mode == RayCluster {
 		group := cfg.Cluster.GPUsPerNode

@@ -30,6 +30,13 @@ type Config struct {
 	Kernel      int // body convolution kernel (paper: 3)
 	UpKernel    int // transposed-convolution kernel == stride (paper: 2)
 	Seed        int64
+
+	// Workers is the per-network worker budget for the parallel compute
+	// kernels; 0 means the parallel package default (all cores). Training
+	// layers that run several networks concurrently (mirrored replicas,
+	// experiment-parallel trials) lower it so the machine is divided, not
+	// oversubscribed.
+	Workers int
 }
 
 // PaperConfig returns the configuration used in the paper's benchmark.
@@ -159,6 +166,7 @@ func New(cfg Config) (*UNet, error) {
 
 	u.head = nn.NewConv3D("head", cfg.BaseFilters, cfg.OutChannels, 1, rng)
 	u.act = nn.NewSigmoid()
+	u.SetWorkers(cfg.Workers)
 
 	for _, e := range u.enc {
 		u.params = append(u.params, e.convA.Params()...)
@@ -192,6 +200,34 @@ func (u *UNet) Params() []*nn.Param { return u.params }
 
 // ParamCount returns the total number of trainable scalar parameters.
 func (u *UNet) ParamCount() int { return nn.ParamCount(u.params) }
+
+// SetWorkers sets the worker budget on every compute layer; 0 restores the
+// parallel package default.
+func (u *UNet) SetWorkers(workers int) {
+	u.Cfg.Workers = workers
+	for _, e := range u.enc {
+		e.convA.SetWorkers(workers)
+		e.bnA.SetWorkers(workers)
+		e.reluA.SetWorkers(workers)
+		e.convB.SetWorkers(workers)
+		e.bnB.SetWorkers(workers)
+		e.reluB.SetWorkers(workers)
+		if e.pool != nil {
+			e.pool.SetWorkers(workers)
+		}
+	}
+	for _, d := range u.dec {
+		d.up.SetWorkers(workers)
+		d.convA.SetWorkers(workers)
+		d.bnA.SetWorkers(workers)
+		d.reluA.SetWorkers(workers)
+		d.convB.SetWorkers(workers)
+		d.bnB.SetWorkers(workers)
+		d.reluB.SetWorkers(workers)
+	}
+	u.head.SetWorkers(workers)
+	u.act.SetWorkers(workers)
+}
 
 // SetTraining toggles training mode on every batch-norm layer.
 func (u *UNet) SetTraining(training bool) {
