@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Kernel-level benchmark tables: wall-clock per convolution layer
+// invocation, direct vs gemm engine, across the U-Net's characteristic
+// shapes and worker counts. This is the bench-over-time companion to the
+// `go test -bench` kernels — a plain binary that can run anywhere (CI
+// smoke jobs, multi-core validation boxes) and whose output is recorded in
+// BENCH.md.
+
+// kernelShape is one benchmarked layer configuration.
+type kernelShape struct {
+	name       string
+	ic, oc, k  int
+	n, dim     int
+	transposed bool
+}
+
+func kernelShapes() []kernelShape {
+	return []kernelShape{
+		{name: "body 8->16 k3 16^3 b2", ic: 8, oc: 16, k: 3, n: 2, dim: 16},
+		{name: "deep 32->32 k3 8^3 b2", ic: 32, oc: 32, k: 3, n: 2, dim: 8},
+		{name: "head 8->1 k1 16^3 b2", ic: 8, oc: 1, k: 1, n: 2, dim: 16},
+		{name: "up 16->16 k2 8^3 b2", ic: 16, oc: 16, k: 2, n: 2, dim: 8, transposed: true},
+	}
+}
+
+func kernelWorkerCounts() []int {
+	set := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		set = append(set, n)
+	}
+	return set
+}
+
+// timeKernel returns the best-of-reps wall clock of one forward and one
+// backward invocation of the shape under the given engine and budget.
+func timeKernel(sh kernelShape, engine nn.ConvEngine, workers, reps int) (fwd, bwd time.Duration) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.Randn(rng, 0, 1, sh.n, sh.ic, sh.dim, sh.dim, sh.dim)
+
+	var layer nn.Layer
+	outDim := sh.dim
+	if sh.transposed {
+		t := nn.NewConvTranspose3D("b", sh.ic, sh.oc, sh.k, rand.New(rand.NewSource(3)))
+		t.SetConvEngine(engine)
+		t.SetWorkers(workers)
+		layer = t
+		outDim = sh.dim * sh.k
+	} else {
+		c := nn.NewConv3D("b", sh.ic, sh.oc, sh.k, rand.New(rand.NewSource(3)))
+		c.SetConvEngine(engine)
+		c.SetWorkers(workers)
+		layer = c
+	}
+	g := tensor.Randn(rng, 0, 1, sh.n, sh.oc, outDim, outDim, outDim)
+
+	layer.Forward(x) // warm-up: pools, caches, goroutines
+	layer.Backward(g)
+	fwd, bwd = time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		layer.Forward(x)
+		if d := time.Since(t0); d < fwd {
+			fwd = d
+		}
+		t0 = time.Now()
+		layer.Backward(g)
+		if d := time.Since(t0); d < bwd {
+			bwd = d
+		}
+	}
+	return fwd, bwd
+}
+
+// printKernelTables renders one table per shape: rows are worker counts,
+// columns are direct/gemm forward/backward times plus the gemm speedup.
+func printKernelTables(reps int) {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("KERNEL BENCHMARKS: convolution engines, best of %d (GOMAXPROCS=%d, NumCPU=%d)\n\n",
+		reps, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	for _, sh := range kernelShapes() {
+		fmt.Printf("%s\n", sh.name)
+		fmt.Printf("  %-8s %12s %12s %8s %12s %12s %8s\n",
+			"workers", "direct fwd", "gemm fwd", "speedup", "direct bwd", "gemm bwd", "speedup")
+		for _, w := range kernelWorkerCounts() {
+			dFwd, dBwd := timeKernel(sh, nn.EngineDirect, w, reps)
+			gFwd, gBwd := timeKernel(sh, nn.EngineGEMM, w, reps)
+			fmt.Printf("  %-8d %12s %12s %7.2fx %12s %12s %7.2fx\n",
+				w, dFwd.Round(time.Microsecond), gFwd.Round(time.Microsecond),
+				float64(dFwd)/float64(gFwd),
+				dBwd.Round(time.Microsecond), gBwd.Round(time.Microsecond),
+				float64(dBwd)/float64(gBwd))
+		}
+		fmt.Println()
+	}
+}

@@ -1,10 +1,13 @@
 // Command benchtable regenerates the paper's evaluation artifacts from the
 // cluster simulation: Table I (-table1), Figure 4a (-fig4a) and Figure 4b
-// (-fig4b). With no selection flags it prints all three.
+// (-fig4b). With no selection flags it prints all three. -kernels instead
+// prints kernel-level convolution tables (direct vs gemm engine, per shape
+// and worker count), the bench-over-time companion to BENCH.md.
 //
 // Usage:
 //
 //	benchtable [-table1] [-fig4a] [-fig4b] [-trials N] [-reps N] [-seed N]
+//	benchtable -kernels [-kernelreps N]
 package main
 
 import (
@@ -27,7 +30,14 @@ func main() {
 	trials := flag.Int("trials", 0, "override the number of experiments in the search (default: paper's 32)")
 	reps := flag.Int("reps", 0, "override the repetition count (default: paper's 3)")
 	seed := flag.Int64("seed", 0, "override the simulation seed")
+	kernels := flag.Bool("kernels", false, "print kernel-level convolution benchmarks (direct vs gemm engine) instead of the paper tables")
+	kernelReps := flag.Int("kernelreps", 3, "repetitions per kernel measurement (best is reported)")
 	flag.Parse()
+
+	if *kernels {
+		printKernelTables(*kernelReps)
+		return
+	}
 
 	cfg, err := experiments.PaperCampaign()
 	if err != nil {

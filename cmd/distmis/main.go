@@ -8,6 +8,7 @@
 //
 //	distmis [-strategy data|experiment] [-gpus N] [-epochs N] [-trials N]
 //	        [-cases N] [-dim N] [-scheduler fifo|median|asha] [-seed N]
+//	        [-workers N] [-engine gemm|direct|auto]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/msd"
+	"repro/internal/nn"
 	"repro/internal/tune"
 	"repro/internal/unet"
 )
@@ -37,7 +39,13 @@ func main() {
 	scheduler := flag.String("scheduler", "fifo", "trial scheduler: fifo, median or asha")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "compute-worker budget shared across replicas/trials (0 = all cores)")
+	engine := flag.String("engine", "auto", "convolution engine: gemm, direct or auto (REPRO_CONV_ENGINE, gemm default)")
 	flag.Parse()
+
+	convEngine, err := nn.ParseConvEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opts := core.DefaultOptions()
 	opts.Strategy = core.Strategy(*strategy)
@@ -53,6 +61,7 @@ func main() {
 		Kernel:      3,
 		UpKernel:    2,
 		Seed:        *seed,
+		Engine:      convEngine,
 	}
 	opts.MaxTrainCases = 0
 	opts.MaxValCases = 0

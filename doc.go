@@ -2,9 +2,11 @@
 // Hyperparameter Tuning for 3D Medical Image Segmentation" (Berral et al.,
 // IPDPS 2022, arXiv:2110.15884).
 //
-// The library lives under internal/: a float32 tensor engine, the fork-join
-// worker pool and 3D CNN layers (tensor, parallel, nn), the paper's 3D U-Net
-// (unet), Dice losses and optimizers (loss, optim, metrics), the data path
+// The library lives under internal/: a float32 tensor engine with a pooled
+// scratch-buffer allocator, the fork-join worker pool, a cache-blocked
+// register-tiled GEMM microkernel and the 3D CNN layers running on either
+// the im2col+GEMM or the direct convolution engine (tensor, parallel, gemm,
+// nn), the paper's 3D U-Net (unet), Dice losses and optimizers (loss, optim, metrics), the data path
 // from NIfTI phantoms to TFRecords and tf.Data-style pipelines (msd, nifti,
 // volume, record, pipeline, profiler), the distribution layer (allreduce,
 // mirrored, raysgd, tune, cluster), the MareNostrum performance model and

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/augment"
@@ -262,8 +263,35 @@ func runExperimentParallel(opts Options, cl *cluster.Cluster, configs []tune.Con
 	if len(configs) < concurrent {
 		concurrent = len(configs)
 	}
-	perTrial := parallel.Share(opts.Workers, concurrent)
+	// ShareN distributes the budget remainder across the concurrent trial
+	// slots (Share would floor it, idling total%concurrent cores). Each
+	// running trial holds one slot from a free stack and returns it when it
+	// finishes, so at any moment the running trials hold disjoint shares —
+	// a monotonic round-robin counter would let two live trials land on the
+	// same (large or small) share once trials start finishing out of order.
+	shares := parallel.ShareN(opts.Workers, concurrent)
+	freeSlots := make([]int, len(shares))
+	for i := range freeSlots {
+		freeSlots[i] = i
+	}
+	var slotMu sync.Mutex
 	analysis, err := runner.Run(configs, func(ctx *tune.TrialContext) error {
+		slotMu.Lock()
+		slot := -1
+		if n := len(freeSlots); n > 0 {
+			slot = freeSlots[n-1]
+			freeSlots = freeSlots[:n-1]
+		}
+		slotMu.Unlock()
+		perTrial := shares[len(shares)-1] // smallest share, if oversubscribed
+		if slot >= 0 {
+			perTrial = shares[slot]
+			defer func() {
+				slotMu.Lock()
+				freeSlots = append(freeSlots, slot)
+				slotMu.Unlock()
+			}()
+		}
 		_, err := trainOne(opts, cl, ctx.Trial.Config, 1, perTrial, train, val,
 			func(epoch int, dice float64) bool {
 				return ctx.Report(epoch, map[string]float64{"dice": dice})

@@ -51,9 +51,10 @@ type Trainer struct {
 }
 
 type replica struct {
-	model *unet.UNet
-	loss  loss.Loss
-	opt   optim.Optimizer
+	model   *unet.UNet
+	loss    loss.Loss
+	opt     optim.Optimizer
+	workers int // this replica's share of the trainer's worker budget
 }
 
 // New builds a trainer with identically initialized replicas.
@@ -66,10 +67,14 @@ func New(cfg Config) (*Trainer, error) {
 		lr = optim.ScaleLRForReplicas(cfg.BaseLR, cfg.Replicas)
 	}
 	t := &Trainer{cfg: cfg, lossName: cfg.Loss}
-	perReplica := parallel.Share(cfg.Workers, cfg.Replicas)
+	// ShareN distributes the budget remainder, so a 7-core budget over two
+	// replicas runs 4+3 instead of 3+3 with a core idle. Unequal shares are
+	// safe: kernel results are bit-for-bit independent of the worker count,
+	// so replicas stay synchronized regardless of their share.
+	shares := parallel.ShareN(cfg.Workers, cfg.Replicas)
 	for r := 0; r < cfg.Replicas; r++ {
 		netCfg := cfg.Net // same seed → identical weights
-		netCfg.Workers = perReplica
+		netCfg.Workers = shares[r]
 		net, err := unet.New(netCfg)
 		if err != nil {
 			return nil, err
@@ -82,7 +87,7 @@ func New(cfg Config) (*Trainer, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.replicas = append(t.replicas, &replica{model: net, loss: l, opt: opt})
+		t.replicas = append(t.replicas, &replica{model: net, loss: l, opt: opt, workers: shares[r]})
 	}
 	return t, nil
 }
@@ -170,7 +175,7 @@ func (t *Trainer) Evaluate(inputs, masks *tensor.Tensor) float64 {
 	// The other replicas are idle during evaluation, so replica 0 may use
 	// the trainer's whole worker budget instead of its training share.
 	m.SetWorkers(parallel.Resolve(t.cfg.Workers))
-	defer m.SetWorkers(parallel.Share(t.cfg.Workers, len(t.replicas)))
+	defer m.SetWorkers(t.replicas[0].workers)
 	pred := m.Forward(inputs)
 	return metrics.DiceScore(pred, masks)
 }

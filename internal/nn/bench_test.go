@@ -38,6 +38,10 @@ func budgets() []int {
 	return set
 }
 
+// benchEngines enumerates the per-engine benchmark variants; "serial" is the
+// retained single-threaded direct reference.
+var benchEngines = []ConvEngine{EngineDirect, EngineGEMM}
+
 func BenchmarkConv3DForward(b *testing.B) {
 	x := benchInput(1, benchIC)
 	b.Run("serial", func(b *testing.B) {
@@ -47,15 +51,18 @@ func BenchmarkConv3DForward(b *testing.B) {
 			c.forwardSerial(x)
 		}
 	})
-	for _, w := range budgets() {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
-			c.SetWorkers(w)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c.Forward(x)
-			}
-		})
+	for _, e := range benchEngines {
+		for _, w := range budgets() {
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
+				c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+				c.SetConvEngine(e)
+				c.SetWorkers(w)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c.Forward(x)
+				}
+			})
+		}
 	}
 }
 
@@ -70,16 +77,19 @@ func BenchmarkConv3DBackward(b *testing.B) {
 			c.backwardSerial(g)
 		}
 	})
-	for _, w := range budgets() {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
-			c.SetWorkers(w)
-			c.Forward(x)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c.Backward(g)
-			}
-		})
+	for _, e := range benchEngines {
+		for _, w := range budgets() {
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
+				c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+				c.SetConvEngine(e)
+				c.SetWorkers(w)
+				c.Forward(x)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c.Backward(g)
+				}
+			})
+		}
 	}
 }
 
@@ -92,15 +102,18 @@ func BenchmarkConvTranspose3DForward(b *testing.B) {
 			c.forwardSerial(x)
 		}
 	})
-	for _, w := range budgets() {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
-			c.SetWorkers(w)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c.Forward(x)
-			}
-		})
+	for _, e := range benchEngines {
+		for _, w := range budgets() {
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
+				c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
+				c.SetConvEngine(e)
+				c.SetWorkers(w)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c.Forward(x)
+				}
+			})
+		}
 	}
 }
 
@@ -120,16 +133,40 @@ func BenchmarkConvTranspose3DBackward(b *testing.B) {
 			c.backwardSerial(g)
 		}
 	})
-	for _, w := range budgets() {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
-			c.SetWorkers(w)
-			c.Forward(x)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c.Backward(g)
-			}
-		})
+	for _, e := range benchEngines {
+		for _, w := range budgets() {
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
+				c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
+				c.SetConvEngine(e)
+				c.SetWorkers(w)
+				c.Forward(x)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c.Backward(g)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConv3DHeadForward measures the 1×1×1 OC=1 sigmoid-head shape.
+// The direct engine partitions over (sample × out-channel × z-plane), so
+// even this OC=1 layer exposes batch×depth work items instead of capping at
+// batch-size workers; the GEMM engine splits its column blocks regardless.
+func BenchmarkConv3DHeadForward(b *testing.B) {
+	x := benchInput(1, benchIC)
+	for _, e := range benchEngines {
+		for _, w := range budgets() {
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
+				c := NewConv3D("c", benchIC, 1, 1, rand.New(rand.NewSource(2)))
+				c.SetConvEngine(e)
+				c.SetWorkers(w)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c.Forward(x)
+				}
+			})
+		}
 	}
 }
 

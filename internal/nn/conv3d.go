@@ -13,15 +13,20 @@ import (
 // building block of the paper's 3D U-Net (3x3x3 body convolutions and the
 // 1x1x1 sigmoid head).
 //
-// Forward and Backward run on the parallel worker pool: the forward pass is
-// partitioned over (sample × output-channel) slabs, and the backward pass is
-// split into three disjoint-output passes (bias over output channels, kernel
-// gradient over (output × input)-channel blocks, input gradient over
-// (sample × input-channel) slabs). Every float is accumulated in exactly the
-// order of the serial reference, so results are bit-for-bit identical to the
-// serial kernels for any worker budget — see TestConv3DParallelMatchesSerial.
+// Two engines implement the kernels (see ConvEngine): the default GEMM
+// engine lowers the convolution to im2col + a blocked matrix multiply
+// (conv3d_gemm.go), and the direct engine runs the original loop kernels on
+// the parallel worker pool — the forward pass partitioned over
+// (sample × output-channel × z-plane) slabs, the backward pass split into
+// three disjoint-output passes (bias over output channels, kernel gradient
+// over (output × input)-channel blocks, input gradient over
+// (sample × input-channel) slabs). In the direct engine every float is
+// accumulated in exactly the order of the serial reference, so results are
+// bit-for-bit identical to the serial kernels for any worker budget — see
+// TestConv3DParallelMatchesSerial.
 type Conv3D struct {
 	workerBudget
+	engineChoice
 
 	InChannels  int
 	OutChannels int
@@ -56,10 +61,21 @@ func NewConv3D(name string, inC, outC, kernel int, rng *rand.Rand) *Conv3D {
 // Params returns the kernel and bias parameters.
 func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
 
-// Forward computes the convolution of x ([N, IC, D, H, W]) and caches x.
-// The work is divided over (sample × output-channel) slabs; each output
-// element is written by exactly one worker.
+// Forward computes the convolution of x ([N, IC, D, H, W]) and caches x
+// for Backward, dispatching to the layer's engine (GEMM by default).
 func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if ResolveConvEngine(c.engine) == EngineGEMM {
+		return c.forwardGEMM(x)
+	}
+	return c.forwardDirect(x)
+}
+
+// forwardDirect is the direct-engine forward kernel. The work is divided
+// over (sample × output-channel × z-plane) slabs — z-planes are included so
+// low-channel layers like the 1×1×1 sigmoid head (OC=1) still scale past
+// batch-size workers — and each output element is written by exactly one
+// worker, in the serial reference's accumulation order.
+func (c *Conv3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
@@ -83,37 +99,37 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	wOCStride := c.InChannels * kk
 
 	oc := c.OutChannels
-	parallel.ForWorkers(c.workers, n*oc, 1, func(lo, hi int) {
-		for slab := lo; slab < hi; slab++ {
+	parallel.ForWorkers(c.workers, n*oc*d, 1, func(lo, hi int) {
+		for item := lo; item < hi; item++ {
+			z := item % d
+			slab := item / d
 			ni, oci := slab/oc, slab%oc
 			inBase := ni * sampleStrideIn
 			bias := bd[oci]
 			oBase := ni*sampleStrideOut + oci*chStride
 			wBase := oci * wOCStride
-			for z := 0; z < d; z++ {
-				kz0, kz1 := kernelRange(z, p, k, d)
-				for y := 0; y < h; y++ {
-					ky0, ky1 := kernelRange(y, p, k, h)
-					for xx := 0; xx < w; xx++ {
-						kx0, kx1 := kernelRange(xx, p, k, w)
-						acc := bias
-						for icI := 0; icI < ic; icI++ {
-							iBase := inBase + icI*chStride
-							wcBase := wBase + icI*kk
-							for kz := kz0; kz < kz1; kz++ {
-								iz := z + kz - p
-								for ky := ky0; ky < ky1; ky++ {
-									iy := y + ky - p
-									iRow := iBase + iz*planeStride + iy*rowStride
-									wRow := wcBase + kz*k*k + ky*k
-									for kx := kx0; kx < kx1; kx++ {
-										acc += xd[iRow+xx+kx-p] * wd[wRow+kx]
-									}
+			kz0, kz1 := kernelRange(z, p, k, d)
+			for y := 0; y < h; y++ {
+				ky0, ky1 := kernelRange(y, p, k, h)
+				for xx := 0; xx < w; xx++ {
+					kx0, kx1 := kernelRange(xx, p, k, w)
+					acc := bias
+					for icI := 0; icI < ic; icI++ {
+						iBase := inBase + icI*chStride
+						wcBase := wBase + icI*kk
+						for kz := kz0; kz < kz1; kz++ {
+							iz := z + kz - p
+							for ky := ky0; ky < ky1; ky++ {
+								iy := y + ky - p
+								iRow := iBase + iz*planeStride + iy*rowStride
+								wRow := wcBase + kz*k*k + ky*k
+								for kx := kx0; kx < kx1; kx++ {
+									acc += xd[iRow+xx+kx-p] * wd[wRow+kx]
 								}
 							}
 						}
-						od[oBase+z*planeStride+y*rowStride+xx] = acc
 					}
+					od[oBase+z*planeStride+y*rowStride+xx] = acc
 				}
 			}
 		}
@@ -121,7 +137,16 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates kernel/bias gradients and returns dL/d(input).
+// Backward accumulates kernel/bias gradients and returns dL/d(input),
+// dispatching to the layer's engine (GEMM by default).
+func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if ResolveConvEngine(c.engine) == EngineGEMM {
+		return c.backwardGEMM(gradOut)
+	}
+	return c.backwardDirect(gradOut)
+}
+
+// backwardDirect is the direct-engine backward kernel.
 //
 // Three passes with disjoint outputs replace the fused serial loop: bias
 // gradients are owned per output channel, kernel gradients per
@@ -129,7 +154,7 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // input-channel) slab. Within each owned element the contributions are
 // summed in the serial reference's order, so no atomics, no per-worker
 // scratch buffers and no result drift.
-func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+func (c *Conv3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: Conv3D.Backward called before Forward")
 	}
@@ -149,7 +174,6 @@ func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	god := gradOut.Data()
 	wd := c.W.Value.Data()
 	gwd := c.W.Grad.Data()
-	gbd := c.B.Grad.Data()
 
 	chStride := d * h * w
 	rowStride := w
@@ -161,25 +185,10 @@ func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	oc := c.OutChannels
 	workers := c.workers
 
-	// Pass 1 — bias gradient, one owner per output channel. Matches the
-	// serial reference: a float32 sub-total per (sample, channel), samples
-	// added in ascending order.
-	biasPass := func() {
-		parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
-			for oci := lo; oci < hi; oci++ {
-				for ni := 0; ni < n; ni++ {
-					oBase := ni*sampleStrideOut + oci*chStride
-					var biasAcc float32
-					for _, g := range god[oBase : oBase+chStride] {
-						if g != 0 {
-							biasAcc += g
-						}
-					}
-					gbd[oci] += biasAcc
-				}
-			}
-		})
-	}
+	// Pass 1 — bias gradient (biasGradPass), one owner per output channel.
+	// Matches the serial reference: a float32 sub-total per
+	// (sample, channel), samples added in ascending order.
+	biasPass := func() { c.biasGradPass(god, n, chStride, workers) }
 
 	// Pass 2 — kernel gradient, one owner per (output, input)-channel
 	// block of W. For a fixed block the serial order is samples ascending,
@@ -402,6 +411,31 @@ func (c *Conv3D) backwardSerial(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return gradIn
+}
+
+// biasGradPass accumulates the bias gradient — the sum of gradOut per
+// output channel — with one owner per channel and samples added in
+// ascending order, exactly as the serial reference does. Both engines share
+// it: the per-(sample, channel) float32 sub-totals make it bit-for-bit
+// equal to the serial kernel at any worker budget.
+func (c *Conv3D) biasGradPass(god []float32, n, chStride, workers int) {
+	oc := c.OutChannels
+	gbd := c.B.Grad.Data()
+	sampleStride := oc * chStride
+	parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
+		for oci := lo; oci < hi; oci++ {
+			for ni := 0; ni < n; ni++ {
+				oBase := ni*sampleStride + oci*chStride
+				var biasAcc float32
+				for _, g := range god[oBase : oBase+chStride] {
+					if g != 0 {
+						biasAcc += g
+					}
+				}
+				gbd[oci] += biasAcc
+			}
+		}
+	})
 }
 
 // kernelRange returns [k0, k1) such that pos+kz-p stays within [0, dim).

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/gemm"
+	"repro/internal/tensor"
+)
+
+// GEMM engine for Conv3D: the convolution is lowered to matrix multiplies
+// against the im2col patch matrix P ([IC·K³, D·H·W]) of each sample,
+//
+//	forward:          Out[n]  = W·P + b         (W as [OC, IC·K³])
+//	backward-weights: gW     += gOut[n]·Pᵀ
+//	backward-input:   gP      = Wᵀ·gOut[n],  gIn[n] = col2im(gP)
+//
+// P, gP and the GEMM packing panels all come from the tensor scratch pool,
+// so a steady-state training step performs no allocations here. A 1×1×1
+// convolution needs no patch matrix at all — the input slab already is P.
+
+// forwardGEMM computes the convolution of x as im2col + GEMM.
+func (c *Conv3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+	n, ic, d, h, w := check5D("Conv3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
+	}
+	c.input = x
+	k := c.Kernel
+	p := k / 2
+	oc := c.OutChannels
+	out := tensor.New(n, oc, d, h, w)
+
+	xd := x.Data()
+	od := out.Data()
+	wd := c.W.Value.Data()
+	bd := c.B.Value.Data()
+
+	cols := d * h * w
+	kdim := ic * k * k * k
+	workers := c.workers
+
+	var patch []float32
+	if k > 1 {
+		patch = tensor.GetScratch(kdim * cols)
+		defer tensor.PutScratch(patch)
+	}
+	for ni := 0; ni < n; ni++ {
+		pm := patch
+		if k == 1 {
+			// 1×1×1: the input slab is the patch matrix.
+			pm = xd[ni*ic*cols : (ni+1)*ic*cols]
+		} else {
+			im2col(xd[ni*ic*cols:(ni+1)*ic*cols], ic, d, h, w, k, p, patch, workers)
+		}
+		oSlab := od[ni*oc*cols : (ni+1)*oc*cols]
+		// Seed the output with the bias so the GEMM accumulates onto it,
+		// keeping the bias first in each element's sum like the direct
+		// kernels do.
+		for oci := 0; oci < oc; oci++ {
+			row := oSlab[oci*cols : (oci+1)*cols]
+			bias := bd[oci]
+			for i := range row {
+				row[i] = bias
+			}
+		}
+		gemm.Gemm(false, false, oc, cols, kdim, wd, kdim, pm, cols, true, oSlab, cols, workers)
+	}
+	return out
+}
+
+// backwardGEMM accumulates kernel/bias gradients and returns dL/d(input)
+// using the GEMM formulation.
+func (c *Conv3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.input == nil {
+		panic("nn: Conv3D.Backward called before Forward")
+	}
+	x := c.input
+	n, ic, d, h, w := check5D("Conv3D.Backward", x)
+	k := c.Kernel
+	p := k / 2
+	oc := c.OutChannels
+	gradIn := tensor.New(x.Shape()...)
+
+	xd := x.Data()
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+	gwd := c.W.Grad.Data()
+
+	cols := d * h * w
+	kdim := ic * k * k * k
+	workers := c.workers
+
+	c.biasGradPass(god, n, cols, workers)
+
+	var patch, gradP []float32
+	if k > 1 {
+		patch = tensor.GetScratch(kdim * cols)
+		gradP = tensor.GetScratch(kdim * cols)
+		defer tensor.PutScratch(patch)
+		defer tensor.PutScratch(gradP)
+	}
+	for ni := 0; ni < n; ni++ {
+		xSlab := xd[ni*ic*cols : (ni+1)*ic*cols]
+		gSlab := god[ni*oc*cols : (ni+1)*oc*cols]
+		iSlab := gid[ni*ic*cols : (ni+1)*ic*cols]
+
+		pm := patch
+		gp := gradP
+		if k == 1 {
+			pm = xSlab
+			// col2im is the identity at 1×1×1: write dL/dP straight into
+			// the input-gradient slab.
+			gp = iSlab
+		} else {
+			im2col(xSlab, ic, d, h, w, k, p, patch, workers)
+		}
+		// Kernel gradient: gW += gOut[n]·Pᵀ, samples in ascending order.
+		gemm.Gemm(false, true, oc, kdim, cols, gSlab, cols, pm, cols, true, gwd, kdim, workers)
+		// Input gradient: gP = Wᵀ·gOut[n], then scatter-add back.
+		gemm.Gemm(true, false, kdim, cols, oc, wd, kdim, gSlab, cols, false, gp, cols, workers)
+		if k > 1 {
+			col2imAdd(gradP, ic, d, h, w, k, p, iSlab, workers)
+		}
+	}
+	return gradIn
+}

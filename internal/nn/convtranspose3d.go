@@ -14,11 +14,15 @@ import (
 // spatial extent. Because the stride equals the kernel size, output windows
 // do not overlap.
 //
-// Like Conv3D, the kernels run on the parallel worker pool with disjoint
-// output partitions chosen so that every accumulation happens in the serial
-// reference's order — results are bit-for-bit independent of the budget.
+// Like Conv3D, two engines implement the kernels (see ConvEngine): the
+// default GEMM engine runs the mirrored col2im/im2col formulation
+// (convtranspose3d_gemm.go), and the direct engine runs the original loop
+// kernels on the parallel worker pool with disjoint output partitions
+// chosen so that every accumulation happens in the serial reference's
+// order — direct results are bit-for-bit independent of the budget.
 type ConvTranspose3D struct {
 	workerBudget
+	engineChoice
 
 	InChannels  int
 	OutChannels int
@@ -48,11 +52,20 @@ func NewConvTranspose3D(name string, inC, outC, kernel int, rng *rand.Rand) *Con
 // Params returns the kernel and bias parameters.
 func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }
 
-// Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W].
-// Work is partitioned over (sample × output-channel) slabs; each slab owner
-// initializes its bias plane and accumulates input channels in ascending
-// order, exactly as the serial reference does.
+// Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W],
+// dispatching to the layer's engine (GEMM by default).
 func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if ResolveConvEngine(c.engine) == EngineGEMM {
+		return c.forwardGEMM(x)
+	}
+	return c.forwardDirect(x)
+}
+
+// forwardDirect is the direct-engine forward kernel. Work is partitioned
+// over (sample × output-channel) slabs; each slab owner initializes its
+// bias plane and accumulates input channels in ascending order, exactly as
+// the serial reference does.
+func (c *ConvTranspose3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
 	n, ic, d, h, w := check5D("ConvTranspose3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
@@ -112,7 +125,16 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates parameter gradients and returns dL/d(input).
+// Backward accumulates parameter gradients and returns dL/d(input),
+// dispatching to the layer's engine (GEMM by default).
+func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if ResolveConvEngine(c.engine) == EngineGEMM {
+		return c.backwardGEMM(gradOut)
+	}
+	return c.backwardDirect(gradOut)
+}
+
+// backwardDirect is the direct-engine backward kernel.
 //
 // Two disjoint-output passes: bias per output channel, then a fused kernel-
 // and input-gradient pass owned per input channel — an input channel owns
@@ -121,7 +143,7 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // cost saver) survives parallelization. Samples are visited in ascending
 // order inside each owner, keeping every accumulation in the serial
 // reference's order.
-func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+func (c *ConvTranspose3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: ConvTranspose3D.Backward called before Forward")
 	}
@@ -141,7 +163,6 @@ func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	god := gradOut.Data()
 	wd := c.W.Value.Data()
 	gwd := c.W.Grad.Data()
-	gbd := c.B.Grad.Data()
 
 	inCh := d * h * w
 	outCh := od * oh * ow
@@ -149,20 +170,9 @@ func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	oc := c.OutChannels
 	workers := c.workers
 
-	// Pass 1 — bias gradient: sum of gradOut per output channel, samples in
-	// ascending order as in the serial reference.
-	parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
-		for oci := lo; oci < hi; oci++ {
-			for ni := 0; ni < n; ni++ {
-				base := (ni*oc + oci) * outCh
-				var acc float32
-				for _, g := range god[base : base+outCh] {
-					acc += g
-				}
-				gbd[oci] += acc
-			}
-		}
-	})
+	// Pass 1 — bias gradient (biasGradPass): sum of gradOut per output
+	// channel, samples in ascending order as in the serial reference.
+	c.biasGradPass(god, n, outCh, workers)
 
 	// Pass 2 — fused kernel and input gradients, one owner per input channel.
 	parallel.ForWorkers(workers, ic, 1, func(lo, hi int) {

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/gemm"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// GEMM engine for ConvTranspose3D: because the kernel edge equals the
+// stride, output windows never overlap, so the transposed convolution is
+// exactly the mirrored im2col formulation of Conv3D with the roles of the
+// patch matrix swapped to the output side. With W as the [IC, OC·K³]
+// matrix, x[n] as [IC, D·H·W] and Cols as [OC·K³, D·H·W],
+//
+//	forward:          Cols    = Wᵀ·x[n],  Out[n] = col2im(Cols) + b
+//	backward-weights: gW     += x[n]·Colsᵀ(gOut[n])
+//	backward-input:   gIn[n]  = W·Cols(gOut[n])
+//
+// where Cols(gOut[n]) is the im2col gather of the output gradient. The
+// scatter and gather are pure copies (each output voxel belongs to exactly
+// one window), parallelized over single-owner output-channel / row
+// partitions.
+
+// forwardGEMM upsamples x via the transposed-GEMM formulation.
+func (c *ConvTranspose3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+	n, ic, d, h, w := check5D("ConvTranspose3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
+	}
+	c.input = x
+	k := c.Kernel
+	od, oh, ow := d*k, h*k, w*k
+	oc := c.OutChannels
+	out := tensor.New(n, oc, od, oh, ow)
+
+	xd := x.Data()
+	outd := out.Data()
+	wd := c.W.Value.Data()
+	bd := c.B.Value.Data()
+
+	inCols := d * h * w
+	outCh := od * oh * ow
+	kk := k * k * k
+	rows := oc * kk
+	workers := c.workers
+
+	colsBuf := tensor.GetScratch(rows * inCols)
+	defer tensor.PutScratch(colsBuf)
+	for ni := 0; ni < n; ni++ {
+		xSlab := xd[ni*ic*inCols : (ni+1)*ic*inCols]
+		// Cols = Wᵀ·x[n]: W is stored [IC, OC·K³] row-major, so op(A)=Aᵀ.
+		gemm.Gemm(true, false, rows, inCols, ic, wd, rows, xSlab, inCols, false, colsBuf, inCols, workers)
+		// Scatter each (oc, kz, ky, kx) row into its strided output plane;
+		// windows do not overlap, so every output voxel is written once.
+		oBase := ni * oc * outCh
+		parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
+			for oci := lo; oci < hi; oci++ {
+				bias := bd[oci]
+				for tap := 0; tap < kk; tap++ {
+					kx := tap % k
+					ky := (tap / k) % k
+					kz := tap / (k * k)
+					src := colsBuf[(oci*kk+tap)*inCols:]
+					for z := 0; z < d; z++ {
+						for y := 0; y < h; y++ {
+							s := (z*h + y) * w
+							drow := outd[oBase+oci*outCh+((z*k+kz)*oh+y*k+ky)*ow+kx:]
+							for xx := 0; xx < w; xx++ {
+								drow[xx*k] = bias + src[s+xx]
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// backwardGEMM accumulates parameter gradients and returns dL/d(input)
+// using the transposed-GEMM formulation.
+func (c *ConvTranspose3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.input == nil {
+		panic("nn: ConvTranspose3D.Backward called before Forward")
+	}
+	x := c.input
+	n, ic, d, h, w := check5D("ConvTranspose3D.Backward", x)
+	k := c.Kernel
+	od, oh, ow := d*k, h*k, w*k
+	oc := c.OutChannels
+	gradIn := tensor.New(x.Shape()...)
+
+	xd := x.Data()
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+	gwd := c.W.Grad.Data()
+
+	inCols := d * h * w
+	outCh := od * oh * ow
+	kk := k * k * k
+	rows := oc * kk
+	workers := c.workers
+
+	c.biasGradPass(god, n, outCh, workers)
+
+	gradCols := tensor.GetScratch(rows * inCols)
+	defer tensor.PutScratch(gradCols)
+	for ni := 0; ni < n; ni++ {
+		xSlab := xd[ni*ic*inCols : (ni+1)*ic*inCols]
+		oBase := ni * oc * outCh
+		// Gather the output gradient into column form (inverse of the
+		// forward scatter), one owner per (oc, tap) row.
+		parallel.ForWorkers(workers, rows, 1, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				tap := r % kk
+				oci := r / kk
+				kx := tap % k
+				ky := (tap / k) % k
+				kz := tap / (k * k)
+				dst := gradCols[r*inCols:]
+				for z := 0; z < d; z++ {
+					for y := 0; y < h; y++ {
+						s := (z*h + y) * w
+						srow := god[oBase+oci*outCh+((z*k+kz)*oh+y*k+ky)*ow+kx:]
+						for xx := 0; xx < w; xx++ {
+							dst[s+xx] = srow[xx*k]
+						}
+					}
+				}
+			}
+		})
+		// Kernel gradient: gW += x[n]·gradColsᵀ, samples ascending.
+		gemm.Gemm(false, true, ic, rows, inCols, xSlab, inCols, gradCols, inCols, true, gwd, rows, workers)
+		// Input gradient: gIn[n] = W·gradCols.
+		gemm.Gemm(false, false, ic, inCols, rows, wd, rows, gradCols, inCols, false, gid[ni*ic*inCols:(ni+1)*ic*inCols], inCols, workers)
+	}
+	return gradIn
+}
+
+// biasGradPass accumulates the bias gradient — the sum of gradOut per
+// output channel, samples in ascending order as in the serial reference —
+// with one owner per channel; shared by both engines.
+func (c *ConvTranspose3D) biasGradPass(god []float32, n, outCh, workers int) {
+	oc := c.OutChannels
+	gbd := c.B.Grad.Data()
+	parallel.ForWorkers(workers, oc, 1, func(lo, hi int) {
+		for oci := lo; oci < hi; oci++ {
+			for ni := 0; ni < n; ni++ {
+				base := (ni*oc + oci) * outCh
+				var acc float32
+				for _, g := range god[base : base+outCh] {
+					acc += g
+				}
+				gbd[oci] += acc
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// ConvEngine selects the compute formulation of the convolution layers.
+//
+// The two engines trade determinism granularity for throughput:
+//
+//   - EngineDirect runs the original 7-deep loop kernels. Every float is
+//     accumulated in exactly the serial reference's order, so outputs are
+//     bit-for-bit identical to the serial kernels at any worker budget.
+//   - EngineGEMM lowers each convolution to im2col + a blocked, register-
+//     tiled matrix multiply (internal/gemm) — several times faster, and
+//     still bit-for-bit independent of the worker budget, but the GEMM
+//     reassociates the K-dimension sum, so results match the direct
+//     reference only within a small tolerance (documented bound, asserted
+//     by TestConvEngineParity: ≤ 64 ULP on forward outputs and ≤ 1024 ULP
+//     on gradient reductions, with a 1e-5 absolute floor for
+//     catastrophic-cancellation elements near zero).
+//
+// Both engines are deterministic run-to-run; mirrored replicas stay bitwise
+// synchronized under either, as long as all replicas use the same engine.
+type ConvEngine int32
+
+const (
+	// EngineAuto resolves to the process-wide default: the REPRO_CONV_ENGINE
+	// environment variable, or EngineGEMM when unset.
+	EngineAuto ConvEngine = iota
+	// EngineGEMM is the im2col + blocked-GEMM formulation (the default).
+	EngineGEMM
+	// EngineDirect is the direct-loop golden reference.
+	EngineDirect
+)
+
+// EnvConvEngine is the environment variable consulted at startup for the
+// default convolution engine ("gemm" or "direct"; anything else is ignored).
+const EnvConvEngine = "REPRO_CONV_ENGINE"
+
+// String renders the engine name.
+func (e ConvEngine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineGEMM:
+		return "gemm"
+	case EngineDirect:
+		return "direct"
+	}
+	return fmt.Sprintf("ConvEngine(%d)", int32(e))
+}
+
+// ParseConvEngine maps "gemm"/"direct"/"auto" to the engine constant.
+func ParseConvEngine(s string) (ConvEngine, error) {
+	switch s {
+	case "gemm":
+		return EngineGEMM, nil
+	case "direct":
+		return EngineDirect, nil
+	case "auto", "":
+		return EngineAuto, nil
+	}
+	return EngineAuto, fmt.Errorf("nn: unknown conv engine %q (want gemm, direct or auto)", s)
+}
+
+var defaultEngine atomic.Int32
+
+func init() {
+	defaultEngine.Store(int32(EngineGEMM))
+	if e, err := ParseConvEngine(os.Getenv(EnvConvEngine)); err == nil && e != EngineAuto {
+		defaultEngine.Store(int32(e))
+	}
+}
+
+// DefaultConvEngine returns the process-wide default engine.
+func DefaultConvEngine() ConvEngine { return ConvEngine(defaultEngine.Load()) }
+
+// SetDefaultConvEngine sets the process-wide default; EngineAuto restores
+// the REPRO_CONV_ENGINE / gemm startup default. It returns the engine now
+// in effect.
+func SetDefaultConvEngine(e ConvEngine) ConvEngine {
+	if e == EngineAuto {
+		e = EngineGEMM
+		if p, err := ParseConvEngine(os.Getenv(EnvConvEngine)); err == nil && p != EngineAuto {
+			e = p
+		}
+	}
+	defaultEngine.Store(int32(e))
+	return e
+}
+
+// ResolveConvEngine maps a per-layer engine choice to an effective engine:
+// EngineAuto means the process default.
+func ResolveConvEngine(e ConvEngine) ConvEngine {
+	if e == EngineAuto {
+		return DefaultConvEngine()
+	}
+	return e
+}
+
+// ConvEngineSetter is implemented by layers (and layer containers) whose
+// convolution kernels can switch between the direct and GEMM engines.
+type ConvEngineSetter interface {
+	SetConvEngine(ConvEngine)
+}
+
+// engineChoice is embedded by the convolution layers to carry the per-layer
+// engine override; the zero value (EngineAuto) tracks the process default.
+type engineChoice struct {
+	engine ConvEngine
+}
+
+// SetConvEngine sets the layer's engine; EngineAuto restores the default.
+func (c *engineChoice) SetConvEngine(e ConvEngine) { c.engine = e }

@@ -1,0 +1,122 @@
+package nn
+
+import "repro/internal/parallel"
+
+// im2col / col2im lowering for the GEMM convolution engine.
+//
+// For a stride-1, same-padded cubic convolution the patch matrix P has one
+// row per (input-channel, kz, ky, kx) kernel tap and one column per output
+// voxel (z, y, x) in scan order: P[r, c] is the input value that tap r reads
+// when producing voxel c, or 0 where the tap falls in the zero padding.
+// Row r of P is then just the input channel volume shifted by the tap
+// offset, so each row is built from contiguous row copies plus zeroed
+// padding runs — no per-element index arithmetic.
+//
+// Both directions are parallelized over single-owner partitions (patch rows
+// for the gather, input channels for the scatter-add) with a fixed
+// traversal order, so they are bit-for-bit independent of the worker
+// budget, matching the determinism contract of internal/gemm.
+
+// im2col fills patch ([ic·k³, d·h·w] row-major) with the patch matrix of
+// one sample's input slab x ([ic, d, h, w] row-major).
+func im2col(x []float32, ic, d, h, w, k, p int, patch []float32, workers int) {
+	cols := d * h * w
+	kk := k * k * k
+	parallel.ForWorkers(workers, ic*kk, 1, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			tap := r % kk
+			ici := r / kk
+			kx := tap % k
+			ky := (tap / k) % k
+			kz := tap / (k * k)
+			dz, dy, dx := kz-p, ky-p, kx-p
+			dst := patch[r*cols : (r+1)*cols]
+			src := x[ici*cols : (ici+1)*cols]
+			x0, x1 := tapXRange(dx, w)
+			for z := 0; z < d; z++ {
+				iz := z + dz
+				zOK := iz >= 0 && iz < d
+				for y := 0; y < h; y++ {
+					o := (z*h + y) * w
+					iy := y + dy
+					if !zOK || iy < 0 || iy >= h || x0 >= x1 {
+						// The whole row is padding for this tap.
+						row := dst[o : o+w]
+						for i := range row {
+							row[i] = 0
+						}
+						continue
+					}
+					s := (iz*h+iy)*w + dx
+					for i := 0; i < x0; i++ {
+						dst[o+i] = 0
+					}
+					copy(dst[o+x0:o+x1], src[s+x0:s+x1])
+					for i := x1; i < w; i++ {
+						dst[o+i] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// tapXRange returns the output x-range [x0, x1) for which a tap offset by
+// dx stays inside a row of width w (0 <= xx+dx < w), clamped to [0, w] with
+// x1 >= x0 — for half-widths larger than the volume (e.g. a 5³ kernel on a
+// width-1 row) some taps have an empty range.
+func tapXRange(dx, w int) (x0, x1 int) {
+	x0, x1 = 0, w
+	if dx > 0 {
+		x1 = w - dx
+	} else {
+		x0 = -dx
+	}
+	if x0 > w {
+		x0 = w
+	}
+	if x1 < x0 {
+		x1 = x0
+	}
+	return x0, x1
+}
+
+// col2imAdd scatter-adds the patch-gradient matrix gradP ([ic·k³, d·h·w])
+// into one sample's input-gradient slab gradIn ([ic, d, h, w]). Each input
+// channel is a single-owner partition; within it, taps and voxels are
+// visited in ascending order, so the accumulation order per element is
+// fixed for every worker budget.
+func col2imAdd(gradP []float32, ic, d, h, w, k, p int, gradIn []float32, workers int) {
+	cols := d * h * w
+	kk := k * k * k
+	parallel.ForWorkers(workers, ic, 1, func(lo, hi int) {
+		for ici := lo; ici < hi; ici++ {
+			dst := gradIn[ici*cols : (ici+1)*cols]
+			for tap := 0; tap < kk; tap++ {
+				kx := tap % k
+				ky := (tap / k) % k
+				kz := tap / (k * k)
+				dz, dy, dx := kz-p, ky-p, kx-p
+				src := gradP[(ici*kk+tap)*cols:]
+				x0, x1 := tapXRange(dx, w)
+				for z := 0; z < d; z++ {
+					iz := z + dz
+					if iz < 0 || iz >= d {
+						continue
+					}
+					for y := 0; y < h; y++ {
+						iy := y + dy
+						if iy < 0 || iy >= h {
+							continue
+						}
+						o := (z*h + y) * w
+						drow := dst[(iz*h+iy)*w:]
+						for i := x0; i < x1; i++ {
+							drow[i+dx] += src[o+i]
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -116,6 +116,16 @@ func (s *Sequential) SetWorkers(workers int) {
 	}
 }
 
+// SetConvEngine forwards the convolution-engine choice to every layer with
+// switchable kernels.
+func (s *Sequential) SetConvEngine(e ConvEngine) {
+	for _, l := range s.Layers {
+		if c, ok := l.(ConvEngineSetter); ok {
+			c.SetConvEngine(e)
+		}
+	}
+}
+
 // ParamCount sums the element counts of the given parameters.
 func ParamCount(params []*Param) int {
 	n := 0

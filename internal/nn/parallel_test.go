@@ -49,6 +49,7 @@ func TestConv3DParallelMatchesSerial(t *testing.T) {
 
 			for _, workers := range equalityWorkerCounts {
 				par := NewConv3D("par", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(7)))
+				par.SetConvEngine(EngineDirect)
 				par.SetWorkers(workers)
 				parOut := par.Forward(x)
 				assertBitEqual(t, "forward output", workers, refOut.Data(), parOut.Data())
@@ -78,6 +79,7 @@ func TestConvTranspose3DParallelMatchesSerial(t *testing.T) {
 
 	for _, workers := range equalityWorkerCounts {
 		par := NewConvTranspose3D("par", inC, outC, k, rand.New(rand.NewSource(5)))
+		par.SetConvEngine(EngineDirect)
 		par.SetWorkers(workers)
 		parOut := par.Forward(x)
 		assertBitEqual(t, "forward output", workers, refOut.Data(), parOut.Data())
@@ -135,10 +137,12 @@ func TestLayersWorkerCountInvariant(t *testing.T) {
 // TestUNetWorkerCountInvariant trains one forward/backward through the full
 // network under different budgets and demands bitwise-identical results —
 // the property that keeps mirrored replicas synchronized when the budget
-// changes between runs.
+// changes between runs. Both convolution engines must hold it: the direct
+// engine by serial-order accumulation, the GEMM engine by single-owner
+// column blocks with a budget-independent K order.
 func TestUNetWorkerCountInvariant(t *testing.T) {
 	t.Parallel()
-	build := func(workers int) ([]float32, [][]float32) {
+	build := func(workers int, engine ConvEngine) ([]float32, [][]float32) {
 		// Local import cycle avoidance: construct via the layers directly.
 		rng := rand.New(rand.NewSource(2))
 		conv1 := NewConv3D("c1", 2, 4, 3, rng)
@@ -150,6 +154,7 @@ func TestUNetWorkerCountInvariant(t *testing.T) {
 		act := NewSigmoid()
 		seq := NewSequential(conv1, bn, relu, pool, up, head, act)
 		seq.SetWorkers(workers)
+		seq.SetConvEngine(engine)
 
 		x := randTensor(rand.New(rand.NewSource(4)), 2, 2, 8, 8, 8)
 		out := seq.Forward(x)
@@ -161,13 +166,17 @@ func TestUNetWorkerCountInvariant(t *testing.T) {
 		}
 		return append([]float32(nil), out.Data()...), grads
 	}
-	refOut, refGrads := build(1)
-	for _, workers := range []int{2, 5} {
-		out, grads := build(workers)
-		assertBitEqual(t, "network output", workers, refOut, out)
-		for i := range grads {
-			assertBitEqual(t, "parameter gradient", workers, refGrads[i], grads[i])
-		}
+	for _, engine := range []ConvEngine{EngineDirect, EngineGEMM} {
+		t.Run(engine.String(), func(t *testing.T) {
+			refOut, refGrads := build(1, engine)
+			for _, workers := range []int{2, 5} {
+				out, grads := build(workers, engine)
+				assertBitEqual(t, "network output", workers, refOut, out)
+				for i := range grads {
+					assertBitEqual(t, "parameter gradient", workers, refGrads[i], grads[i])
+				}
+			}
+		})
 	}
 }
 
@@ -192,6 +201,7 @@ func TestConvWorkerBudgetDefault(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(1))
 	c := NewConv3D("c", 2, 2, 3, rng)
+	c.SetConvEngine(EngineDirect)
 	x := randTensor(rand.New(rand.NewSource(2)), 1, 2, 4, 4, 4)
 	refOut := c.forwardSerial(x)
 	out := c.Forward(x) // budget 0 → global default (3 workers)

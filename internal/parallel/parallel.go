@@ -62,6 +62,9 @@ func Resolve(workers int) int {
 // parts concurrent consumers, never returning less than 1. Mirrored replicas
 // use it so R replica goroutines running kernels with Share(budget, R)
 // workers each keep the whole step at ~budget cores instead of R×budget.
+//
+// Share floors the division, so total%parts workers are left idle; consumers
+// that can accept unequal shares should use ShareN instead.
 func Share(total, parts int) int {
 	if parts < 1 {
 		parts = 1
@@ -71,6 +74,34 @@ func Share(total, parts int) int {
 		w = 1
 	}
 	return w
+}
+
+// ShareN divides a total worker budget (0 = the global default) among parts
+// concurrent consumers with no idle remainder: the first Resolve(total)%parts
+// shares get one extra worker, so shares differ by at most one and sum to
+// exactly Resolve(total) whenever Resolve(total) >= parts. Every share is at
+// least 1. Mirrored replicas and experiment-parallel trials index the
+// returned slice by their slot so a 7-core budget over 2 replicas runs 4+3
+// instead of Share's 3+3 with one core idle.
+func ShareN(total, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	w := Resolve(total)
+	base := w / parts
+	rem := w % parts
+	shares := make([]int, parts)
+	for i := range shares {
+		s := base
+		if i < rem {
+			s++
+		}
+		if s < 1 {
+			s = 1
+		}
+		shares[i] = s
+	}
+	return shares
 }
 
 // For partitions [0, n) into chunks of at most grain indices and calls

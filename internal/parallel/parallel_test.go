@@ -119,6 +119,52 @@ func TestShare(t *testing.T) {
 	}
 }
 
+func TestShareN(t *testing.T) {
+	cases := []struct {
+		total, parts int
+		want         []int
+	}{
+		{7, 2, []int{4, 3}},       // remainder goes to the first shares
+		{8, 2, []int{4, 4}},       // even split unchanged
+		{7, 3, []int{3, 2, 2}},    // one extra share
+		{2, 4, []int{1, 1, 1, 1}}, // more parts than workers: min 1 each
+		{5, 1, []int{5}},          // single consumer gets everything
+		{3, 0, []int{3}},          // parts clamped to 1
+	}
+	for _, tc := range cases {
+		got := ShareN(tc.total, tc.parts)
+		if len(got) != len(tc.want) {
+			t.Fatalf("ShareN(%d, %d) = %v, want %v", tc.total, tc.parts, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("ShareN(%d, %d) = %v, want %v", tc.total, tc.parts, got, tc.want)
+			}
+		}
+	}
+
+	// Whenever the budget covers the parts, the shares must sum to exactly
+	// the budget — the no-idle-cores property Share lacks.
+	for total := 1; total <= 24; total++ {
+		for parts := 1; parts <= total; parts++ {
+			sum := 0
+			for _, s := range ShareN(total, parts) {
+				sum += s
+			}
+			if sum != total {
+				t.Fatalf("ShareN(%d, %d) sums to %d", total, parts, sum)
+			}
+		}
+	}
+
+	orig := DefaultWorkers()
+	defer SetDefaultWorkers(orig)
+	SetDefaultWorkers(5)
+	if got := ShareN(0, 2); got[0] != 3 || got[1] != 2 {
+		t.Errorf("ShareN(0, 2) with default 5 = %v, want [3 2]", got)
+	}
+}
+
 // sync32Set is a tiny concurrent set for test bookkeeping.
 type sync32Set struct {
 	mu   sync.Mutex

@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestScratchRoundsUpToClass(t *testing.T) {
+	buf := GetScratch(100)
+	if len(buf) != 100 {
+		t.Fatalf("len = %d, want 100", len(buf))
+	}
+	if cap(buf) != 128 {
+		t.Fatalf("cap = %d, want the next power of two 128", cap(buf))
+	}
+	PutScratch(buf)
+
+	if got := GetScratch(0); got != nil {
+		t.Fatalf("GetScratch(0) = %v, want nil", got)
+	}
+}
+
+func TestScratchReusesBuffers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops a fraction of Puts under the race detector")
+	}
+	// Disable GC so sync.Pool cannot be drained mid-test.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	const n = 1 << 12
+	warm := GetScratch(n)
+	PutScratch(warm)
+
+	before := ScratchStatsSnapshot().Allocs
+	for i := 0; i < 16; i++ {
+		buf := GetScratch(n)
+		// Any length within the same class must reuse the same buffer.
+		buf2 := GetScratch(n / 2)
+		PutScratch(buf2)
+		PutScratch(buf)
+	}
+	after := ScratchStatsSnapshot().Allocs
+	// The half-size request is a different class and may allocate once; the
+	// full-size requests must all be served from the pool.
+	if after-before > 1 {
+		t.Fatalf("steady-state loop allocated %d times, want <= 1", after-before)
+	}
+}
+
+func TestPutScratchDropsForeignBuffers(t *testing.T) {
+	// A capacity that is not a pool class must be dropped, not pooled.
+	foreign := make([]float32, 100) // cap 100, not a power of two
+	before := ScratchStatsSnapshot().Puts
+	PutScratch(foreign)
+	if got := ScratchStatsSnapshot().Puts; got != before {
+		t.Fatalf("foreign buffer was pooled (puts %d -> %d)", before, got)
+	}
+	PutScratch(nil) // must not panic
+}

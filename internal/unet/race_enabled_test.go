@@ -1,0 +1,8 @@
+//go:build race
+
+package unet
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops a fraction of Puts under the race detector, so the
+// zero-allocation steady-state assertion cannot hold there.
+const raceEnabled = true

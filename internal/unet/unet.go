@@ -37,6 +37,11 @@ type Config struct {
 	// experiment-parallel trials) lower it so the machine is divided, not
 	// oversubscribed.
 	Workers int
+
+	// Engine selects the convolution compute engine for every Conv3D and
+	// ConvTranspose3D in the network; the zero value (nn.EngineAuto)
+	// follows the process default (REPRO_CONV_ENGINE, gemm when unset).
+	Engine nn.ConvEngine
 }
 
 // PaperConfig returns the configuration used in the paper's benchmark.
@@ -167,6 +172,7 @@ func New(cfg Config) (*UNet, error) {
 	u.head = nn.NewConv3D("head", cfg.BaseFilters, cfg.OutChannels, 1, rng)
 	u.act = nn.NewSigmoid()
 	u.SetWorkers(cfg.Workers)
+	u.SetConvEngine(cfg.Engine)
 
 	for _, e := range u.enc {
 		u.params = append(u.params, e.convA.Params()...)
@@ -227,6 +233,22 @@ func (u *UNet) SetWorkers(workers int) {
 	}
 	u.head.SetWorkers(workers)
 	u.act.SetWorkers(workers)
+}
+
+// SetConvEngine sets the convolution engine on every Conv3D and
+// ConvTranspose3D layer; nn.EngineAuto restores the process default.
+func (u *UNet) SetConvEngine(e nn.ConvEngine) {
+	u.Cfg.Engine = e
+	for _, enc := range u.enc {
+		enc.convA.SetConvEngine(e)
+		enc.convB.SetConvEngine(e)
+	}
+	for _, d := range u.dec {
+		d.up.SetConvEngine(e)
+		d.convA.SetConvEngine(e)
+		d.convB.SetConvEngine(e)
+	}
+	u.head.SetConvEngine(e)
 }
 
 // SetTraining toggles training mode on every batch-norm layer.
