@@ -3,7 +3,10 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/nn"
@@ -80,6 +83,96 @@ func timeKernel(sh kernelShape, engine nn.ConvEngine, workers, reps int) (fwd, b
 		}
 	}
 	return fwd, bwd
+}
+
+// kernelSpeedups measures the workers=1 gemm-over-direct speedup of one
+// shape, forward and backward.
+func kernelSpeedups(sh kernelShape, reps int) (fwd, bwd float64) {
+	dFwd, dBwd := timeKernel(sh, nn.EngineDirect, 1, reps)
+	gFwd, gBwd := timeKernel(sh, nn.EngineGEMM, 1, reps)
+	return float64(dFwd) / float64(gFwd), float64(dBwd) / float64(gBwd)
+}
+
+// speedupFloor is one line of the checked-in floors file: the minimum
+// workers=1 gemm speedup a shape must sustain.
+type speedupFloor struct {
+	name     string
+	fwd, bwd float64
+}
+
+// loadFloors parses a floors file: per line `fwdFloor bwdFloor shape name`,
+// '#' comments and blank lines ignored.
+func loadFloors(path string) ([]speedupFloor, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []speedupFloor
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: want `fwdFloor bwdFloor shape name`, got %q", path, ln+1, line)
+		}
+		fwd, err1 := strconv.ParseFloat(fields[0], 64)
+		bwd, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad floor values in %q", path, ln+1, line)
+		}
+		out = append(out, speedupFloor{name: strings.Join(fields[2:], " "), fwd: fwd, bwd: bwd})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no floors", path)
+	}
+	return out, nil
+}
+
+// checkKernelFloors is the bench regression gate: every floored shape is
+// measured at workers=1 and must beat its checked-in speedup floor. A cell
+// that misses is re-measured once — only a floor missed twice in a row
+// fails the gate, so a single scheduling hiccup on a noisy CI runner does
+// not block the build.
+func checkKernelFloors(floorsPath string, reps int) error {
+	floors, err := loadFloors(floorsPath)
+	if err != nil {
+		return err
+	}
+	shapes := map[string]kernelShape{}
+	for _, sh := range kernelShapes() {
+		shapes[sh.name] = sh
+	}
+	fmt.Printf("KERNEL REGRESSION GATE: gemm-over-direct speedup floors, workers=1, best of %d\n\n", reps)
+	var failures []string
+	for _, fl := range floors {
+		sh, ok := shapes[fl.name]
+		if !ok {
+			return fmt.Errorf("floors file names unknown shape %q", fl.name)
+		}
+		fwd, bwd := kernelSpeedups(sh, reps)
+		miss := func(got, floor float64) bool { return got < floor }
+		status := "ok"
+		if miss(fwd, fl.fwd) || miss(bwd, fl.bwd) {
+			fmt.Printf("  %-24s fwd %.2fx (floor %.2f) bwd %.2fx (floor %.2f) — MISS, re-measuring\n",
+				fl.name, fwd, fl.fwd, bwd, fl.bwd)
+			fwd, bwd = kernelSpeedups(sh, reps)
+			if miss(fwd, fl.fwd) || miss(bwd, fl.bwd) {
+				status = "FAIL (missed twice in a row)"
+				failures = append(failures, fmt.Sprintf(
+					"%s: fwd %.2fx (floor %.2f), bwd %.2fx (floor %.2f)", fl.name, fwd, fl.fwd, bwd, fl.bwd))
+			} else {
+				status = "ok on retry"
+			}
+		}
+		fmt.Printf("  %-24s fwd %6.2fx (floor %.2f)   bwd %6.2fx (floor %.2f)   %s\n",
+			fl.name, fwd, fl.fwd, bwd, fl.bwd, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("speedup floors missed twice in a row:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // printKernelTables renders one table per shape: rows are worker counts,

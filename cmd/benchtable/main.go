@@ -4,10 +4,16 @@
 // prints kernel-level convolution tables (direct vs gemm engine, per shape
 // and worker count), the bench-over-time companion to BENCH.md.
 //
+// With -floors it instead runs the kernel regression gate: the workers=1
+// gemm-over-direct speedups are measured and checked against the floors
+// file (ci/bench-floors.txt in CI); a floor missed twice in a row exits
+// non-zero.
+//
 // Usage:
 //
 //	benchtable [-table1] [-fig4a] [-fig4b] [-trials N] [-reps N] [-seed N]
 //	benchtable -kernels [-kernelreps N]
+//	benchtable -floors ci/bench-floors.txt [-kernelreps N]
 package main
 
 import (
@@ -32,8 +38,15 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the simulation seed")
 	kernels := flag.Bool("kernels", false, "print kernel-level convolution benchmarks (direct vs gemm engine) instead of the paper tables")
 	kernelReps := flag.Int("kernelreps", 3, "repetitions per kernel measurement (best is reported)")
+	floors := flag.String("floors", "", "speedup-floors file: check the workers=1 gemm speedups against it and fail when a floor is missed twice in a row (implies -kernels)")
 	flag.Parse()
 
+	if *floors != "" {
+		if err := checkKernelFloors(*floors, *kernelReps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *kernels {
 		printKernelTables(*kernelReps)
 		return

@@ -1,0 +1,423 @@
+// Command servemis serves segmentation requests from a trained U-Net
+// checkpoint through the internal/serve micro-batching inference server.
+//
+// Serving mode exposes an HTTP endpoint speaking JSON or raw binary:
+//
+//	POST /v1/segment   application/octet-stream body of little-endian
+//	                   float32 voxels with an X-Volume-Shape: C,D,H,W
+//	                   header, or application/json {"shape":[C,D,H,W],
+//	                   "data":[...]}; the response mirrors the request
+//	                   encoding. 503 + Retry-After under backpressure.
+//	POST /v1/reload    {"path": "model.ckpt"} — atomic checkpoint hot-swap.
+//	GET  /v1/stats     counters and per-stage latency histograms as JSON.
+//	GET  /healthz      liveness probe.
+//
+// Load-generator mode (-bench) skips HTTP and drives the server in-process
+// with N closed-loop clients for a fixed duration, printing a
+// throughput/latency table for BENCH.md:
+//
+//	servemis -bench -clients 8 -duration 10s
+//
+// Usage:
+//
+//	servemis [-addr :8377] [-ckpt model.ckpt] [-replicas N] [-maxbatch N]
+//	         [-linger D] [-queue N] [-patch N] [-stride N]
+//	         [-blend uniform|gaussian] [-workers N] [-engine gemm|direct]
+//	         [-filters N] [-steps N] [-in N] [-out N] [-seed N]
+//	         [-bench] [-clients N] [-duration D] [-dim N] [-cases N]
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/patch"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/unet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servemis: ")
+
+	addr := flag.String("addr", ":8377", "HTTP listen address")
+	ckptPath := flag.String("ckpt", "", "checkpoint to serve (empty: random init, for smoke tests)")
+	replicas := flag.Int("replicas", 2, "model replicas serving micro-batches round-robin")
+	maxBatch := flag.Int("maxbatch", 4, "max patches per micro-batch")
+	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for a micro-batch to fill")
+	queueDepth := flag.Int("queue", 64, "max outstanding patches before requests are rejected")
+	patchEdge := flag.Int("patch", 16, "cubic sliding-window edge")
+	stride := flag.Int("stride", 0, "sliding-window stride (0 = patch edge, no overlap)")
+	blend := flag.String("blend", "uniform", "overlap blending: uniform or gaussian")
+	workers := flag.Int("workers", 0, "compute-worker budget shared across replicas (0 = all cores)")
+	engine := flag.String("engine", "auto", "convolution engine: gemm, direct or auto")
+
+	inC := flag.Int("in", 4, "U-Net input channels")
+	outC := flag.Int("out", 1, "U-Net output channels")
+	filters := flag.Int("filters", 8, "U-Net base filters")
+	steps := flag.Int("steps", 3, "U-Net resolution steps")
+	seed := flag.Int64("seed", 1, "weight init seed (used when -ckpt is empty)")
+
+	bench := flag.Bool("bench", false, "run the closed-loop load generator instead of serving HTTP")
+	clients := flag.Int("clients", 8, "closed-loop load-generator clients")
+	duration := flag.Duration("duration", 10*time.Second, "load-generator run time")
+	dim := flag.Int("dim", 16, "load-generator volume edge")
+	cases := flag.Int("cases", 4, "distinct load-generator volumes")
+	flag.Parse()
+
+	convEngine, err := nn.ParseConvEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var blendMode patch.BlendMode
+	switch *blend {
+	case "uniform":
+		blendMode = patch.BlendUniform
+	case "gaussian":
+		blendMode = patch.BlendGaussian
+	default:
+		log.Fatalf("unknown blend mode %q (want uniform or gaussian)", *blend)
+	}
+	if *stride <= 0 {
+		*stride = *patchEdge
+	}
+
+	netCfg := unet.Config{
+		InChannels:  *inC,
+		OutChannels: *outC,
+		BaseFilters: *filters,
+		Steps:       *steps,
+		Kernel:      3,
+		UpKernel:    2,
+		Seed:        *seed,
+		Engine:      convEngine,
+	}
+	if err := netCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	cfg := serve.Config{
+		Window: patch.SlidingWindow{
+			Patch:  [3]int{*patchEdge, *patchEdge, *patchEdge},
+			Stride: [3]int{*stride, *stride, *stride},
+			Blend:  blendMode,
+		},
+		Replicas:      *replicas,
+		MaxBatch:      *maxBatch,
+		MaxLinger:     *linger,
+		MaxQueue:      *queueDepth,
+		Workers:       *workers,
+		InChannels:    *inC,
+		ExtentDivisor: netCfg.MinVolume(),
+	}
+
+	srv, err := serve.New(cfg, func() (serve.Model, error) { return unet.New(netCfg) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ckptPath != "" {
+		if err := srv.Reload(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving checkpoint %s", *ckptPath)
+	} else {
+		log.Printf("no -ckpt given: serving randomly initialized weights (seed %d)", *seed)
+	}
+
+	if *bench {
+		runBench(srv, benchConfig{
+			clients:  *clients,
+			duration: *duration,
+			dim:      *dim,
+			cases:    *cases,
+			channels: *inC,
+			replicas: *replicas,
+			maxBatch: *maxBatch,
+			maxQueue: *queueDepth,
+		})
+		srv.Close()
+		return
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/segment", func(w http.ResponseWriter, r *http.Request) { handleSegment(srv, w, r) })
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) { handleReload(srv, w, r) })
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Print("draining...")
+		httpSrv.Close()
+		srv.Close()
+		close(done)
+	}()
+	log.Printf("listening on %s (replicas=%d maxbatch=%d linger=%s queue=%d)",
+		*addr, *replicas, *maxBatch, *linger, *queueDepth)
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// maxVoxels bounds a request volume at 1 GiB of float32; maxBodyBytes
+// bounds the raw request body accordingly on both encodings.
+const (
+	maxVoxels    = 1 << 28
+	maxBodyBytes = 4*maxVoxels + 1<<12
+)
+
+// handleSegment decodes a volume (binary or JSON), runs it through the
+// server, and mirrors the encoding back.
+func handleSegment(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+	var (
+		x   *tensor.Tensor
+		err error
+	)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	isJSON := strings.HasPrefix(r.Header.Get("Content-Type"), "application/json")
+	if isJSON {
+		x, err = readJSONVolume(r.Body)
+	} else {
+		x, err = readBinaryVolume(r.Body, r.Header.Get("X-Volume-Shape"))
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	out, err := srv.Segment(x)
+	if err != nil {
+		var over *serve.OverloadedError
+		if errors.As(err, &over) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter.Seconds())+1))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if isJSON {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(volumeJSON{Shape: out.Shape(), Data: out.Data()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Volume-Shape", shapeHeader(out.Shape()))
+	writeBinaryVolume(w, out)
+}
+
+func handleReload(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		http.Error(w, "want JSON body {\"path\": \"model.ckpt\"}", http.StatusBadRequest)
+		return
+	}
+	if err := srv.Reload(req.Path); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintln(w, "reloaded")
+}
+
+type volumeJSON struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+func readJSONVolume(r io.Reader) (*tensor.Tensor, error) {
+	var v volumeJSON
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		return nil, fmt.Errorf("bad JSON volume: %w", err)
+	}
+	return tensorFromParts(v.Shape, v.Data)
+}
+
+func readBinaryVolume(r io.Reader, shapeHdr string) (*tensor.Tensor, error) {
+	shape, err := parseShapeHeader(shapeHdr)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n > maxVoxels {
+		return nil, fmt.Errorf("volume of %d voxels exceeds the %d limit", n, maxVoxels)
+	}
+	raw := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("body shorter than shape %v: %w", shape, err)
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return tensorFromParts(shape, data)
+}
+
+func writeBinaryVolume(w io.Writer, t *tensor.Tensor) {
+	data := t.Data()
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	w.Write(raw)
+}
+
+func shapeHeader(shape []int) string {
+	parts := make([]string, len(shape))
+	for i, d := range shape {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseShapeHeader(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing X-Volume-Shape header (want C,D,H,W)")
+	}
+	parts := strings.Split(s, ",")
+	shape := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad X-Volume-Shape %q", s)
+		}
+		shape[i] = d
+	}
+	return shape, nil
+}
+
+func tensorFromParts(shape []int, data []float32) (*tensor.Tensor, error) {
+	if len(shape) != 4 {
+		return nil, fmt.Errorf("volume shape must be [C, D, H, W], got %v", shape)
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("non-positive dimension in shape %v", shape)
+		}
+		n *= d
+	}
+	if n > maxVoxels {
+		return nil, fmt.Errorf("volume of %d voxels exceeds the %d limit", n, maxVoxels)
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("%d voxels for shape %v (want %d)", len(data), shape, n)
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+// benchConfig parameterizes the closed-loop load generator.
+type benchConfig struct {
+	clients  int
+	duration time.Duration
+	dim      int
+	cases    int
+	channels int
+	replicas int
+	maxBatch int
+	maxQueue int
+}
+
+// runBench drives the server with closed-loop clients — each submits a
+// request, waits for the result, and immediately submits the next; on
+// backpressure it honours the retry-after hint — then prints a
+// throughput/latency table.
+func runBench(srv *serve.Server, bc benchConfig) {
+	vols := make([]*tensor.Tensor, bc.cases)
+	rng := rand.New(rand.NewSource(42))
+	for i := range vols {
+		vols[i] = tensor.Randn(rng, 0, 1, bc.channels, bc.dim, bc.dim, bc.dim)
+	}
+
+	type clientResult struct {
+		lat      []time.Duration
+		rejected int
+	}
+	results := make([]clientResult, bc.clients)
+	deadline := time.Now().Add(bc.duration)
+	done := make(chan int, bc.clients)
+	for c := 0; c < bc.clients; c++ {
+		go func(c int) {
+			defer func() { done <- c }()
+			for i := 0; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				_, err := srv.Segment(vols[(c+i)%len(vols)])
+				if err != nil {
+					if o, ok := err.(*serve.OverloadedError); ok {
+						results[c].rejected++
+						time.Sleep(o.RetryAfter)
+						continue
+					}
+					log.Fatalf("client %d: %v", c, err)
+				}
+				results[c].lat = append(results[c].lat, time.Since(t0))
+			}
+		}(c)
+	}
+	for range results {
+		<-done
+	}
+
+	var all []time.Duration
+	rejected := 0
+	for _, r := range results {
+		all = append(all, r.lat...)
+		rejected += r.rejected
+	}
+	if len(all) == 0 {
+		log.Fatal("bench completed no requests; lengthen -duration or shrink -dim")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	st := srv.Stats()
+
+	fmt.Printf("SERVING LOAD TEST: %d closed-loop clients, %s, %d^3 volumes, %d distinct cases\n",
+		bc.clients, bc.duration, bc.dim, bc.cases)
+	fmt.Printf("replicas=%d maxbatch=%d patches/request=%d\n\n",
+		bc.replicas, bc.maxBatch, int(st.Patches/st.Requests))
+	fmt.Printf("| clients | req/s | patch/s | p50 | p90 | p99 | max | batch fill | rejected |\n")
+	fmt.Printf("|---------|-------|---------|-----|-----|-----|-----|------------|----------|\n")
+	fmt.Printf("| %d | %.1f | %.1f | %s | %s | %s | %s | %.2f | %d |\n\n",
+		bc.clients,
+		float64(len(all))/bc.duration.Seconds(),
+		float64(st.Patches)/bc.duration.Seconds(),
+		q(0.50).Round(time.Millisecond), q(0.90).Round(time.Millisecond),
+		q(0.99).Round(time.Millisecond), all[len(all)-1].Round(time.Millisecond),
+		st.AvgBatchFill, rejected)
+	fmt.Printf("stage latencies (p50/p99): queue %s/%s, dispatch %s/%s, compute %s/%s, blend %s/%s\n",
+		st.Queue.P50.Round(time.Microsecond), st.Queue.P99.Round(time.Microsecond),
+		st.Batch.P50.Round(time.Microsecond), st.Batch.P99.Round(time.Microsecond),
+		st.Compute.P50.Round(time.Microsecond), st.Compute.P99.Round(time.Microsecond),
+		st.Blend.P50.Round(time.Microsecond), st.Blend.P99.Round(time.Microsecond))
+	fmt.Printf("final queue depth %d (bound %d)\n", st.QueueDepth, bc.maxQueue)
+}

@@ -8,15 +8,23 @@ package ckpt
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 
 	"repro/internal/nn"
 	"repro/internal/record"
 )
 
 // Save serializes the parameters and metadata to w. Parameter order and
-// shapes are recorded so Load can verify compatibility.
+// shapes are recorded so Load can verify compatibility. Models with
+// auxiliary state (batch-norm running statistics) should use SaveModel,
+// which captures it.
 func Save(w io.Writer, params []*nn.Param, meta map[string]float64) error {
+	return saveModel(w, params, nil, meta)
+}
+
+func saveModel(w io.Writer, params []*nn.Param, aux map[string][]float64, meta map[string]float64) error {
 	f := record.NewFeatures()
 	names := make([]byte, 0, 256)
 	for i, p := range params {
@@ -34,6 +42,21 @@ func Save(w io.Writer, params []*nn.Param, meta map[string]float64) error {
 		f.AddFloats("param:"+p.Name, p.Value.Data())
 	}
 	f.AddBytes("names", names)
+	// Auxiliary float64 state, stored bit-exactly as uint64 bit patterns in
+	// the codec's int64 feature; keys sorted for a deterministic payload.
+	auxKeys := make([]string, 0, len(aux))
+	for k := range aux {
+		auxKeys = append(auxKeys, k)
+	}
+	sort.Strings(auxKeys)
+	for _, k := range auxKeys {
+		vals := aux[k]
+		bits := make([]int64, len(vals))
+		for i, v := range vals {
+			bits[i] = int64(math.Float64bits(v))
+		}
+		f.AddInts("aux:"+k, bits)
+	}
 	metaKeys := make([]string, 0, len(meta))
 	metaVals := make([]float32, 0, len(meta))
 	for k, v := range meta {
@@ -61,8 +84,13 @@ func Save(w io.Writer, params []*nn.Param, meta map[string]float64) error {
 }
 
 // Load restores parameter values from r into params (matched by name, with
-// shape verification) and returns the stored metadata.
+// shape verification) and returns the stored metadata. Models with
+// auxiliary state should use LoadModel, which restores it.
 func Load(r io.Reader, params []*nn.Param) (map[string]float64, error) {
+	return loadModel(r, params, nil)
+}
+
+func loadModel(r io.Reader, params []*nn.Param, aux map[string][]float64) (map[string]float64, error) {
 	payload, err := record.NewReader(r).Next()
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
@@ -74,25 +102,54 @@ func Load(r io.Reader, params []*nn.Param) (map[string]float64, error) {
 	for _, p := range params {
 		vals, ok := f.Floats["param:"+p.Name]
 		if !ok {
-			return nil, fmt.Errorf("ckpt: missing parameter %q", p.Name)
+			return nil, fmt.Errorf("ckpt: checkpoint has no parameter %q (model expects shape %v)", p.Name, p.Value.Shape())
 		}
 		shape64, ok := f.Ints["shape:"+p.Name]
 		if !ok {
-			return nil, fmt.Errorf("ckpt: missing shape of %q", p.Name)
+			return nil, fmt.Errorf("ckpt: checkpoint is missing the shape record of parameter %q", p.Name)
 		}
 		shape := p.Value.Shape()
 		if len(shape64) != len(shape) {
-			return nil, fmt.Errorf("ckpt: %q rank %d, checkpoint has %d", p.Name, len(shape), len(shape64))
+			return nil, fmt.Errorf("ckpt: parameter %q: model rank %d (shape %v), checkpoint rank %d (shape %v)",
+				p.Name, len(shape), shape, len(shape64), shape64)
 		}
 		for i := range shape {
 			if int(shape64[i]) != shape[i] {
-				return nil, fmt.Errorf("ckpt: %q shape %v, checkpoint has %v", p.Name, shape, shape64)
+				return nil, fmt.Errorf("ckpt: parameter %q: model shape %v, checkpoint shape %v (dimension %d: %d vs %d)",
+					p.Name, shape, shape64, i, shape[i], shape64[i])
 			}
 		}
 		if len(vals) != p.Value.Size() {
-			return nil, fmt.Errorf("ckpt: %q has %d values, want %d", p.Name, len(vals), p.Value.Size())
+			return nil, fmt.Errorf("ckpt: parameter %q: checkpoint holds %d values, model needs %d", p.Name, len(vals), p.Value.Size())
 		}
 		copy(p.Value.Data(), vals)
+	}
+
+	if len(aux) > 0 {
+		present := 0
+		for name := range aux {
+			if _, ok := f.Ints["aux:"+name]; ok {
+				present++
+			}
+		}
+		// Zero aux entries means a params-only checkpoint (plain Save):
+		// leave the model's auxiliary state untouched. A partial set is a
+		// mismatched checkpoint and rejected.
+		if present > 0 {
+			for name, dst := range aux {
+				bits, ok := f.Ints["aux:"+name]
+				if !ok {
+					return nil, fmt.Errorf("ckpt: checkpoint has no auxiliary state %q", name)
+				}
+				if len(bits) != len(dst) {
+					return nil, fmt.Errorf("ckpt: auxiliary state %q: checkpoint holds %d values, model needs %d",
+						name, len(bits), len(dst))
+				}
+				for i, b := range bits {
+					dst[i] = math.Float64frombits(uint64(b))
+				}
+			}
+		}
 	}
 
 	meta := map[string]float64{}
@@ -119,14 +176,63 @@ func splitNames(b []byte) []string {
 	return out
 }
 
+// Model is anything checkpointable through its named parameters. Models
+// that also implement nn.AuxStater (the U-Net does, for its batch-norm
+// running statistics) get that state saved and restored too, so a restored
+// model's evaluation-mode forward is bit-for-bit the original's.
+type Model interface {
+	Params() []*nn.Param
+}
+
+// SaveModel serializes a model — parameters, auxiliary state and metadata —
+// to w. Auxiliary float64 state is stored bit-exactly.
+func SaveModel(w io.Writer, m Model, meta map[string]float64) error {
+	return saveModel(w, m.Params(), auxOf(m), meta)
+}
+
+// LoadModel restores a model's parameters and auxiliary state from r and
+// returns the stored metadata. Checkpoints written without auxiliary state
+// (plain Save) load into stateful models with their auxiliary state left
+// untouched; a checkpoint that has some but not all of the model's
+// auxiliary entries is rejected.
+func LoadModel(r io.Reader, m Model) (map[string]float64, error) {
+	return loadModel(r, m.Params(), auxOf(m))
+}
+
+func auxOf(m Model) map[string][]float64 {
+	if a, ok := m.(nn.AuxStater); ok {
+		return a.AuxState()
+	}
+	return nil
+}
+
+// SaveModelFile writes a model checkpoint to path atomically.
+func SaveModelFile(path string, m Model, meta map[string]float64) error {
+	return writeFileAtomic(path, func(f io.Writer) error { return SaveModel(f, m, meta) })
+}
+
+// LoadModelFile restores a model checkpoint from path.
+func LoadModelFile(path string, m Model) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return LoadModel(f, m)
+}
+
 // SaveFile writes a checkpoint to path atomically (via a temp file rename).
 func SaveFile(path string, params []*nn.Param, meta map[string]float64) error {
+	return writeFileAtomic(path, func(f io.Writer) error { return Save(f, params, meta) })
+}
+
+func writeFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
-	if err := Save(f, params, meta); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

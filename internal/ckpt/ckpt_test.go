@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/nn"
@@ -64,8 +65,80 @@ func TestLoadRejectsShapeMismatch(t *testing.T) {
 		InChannels: 2, OutChannels: 1, BaseFilters: 4, Steps: 2, // wider net
 		Kernel: 3, UpKernel: 2, Seed: 1,
 	})
-	if _, err := Load(&buf, other.Params()); err == nil {
+	_, err := Load(&buf, other.Params())
+	if err == nil {
 		t.Fatal("shape mismatch must error")
+	}
+	// The error must name the offending parameter and both shapes, so a
+	// mis-configured serving deployment is diagnosable from the message.
+	msg := err.Error()
+	if !strings.Contains(msg, `"enc1.a.w"`) {
+		t.Fatalf("shape-mismatch error does not name the parameter: %q", msg)
+	}
+	if !strings.Contains(msg, "[4 2 3 3 3]") || !strings.Contains(msg, "[2 2 3 3 3]") {
+		t.Fatalf("shape-mismatch error does not give both shapes: %q", msg)
+	}
+}
+
+// TestModelRoundTripBitwiseForward is the full serving contract: a trained
+// U-Net saved with SaveModel and loaded into a fresh differently-seeded net
+// must produce bit-for-bit identical evaluation-mode forwards — parameters
+// AND batch-norm running statistics round-trip exactly.
+func TestModelRoundTripBitwiseForward(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+
+	src := tinyNet(5)
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Randn(rng, 0, 1, 1, 2, 4, 4, 4)
+	// Train-mode steps move the running statistics away from their init.
+	src.Forward(x)
+	src.Forward(x)
+	if err := SaveModelFile(path, src, map[string]float64{"epoch": 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := tinyNet(9) // different weights AND different running stats
+	meta, err := LoadModelFile(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta["epoch"] != 2 {
+		t.Fatalf("meta %v", meta)
+	}
+
+	src.SetTraining(false)
+	dst.SetTraining(false)
+	want := src.Forward(x)
+	got := dst.Forward(x)
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("eval forward element %d differs after round trip: %v vs %v", i, gd[i], wd[i])
+		}
+	}
+
+	// And through the inference fast path, which the serving layer uses.
+	inf := dst.Infer(x)
+	for i := range wd {
+		if inf.Data()[i] != wd[i] {
+			t.Fatalf("Infer element %d differs after round trip", i)
+		}
+	}
+	tensor.Recycle(inf)
+}
+
+// TestLoadModelToleratesParamsOnlyCheckpoint: a plain Save checkpoint loads
+// into a stateful model, leaving auxiliary state untouched.
+func TestLoadModelToleratesParamsOnlyCheckpoint(t *testing.T) {
+	src := tinyNet(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, src.Params(), nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := tinyNet(2)
+	if _, err := LoadModel(&buf, dst); err != nil {
+		t.Fatalf("params-only checkpoint must load: %v", err)
 	}
 }
 

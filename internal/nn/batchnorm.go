@@ -18,6 +18,8 @@ import (
 type BatchNorm struct {
 	workerBudget
 
+	name string
+
 	Channels int
 	Eps      float64
 	Momentum float64 // running-stat update rate
@@ -40,6 +42,7 @@ type BatchNorm struct {
 // NewBatchNorm creates a batch-normalization layer for c channels.
 func NewBatchNorm(name string, c int) *BatchNorm {
 	bn := &BatchNorm{
+		name:        name,
 		Channels:    c,
 		Eps:         1e-5,
 		Momentum:    0.1,
@@ -57,6 +60,17 @@ func NewBatchNorm(name string, c int) *BatchNorm {
 
 // Params returns gamma and beta.
 func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// AuxState exposes the running statistics — trained state that is not a
+// parameter but must survive a checkpoint for evaluation-mode forwards to
+// reproduce. The returned slices alias the layer's state: checkpoint
+// loading writes into them in place.
+func (b *BatchNorm) AuxState() map[string][]float64 {
+	return map[string][]float64{
+		b.name + ".running_mean": b.RunningMean,
+		b.name + ".running_var":  b.RunningVar,
+	}
+}
 
 // SetTraining toggles batch-statistics (true) vs running-statistics (false).
 func (b *BatchNorm) SetTraining(training bool) { b.training = training }
@@ -121,6 +135,23 @@ func (b *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// Evaluation mode: use running statistics.
+	b.evalInto(x, out)
+	return out
+}
+
+// evalInto normalizes x with the running statistics into a caller-provided
+// output tensor (every element is written), retaining nothing — the shared
+// body of the evaluation-mode forward and the inference fast path.
+func (b *BatchNorm) evalInto(x, out *tensor.Tensor) {
+	n, c, d, h, w := check5D("BatchNorm", x)
+	if c != b.Channels {
+		panic("nn: BatchNorm channel mismatch")
+	}
+	spatial := d * h * w
+	xd := x.Data()
+	od := out.Data()
+	gd := b.Gamma.Value.Data()
+	bd := b.Beta.Value.Data()
 	parallel.ForWorkers(b.workers, c, 1, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			rstd := 1.0 / math.Sqrt(b.RunningVar[ci]+b.Eps)
@@ -134,7 +165,6 @@ func (b *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Backward implements the standard batch-norm gradient.

@@ -76,14 +76,23 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // batch-size workers — and each output element is written by exactly one
 // worker, in the serial reference's accumulation order.
 func (c *Conv3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
+	n, _, d, h, w := check5D("Conv3D", x)
+	c.input = x
+	out := tensor.New(n, c.OutChannels, d, h, w)
+	c.forwardDirectInto(x, out)
+	return out
+}
+
+// forwardDirectInto runs the direct forward kernel into a caller-provided
+// output tensor (every element is written), retaining nothing — the shared
+// body of the training forward and the inference fast path.
+func (c *Conv3D) forwardDirectInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
 	}
-	c.input = x
 	k := c.Kernel
 	p := k / 2
-	out := tensor.New(n, c.OutChannels, d, h, w)
 
 	xd := x.Data()
 	od := out.Data()
@@ -134,7 +143,6 @@ func (c *Conv3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Backward accumulates kernel/bias gradients and returns dL/d(input),

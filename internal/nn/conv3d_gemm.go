@@ -20,15 +20,25 @@ import (
 
 // forwardGEMM computes the convolution of x as im2col + GEMM.
 func (c *Conv3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+	n, _, d, h, w := check5D("Conv3D", x)
+	c.input = x
+	out := tensor.New(n, c.OutChannels, d, h, w)
+	c.forwardGEMMInto(x, out)
+	return out
+}
+
+// forwardGEMMInto runs the GEMM forward kernel into a caller-provided output
+// tensor (every element is written: bias seed, then GEMM accumulation),
+// retaining nothing — the shared body of the training forward and the
+// inference fast path.
+func (c *Conv3D) forwardGEMMInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
 	}
-	c.input = x
 	k := c.Kernel
 	p := k / 2
 	oc := c.OutChannels
-	out := tensor.New(n, oc, d, h, w)
 
 	xd := x.Data()
 	od := out.Data()
@@ -65,7 +75,6 @@ func (c *Conv3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 		}
 		gemm.Gemm(false, false, oc, cols, kdim, wd, kdim, pm, cols, true, oSlab, cols, workers)
 	}
-	return out
 }
 
 // backwardGEMM accumulates kernel/bias gradients and returns dL/d(input)

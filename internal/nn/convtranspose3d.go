@@ -66,14 +66,25 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // bias plane and accumulates input channels in ascending order, exactly as
 // the serial reference does.
 func (c *ConvTranspose3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
+	n, _, d, h, w := check5D("ConvTranspose3D", x)
+	c.input = x
+	k := c.Kernel
+	out := tensor.New(n, c.OutChannels, d*k, h*k, w*k)
+	c.forwardDirectInto(x, out)
+	return out
+}
+
+// forwardDirectInto runs the direct forward kernel into a caller-provided
+// output tensor (every element is written: bias seed, then accumulation),
+// retaining nothing — the shared body of the training forward and the
+// inference fast path.
+func (c *ConvTranspose3D) forwardDirectInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("ConvTranspose3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
 	}
-	c.input = x
 	k := c.Kernel
 	od, oh, ow := d*k, h*k, w*k
-	out := tensor.New(n, c.OutChannels, od, oh, ow)
 
 	xd := x.Data()
 	outd := out.Data()
@@ -122,7 +133,6 @@ func (c *ConvTranspose3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Backward accumulates parameter gradients and returns dL/d(input),

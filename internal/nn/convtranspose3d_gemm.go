@@ -25,15 +25,26 @@ import (
 
 // forwardGEMM upsamples x via the transposed-GEMM formulation.
 func (c *ConvTranspose3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+	n, _, d, h, w := check5D("ConvTranspose3D", x)
+	c.input = x
+	k := c.Kernel
+	out := tensor.New(n, c.OutChannels, d*k, h*k, w*k)
+	c.forwardGEMMInto(x, out)
+	return out
+}
+
+// forwardGEMMInto runs the GEMM forward kernel into a caller-provided output
+// tensor (every element is written exactly once by the non-overlapping
+// window scatter), retaining nothing — the shared body of the training
+// forward and the inference fast path.
+func (c *ConvTranspose3D) forwardGEMMInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("ConvTranspose3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ic))
 	}
-	c.input = x
 	k := c.Kernel
 	od, oh, ow := d*k, h*k, w*k
 	oc := c.OutChannels
-	out := tensor.New(n, oc, od, oh, ow)
 
 	xd := x.Data()
 	outd := out.Data()
@@ -76,7 +87,6 @@ func (c *ConvTranspose3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 			}
 		})
 	}
-	return out
 }
 
 // backwardGEMM accumulates parameter gradients and returns dL/d(input)

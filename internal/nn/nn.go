@@ -116,6 +116,27 @@ func (s *Sequential) SetWorkers(workers int) {
 	}
 }
 
+// AuxStater is implemented by layers (and layer containers) carrying
+// trained non-parameter state — e.g. BatchNorm running statistics — that a
+// checkpoint must capture for evaluation-mode forwards to reproduce. The
+// returned slices alias the live state; loaders write into them in place.
+type AuxStater interface {
+	AuxState() map[string][]float64
+}
+
+// AuxState merges the auxiliary state of every stateful layer.
+func (s *Sequential) AuxState() map[string][]float64 {
+	out := map[string][]float64{}
+	for _, l := range s.Layers {
+		if a, ok := l.(AuxStater); ok {
+			for k, v := range a.AuxState() {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
 // SetConvEngine forwards the convolution-engine choice to every layer with
 // switchable kernels.
 func (s *Sequential) SetConvEngine(e ConvEngine) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops a fraction of Puts under the race detector, so
+// zero-allocation steady-state assertions cannot hold there.
+const raceEnabled = true

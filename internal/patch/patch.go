@@ -8,8 +8,12 @@ package patch
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/volume"
 )
@@ -85,12 +89,189 @@ type Predictor interface {
 	Forward(x *tensor.Tensor) *tensor.Tensor
 }
 
+// Inferer is an optional Predictor extension: a forward-only fast path that
+// retains no state and returns a pool-backed result the caller owns. The
+// sliding-window machinery uses it when available and recycles each window
+// prediction after blending.
+type Inferer interface {
+	Infer(x *tensor.Tensor) *tensor.Tensor
+}
+
+// BlendMode selects how overlapping window predictions are weighted when
+// they are combined into the full volume.
+type BlendMode int
+
+const (
+	// BlendUniform weights every voxel of every window equally — plain
+	// overlap averaging, the original behaviour.
+	BlendUniform BlendMode = iota
+	// BlendGaussian weights each window voxel by a Gaussian centred on the
+	// window, so voxels predicted near a patch border (with less spatial
+	// context) contribute less where windows overlap.
+	BlendGaussian
+)
+
 // SlidingWindow reconstructs a full-volume prediction from overlapping
 // patch predictions, averaging where windows overlap — the inference-side
 // cost of patch-based training.
 type SlidingWindow struct {
 	Patch  [3]int // window extent (D, H, W)
 	Stride [3]int // window stride; ≤ patch for overlap
+
+	// Blend selects the overlap weighting; the zero value is uniform
+	// averaging. Sigma is the Gaussian width as a fraction of the window
+	// edge (0 means 1/8, the usual sliding-window choice).
+	Blend BlendMode
+	Sigma float64
+
+	// Workers is the worker budget for the blend stage; 0 means the
+	// parallel package default. Results are bitwise identical for any
+	// budget: blending partitions over output channels and always adds
+	// windows in scan order.
+	Workers int
+}
+
+// Window is one sliding-window placement: origin (Z, Y, X) and extent
+// (D, H, W). All windows of a volume share the same extent; only origins
+// differ.
+type Window struct {
+	Z, Y, X int
+	D, H, W int
+}
+
+// Windows enumerates the window placements covering a d×h×w volume in scan
+// order (Z outermost, X innermost) — the canonical window indexing shared
+// by Infer, BlendPredictions and the serving layer's micro-batcher.
+func (sw SlidingWindow) Windows(d, h, w int) []Window {
+	pd, ph, pw := min(sw.Patch[0], d), min(sw.Patch[1], h), min(sw.Patch[2], w)
+	var wins []Window
+	for _, z0 := range positions(d, sw.Patch[0], sw.Stride[0]) {
+		for _, y0 := range positions(h, sw.Patch[1], sw.Stride[1]) {
+			for _, x0 := range positions(w, sw.Patch[2], sw.Stride[2]) {
+				wins = append(wins, Window{Z: z0, Y: y0, X: x0, D: pd, H: ph, W: pw})
+			}
+		}
+	}
+	return wins
+}
+
+// gaussianWindow returns the separable Gaussian weight map of a pd×ph×pw
+// window with per-axis sigma frac·edge, centred on the window.
+func gaussianWindow(pd, ph, pw int, frac float64) []float32 {
+	if frac <= 0 {
+		frac = 0.125
+	}
+	axis := func(n int) []float64 {
+		sigma := frac * float64(n)
+		c := float64(n-1) / 2
+		out := make([]float64, n)
+		for i := range out {
+			dv := (float64(i) - c) / sigma
+			out[i] = math.Exp(-0.5 * dv * dv)
+		}
+		return out
+	}
+	az, ay, ax := axis(pd), axis(ph), axis(pw)
+	wm := make([]float32, pd*ph*pw)
+	i := 0
+	for z := 0; z < pd; z++ {
+		for y := 0; y < ph; y++ {
+			zy := az[z] * ay[y]
+			for x := 0; x < pw; x++ {
+				wm[i] = float32(zy * ax[x])
+				i++
+			}
+		}
+	}
+	return wm
+}
+
+// BlendPredictions combines per-window predictions — preds[i] belonging to
+// wins[i], each of size outC·D·H·W of the shared window extent — into the
+// overlap-weighted full volume. Windows are always accumulated in scan
+// order regardless of the worker budget (the parallel partition is over
+// output channels), so the result is deterministic and, in uniform mode,
+// bit-for-bit identical to the original serial sliding-window inference.
+func (sw SlidingWindow) BlendPredictions(wins []Window, preds []*tensor.Tensor, d, h, w int) (*tensor.Tensor, error) {
+	if len(wins) == 0 {
+		return nil, fmt.Errorf("patch: no windows to blend")
+	}
+	if len(preds) != len(wins) {
+		return nil, fmt.Errorf("patch: %d predictions for %d windows", len(preds), len(wins))
+	}
+	pd, ph, pw := wins[0].D, wins[0].H, wins[0].W
+	pvol := pd * ph * pw
+	if preds[0] == nil {
+		return nil, fmt.Errorf("patch: nil prediction for window 0")
+	}
+	outC := preds[0].Size() / pvol
+	if outC < 1 || outC*pvol != preds[0].Size() {
+		return nil, fmt.Errorf("patch: prediction size %d is not a multiple of the %dx%dx%d window", preds[0].Size(), pd, ph, pw)
+	}
+	for i, p := range preds {
+		if p == nil || p.Size() != outC*pvol {
+			return nil, fmt.Errorf("patch: prediction %d missing or mis-sized", i)
+		}
+	}
+
+	var wmap []float32
+	if sw.Blend == BlendGaussian {
+		wmap = gaussianWindow(pd, ph, pw, sw.Sigma)
+	}
+
+	// Per-voxel overlap weight, windows in scan order.
+	weight := make([]float32, d*h*w)
+	for _, wn := range wins {
+		for z := 0; z < pd; z++ {
+			for y := 0; y < ph; y++ {
+				dst := ((wn.Z+z)*h+wn.Y+y)*w + wn.X
+				if wmap == nil {
+					for x := 0; x < pw; x++ {
+						weight[dst+x]++
+					}
+				} else {
+					src := (z*ph + y) * pw
+					for x := 0; x < pw; x++ {
+						weight[dst+x] += wmap[src+x]
+					}
+				}
+			}
+		}
+	}
+
+	acc := tensor.New(outC, d, h, w)
+	ad := acc.Data()
+	spatial := d * h * w
+	parallel.ForWorkers(sw.Workers, outC, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for i, wn := range wins {
+				pdd := preds[i].Data()
+				for z := 0; z < pd; z++ {
+					for y := 0; y < ph; y++ {
+						src := ((ci*pd+z)*ph + y) * pw
+						dst := ((ci*d+wn.Z+z)*h+wn.Y+y)*w + wn.X
+						if wmap == nil {
+							for x := 0; x < pw; x++ {
+								ad[dst+x] += pdd[src+x]
+							}
+						} else {
+							wsrc := (z*ph + y) * pw
+							for x := 0; x < pw; x++ {
+								ad[dst+x] += wmap[wsrc+x] * pdd[src+x]
+							}
+						}
+					}
+				}
+			}
+			base := ci * spatial
+			for i := 0; i < spatial; i++ {
+				if weight[i] > 0 {
+					ad[base+i] /= weight[i]
+				}
+			}
+		}
+	})
+	return acc, nil
 }
 
 // Validate reports whether the window configuration is usable.
@@ -123,70 +304,92 @@ func positions(dim, patch, stride int) []int {
 }
 
 // Infer runs the predictor over every window of the sample's input and
-// returns the overlap-averaged full-volume probability map with the same
-// channel count as the model output.
+// returns the overlap-blended full-volume probability map with the same
+// channel count as the model output. With a single predictor the windows
+// run serially in scan order; InferReplicas parallelizes across model
+// replicas.
 func (sw SlidingWindow) Infer(model Predictor, s *volume.Sample) (*tensor.Tensor, error) {
+	return sw.InferReplicas([]Predictor{model}, s)
+}
+
+// InferReplicas is Infer with the window loop parallelized across model
+// replicas: each replica is owned by exactly one goroutine and the
+// goroutines pull window indices from a shared counter, so no model ever
+// runs two windows concurrently. Replicas must hold identical weights; they
+// typically share a worker budget via parallel.ShareN. Because every window
+// prediction is computed independently and blending happens afterwards in
+// scan order, the result is bitwise independent of the replica count
+// (TestInferReplicasInvariant).
+func (sw SlidingWindow) InferReplicas(models []Predictor, s *volume.Sample) (*tensor.Tensor, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("patch: no models")
+	}
 	sh := s.Input.Shape()
 	d, h, w := sh[1], sh[2], sh[3]
+	wins := sw.Windows(d, h, w)
 
-	var acc *tensor.Tensor
-	var weight []float32
-	outC := 0
+	preds := make([]*tensor.Tensor, len(wins))
+	pooled := make([]bool, len(wins))
+	runOne := func(m Predictor, i int) error {
+		wn := wins[i]
+		p, err := Extract(s, wn.Z, wn.Y, wn.X, wn.D, wn.H, wn.W)
+		if err != nil {
+			return err
+		}
+		in := p.Input.Reshape(append([]int{1}, p.Input.Shape()...)...)
+		if inf, ok := m.(Inferer); ok {
+			preds[i] = inf.Infer(in)
+			pooled[i] = true
+		} else {
+			preds[i] = m.Forward(in)
+		}
+		return nil
+	}
 
-	for _, z0 := range positions(d, sw.Patch[0], sw.Stride[0]) {
-		for _, y0 := range positions(h, sw.Patch[1], sw.Stride[1]) {
-			for _, x0 := range positions(w, sw.Patch[2], sw.Stride[2]) {
-				pd, ph, pw := min(sw.Patch[0], d), min(sw.Patch[1], h), min(sw.Patch[2], w)
-				p, err := Extract(s, z0, y0, x0, pd, ph, pw)
-				if err != nil {
-					return nil, err
-				}
-				in := p.Input.Reshape(append([]int{1}, p.Input.Shape()...)...)
-				pred := model.Forward(in)
-				ps := pred.Shape()
-				if acc == nil {
-					outC = ps[1]
-					acc = tensor.New(outC, d, h, w)
-					weight = make([]float32, d*h*w)
-				}
-				pdd := pred.Data()
-				ad := acc.Data()
-				for ci := 0; ci < outC; ci++ {
-					for z := 0; z < pd; z++ {
-						for y := 0; y < ph; y++ {
-							src := ((ci*pd+z)*ph + y) * pw
-							dst := ((ci*d+z0+z)*h+y0+y)*w + x0
-							for x := 0; x < pw; x++ {
-								ad[dst+x] += pdd[src+x]
-							}
-						}
-					}
-				}
-				for z := 0; z < pd; z++ {
-					for y := 0; y < ph; y++ {
-						dst := ((z0+z)*h+y0+y)*w + x0
-						for x := 0; x < pw; x++ {
-							weight[dst+x]++
-						}
-					}
-				}
+	if len(models) == 1 {
+		for i := range wins {
+			if err := runOne(models[0], i); err != nil {
+				return nil, err
 			}
+		}
+	} else {
+		var (
+			next     atomic.Int64
+			firstErr atomic.Pointer[error]
+			wg       sync.WaitGroup
+		)
+		wg.Add(len(models))
+		for _, m := range models {
+			go func(m Predictor) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(wins) || firstErr.Load() != nil {
+						return
+					}
+					if err := runOne(m, i); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}(m)
+		}
+		wg.Wait()
+		if e := firstErr.Load(); e != nil {
+			return nil, *e
 		}
 	}
 
-	ad := acc.Data()
-	spatial := d * h * w
-	for ci := 0; ci < outC; ci++ {
-		for i := 0; i < spatial; i++ {
-			if weight[i] > 0 {
-				ad[ci*spatial+i] /= weight[i]
-			}
+	out, err := sw.BlendPredictions(wins, preds, d, h, w)
+	for i, p := range preds {
+		if pooled[i] {
+			tensor.Recycle(p)
 		}
 	}
-	return acc, nil
+	return out, err
 }
 
 func min(a, b int) int {

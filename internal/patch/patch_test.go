@@ -233,3 +233,115 @@ func TestSlidingWindowAveragesOverlaps(t *testing.T) {
 type predictorFunc func(*tensor.Tensor) *tensor.Tensor
 
 func (f predictorFunc) Forward(x *tensor.Tensor) *tensor.Tensor { return f(x) }
+
+// TestInferReplicasInvariant asserts the parallelized window loop is
+// deterministic: N replicas with identical weights produce bit-for-bit the
+// single-model result, for any replica count and blend mode.
+func TestInferReplicasInvariant(t *testing.T) {
+	s := sample(t, 8)
+	newModel := func() *unet.UNet {
+		u := unet.MustNew(unet.Config{
+			InChannels: 4, OutChannels: 1, BaseFilters: 2, Steps: 2,
+			Kernel: 3, UpKernel: 2, Seed: 5,
+		})
+		u.SetTraining(false)
+		return u
+	}
+	for _, blend := range []BlendMode{BlendUniform, BlendGaussian} {
+		sw := SlidingWindow{Patch: [3]int{4, 4, 4}, Stride: [3]int{2, 2, 2}, Blend: blend}
+		want, err := sw.Infer(newModel(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, replicas := range []int{2, 3} {
+			models := make([]Predictor, replicas)
+			for i := range models {
+				models[i] = newModel()
+			}
+			got, err := sw.InferReplicas(models, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wd, gd := want.Data(), got.Data()
+			for i := range wd {
+				if wd[i] != gd[i] {
+					t.Fatalf("blend=%d replicas=%d: element %d differs (%v vs %v)",
+						blend, replicas, i, gd[i], wd[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBlendWorkerCountInvariant asserts the blend stage itself is bitwise
+// independent of its worker budget (the parallel partition is over output
+// channels; windows always accumulate in scan order).
+func TestBlendWorkerCountInvariant(t *testing.T) {
+	s := sample(t, 8)
+	u := unet.MustNew(unet.Config{
+		InChannels: 4, OutChannels: 1, BaseFilters: 2, Steps: 2,
+		Kernel: 3, UpKernel: 2, Seed: 7,
+	})
+	u.SetTraining(false)
+	base := SlidingWindow{Patch: [3]int{4, 4, 4}, Stride: [3]int{2, 2, 2}}
+	want, err := base.Infer(u, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		sw := base
+		sw.Workers = workers
+		got, err := sw.Infer(u, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, gd := want.Data(), got.Data()
+		for i := range wd {
+			if wd[i] != gd[i] {
+				t.Fatalf("workers=%d: element %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestGaussianBlendIdentity: with an identity predictor the Gaussian
+// weights cancel in the weighted average, so reconstruction is still exact
+// up to float rounding.
+func TestGaussianBlendIdentity(t *testing.T) {
+	s := sample(t, 8)
+	sw := SlidingWindow{Patch: [3]int{4, 4, 4}, Stride: [3]int{2, 2, 2}, Blend: BlendGaussian}
+	out, err := sw.Infer(identityPredictor{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(out, s.Input); d > 1e-4 {
+		t.Fatalf("gaussian identity reconstruction error %v", d)
+	}
+}
+
+// TestGaussianBlendFavoursWindowCentre: where two windows overlap, the
+// voxel near one window's centre takes most of its value from that window.
+func TestGaussianBlendFavoursWindowCentre(t *testing.T) {
+	s := sample(t, 8)
+	call := 0
+	pred := predictorFunc(func(x *tensor.Tensor) *tensor.Tensor {
+		call++
+		out := tensor.New(x.Shape()...)
+		out.Fill(float32(call)) // window i predicts the constant i
+		return out
+	})
+	// Two windows along W: x∈[0,4) and x∈[4,8) — no overlap, then
+	// stride 2 → windows at x∈{0,2,4}: voxel x=2 is the centre region of
+	// window 2 but the border of windows 1 and 3.
+	sw := SlidingWindow{Patch: [3]int{8, 8, 4}, Stride: [3]int{8, 8, 2}, Blend: BlendGaussian}
+	out, err := sw.Infer(pred, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voxel x=3 is covered by windows 1 (border) and 2 (near centre); the
+	// Gaussian-weighted average must land closer to 2 than the uniform 1.5.
+	got := float64(out.At(0, 0, 0, 3))
+	if got <= 1.5 {
+		t.Fatalf("gaussian blend at overlap = %v, want > uniform average 1.5", got)
+	}
+}

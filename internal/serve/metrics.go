@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histograms: fixed geometric buckets from 1µs to ~100s, cheap
+// enough to sit on the per-patch hot path. Quantiles are read from the
+// bucket boundaries (log-linear interpolation inside the winning bucket),
+// accurate to the ~26% bucket ratio — plenty for p50/p99 serving dashboards.
+
+const histBuckets = 80
+
+// histBound returns the upper bound of bucket i.
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	lo, hi := 1e3, 100e9 // 1µs .. 100s in nanoseconds
+	ratio := math.Pow(hi/lo, 1.0/float64(histBuckets-1))
+	v := lo
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= ratio
+	}
+	return b
+}()
+
+// histogram is a concurrency-safe latency histogram.
+type histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets [histBuckets]uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < histBuckets-1 && histBounds[i] < d {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// LatencyStats is a read-only histogram summary.
+type LatencyStats struct {
+	Count         uint64
+	Mean          time.Duration
+	P50, P90, P99 time.Duration
+	Max           time.Duration
+}
+
+func (h *histogram) snapshot() LatencyStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := LatencyStats{Count: h.count, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / time.Duration(h.count)
+	quantile := func(q float64) time.Duration {
+		target := uint64(q * float64(h.count))
+		if target >= h.count {
+			return h.max
+		}
+		var cum uint64
+		for i, c := range h.buckets {
+			cum += c
+			if cum > target {
+				return histBounds[i]
+			}
+		}
+		return h.max
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// metrics aggregates the server's counters and per-stage histograms.
+type metrics struct {
+	requests atomic.Uint64 // admitted segmentation requests
+	patches  atomic.Uint64 // window patches run through a model
+	batches  atomic.Uint64 // micro-batches dispatched
+	rejected atomic.Uint64 // requests turned away by admission control
+	reloads  atomic.Uint64 // checkpoint hot-swaps
+	fillSum  atomic.Uint64 // sum of micro-batch sizes, for the average fill
+
+	// ewmaPatchNs tracks smoothed per-patch compute time for retry-after
+	// estimates (stored as nanoseconds).
+	ewmaPatchNs atomic.Uint64
+
+	queue   histogram // patch enqueue -> micro-batch formed
+	batch   histogram // micro-batch formed -> compute start (dispatch wait)
+	compute histogram // model forward per micro-batch
+	blend   histogram // per-request scatter + overlap blending
+	total   histogram // Segment entry -> result ready
+}
+
+func (m *metrics) observePatchCompute(batchDur time.Duration, batchSize int) {
+	if batchSize <= 0 {
+		return
+	}
+	per := uint64(batchDur.Nanoseconds()) / uint64(batchSize)
+	for {
+		old := m.ewmaPatchNs.Load()
+		var next uint64
+		if old == 0 {
+			next = per
+		} else {
+			next = old - old/8 + per/8
+		}
+		if m.ewmaPatchNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's counters, queue state
+// and per-stage latency distributions.
+type Stats struct {
+	Requests uint64 // admitted segmentation requests
+	Patches  uint64 // window patches computed
+	Batches  uint64 // micro-batches dispatched
+	Rejected uint64 // requests rejected by admission control
+	Reloads  uint64 // checkpoint hot-swaps
+
+	QueueDepth   int64   // outstanding patches (queued or in compute)
+	AvgBatchFill float64 // mean patches per micro-batch
+
+	Queue   LatencyStats // patch wait: enqueue -> micro-batch formed
+	Batch   LatencyStats // dispatch wait: batch formed -> compute start
+	Compute LatencyStats // model forward per micro-batch
+	Blend   LatencyStats // per-request scatter + blending
+	Total   LatencyStats // end-to-end request latency
+}

@@ -1,0 +1,475 @@
+// Package serve turns a trained U-Net checkpoint into a concurrent,
+// batched, latency-bounded segmentation service — the production layer the
+// paper's pipeline stops short of.
+//
+// Concurrent segmentation requests are decomposed into sliding-window
+// patches; patches from different requests are coalesced into fixed-size
+// micro-batches (bounded by MaxBatch and a MaxLinger deadline) and run
+// through one of N model replicas via the no-grad inference fast path, so
+// cross-request batching feeds the blocked GEMM larger matrices — the same
+// utilization argument the paper makes for batch and replica scaling.
+// Per-window predictions are scattered back and overlap-blended (uniform or
+// Gaussian) into each request's full-volume probability map.
+//
+// Because the inference fast path is bit-for-bit an evaluation-mode forward
+// and blending always accumulates windows in scan order, a batched result
+// is bitwise identical to a standalone patch.SlidingWindow.Infer on the
+// same checkpoint, no matter how requests interleave (TestBatchedMatchesReference).
+//
+// Admission control bounds the queue: past MaxQueue outstanding patches a
+// request is rejected immediately with a retry-after estimate instead of
+// growing the tail. A Stats snapshot exposes per-stage latency histograms
+// (queue, batch dispatch, compute, blend) and throughput counters. Reload
+// atomically hot-swaps all replicas onto a new checkpoint between
+// micro-batches; Close drains in-flight requests before returning.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/patch"
+	"repro/internal/tensor"
+)
+
+// Model is one servable replica: a forward-only fast path returning a
+// pool-backed prediction, named parameters for checkpoint loading, and a
+// worker budget so replicas can share the machine. unet.UNet satisfies it;
+// models also implementing nn.AuxStater get their auxiliary state (batch
+// norm running statistics) restored on Reload.
+type Model interface {
+	Infer(x *tensor.Tensor) *tensor.Tensor
+	Params() []*nn.Param
+	SetWorkers(workers int)
+}
+
+// Config tunes the server. The zero value of any field selects its default.
+type Config struct {
+	// Window is the sliding-window decomposition applied to every request;
+	// its blend mode and sigma are honoured. Required.
+	Window patch.SlidingWindow
+
+	// Replicas is the number of model instances serving micro-batches
+	// round-robin (default 1).
+	Replicas int
+
+	// MaxBatch bounds the patches coalesced into one micro-batch
+	// (default 4).
+	MaxBatch int
+
+	// MaxLinger bounds how long a forming micro-batch waits for more
+	// patches after its first (default 2ms).
+	MaxLinger time.Duration
+
+	// MaxQueue bounds outstanding patches (queued plus in compute);
+	// requests that would exceed it are rejected with a retry-after
+	// estimate (default 64).
+	MaxQueue int
+
+	// Workers is the total compute budget divided across replicas with
+	// parallel.ShareN; 0 means the parallel package default.
+	Workers int
+
+	// InChannels, when positive, is validated against every request's
+	// channel dimension at admission, so a malformed request is rejected
+	// with an error instead of panicking a replica worker.
+	InChannels int
+
+	// ExtentDivisor, when positive, requires every window extent to be
+	// divisible by it — set it to the model's minimum volume divisor
+	// (unet.Config.MinVolume) to reject volumes the network cannot take.
+	ExtentDivisor int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	return c
+}
+
+// OverloadedError is returned by Segment when admission control rejects a
+// request: the queue already holds MaxQueue outstanding patches. RetryAfter
+// estimates when capacity frees up, from the smoothed per-patch compute
+// time.
+type OverloadedError struct {
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%d patches queued), retry after %s", e.QueueDepth, e.RetryAfter)
+}
+
+// ErrClosed is returned by Segment after Close has begun draining.
+var ErrClosed = fmt.Errorf("serve: server closed")
+
+// task is one sliding-window patch of one request, waiting to join a
+// micro-batch. The patch itself is not materialized until batch assembly:
+// the replica worker copies the window region straight from the request's
+// volume into the batch tensor.
+type task struct {
+	req *request
+	win int // index into the request's window list
+	enq time.Time
+}
+
+// request tracks one Segment call across its patches.
+type request struct {
+	x     *tensor.Tensor // [C, D, H, W] input volume, read-only until done
+	wins  []patch.Window
+	preds []*tensor.Tensor // pool-backed [1, outC, pd, ph, pw] per window
+	left  atomic.Int64
+	done  chan struct{}
+}
+
+// microbatch is a set of same-extent tasks headed for one replica.
+type microbatch struct {
+	tasks  []*task
+	formed time.Time
+}
+
+// replica is one model instance with its round-robin dispatch channel.
+type replica struct {
+	model Model
+	ch    chan *microbatch
+	done  chan struct{}
+}
+
+// Server is the micro-batching inference server. Create with New, feed with
+// Segment from any number of goroutines, and stop with Close.
+type Server struct {
+	cfg     Config
+	factory func() (Model, error)
+
+	queue       chan *task
+	replicas    []*replica
+	batcherDone chan struct{}
+
+	pending  atomic.Int64 // outstanding patches: queued + in compute
+	inflight sync.WaitGroup
+	closed   atomic.Bool
+
+	// reloadMu serializes checkpoint hot-swaps against micro-batch
+	// compute: workers hold it shared per batch, Reload exclusively.
+	reloadMu sync.RWMutex
+
+	m metrics
+}
+
+// New builds a server with cfg.Replicas model instances from factory. Each
+// replica gets an equal ShareN slice of cfg.Workers. The models start with
+// the factory's (typically random) weights; call Reload to load a trained
+// checkpoint.
+func New(cfg Config, factory func() (Model, error)) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Window.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		factory:     factory,
+		queue:       make(chan *task, cfg.MaxQueue),
+		batcherDone: make(chan struct{}),
+	}
+	shares := parallel.ShareN(cfg.Workers, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		m, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+		}
+		m.SetWorkers(shares[i])
+		r := &replica{model: m, ch: make(chan *microbatch, 1), done: make(chan struct{})}
+		s.replicas = append(s.replicas, r)
+		go s.runReplica(r)
+	}
+	go s.batcher()
+	return s, nil
+}
+
+// Reload atomically hot-swaps every replica onto the checkpoint at path.
+// The checkpoint is first loaded and validated against a staging model; on
+// success all replicas are updated under an exclusive lock, so every
+// micro-batch runs against exactly one checkpoint version. On error the
+// serving weights are untouched.
+func (s *Server) Reload(path string) error {
+	staging, err := s.factory()
+	if err != nil {
+		return fmt.Errorf("serve: reload staging model: %w", err)
+	}
+	if _, err := ckpt.LoadModelFile(path, staging); err != nil {
+		return err
+	}
+	stagingAux := auxOf(staging)
+
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	for _, r := range s.replicas {
+		for i, p := range r.model.Params() {
+			p.Value.CopyFrom(staging.Params()[i].Value)
+		}
+		for name, dst := range auxOf(r.model) {
+			copy(dst, stagingAux[name])
+		}
+	}
+	s.m.reloads.Add(1)
+	return nil
+}
+
+func auxOf(m Model) map[string][]float64 {
+	if a, ok := m.(nn.AuxStater); ok {
+		return a.AuxState()
+	}
+	return nil
+}
+
+// Segment runs one segmentation request: the volume x ([C, D, H, W]) is
+// decomposed into sliding-window patches, batched with whatever else is in
+// flight, and blended back into the full-volume probability map
+// ([outC, D, H, W]). The caller must not mutate x until Segment returns.
+// Safe for concurrent use; blocks until the result is ready, or fails fast
+// with *OverloadedError under backpressure.
+func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
+	t0 := time.Now()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	sh := x.Shape()
+	if len(sh) != 4 {
+		return nil, fmt.Errorf("serve: Segment expects [C, D, H, W], got %v", sh)
+	}
+	if s.cfg.InChannels > 0 && sh[0] != s.cfg.InChannels {
+		return nil, fmt.Errorf("serve: volume has %d channels, model expects %d", sh[0], s.cfg.InChannels)
+	}
+	d, h, w := sh[1], sh[2], sh[3]
+	wins := s.cfg.Window.Windows(d, h, w)
+	if dv := s.cfg.ExtentDivisor; dv > 0 {
+		e := wins[0]
+		if e.D%dv != 0 || e.H%dv != 0 || e.W%dv != 0 {
+			return nil, fmt.Errorf("serve: window extent %dx%dx%d not divisible by the model's minimum volume %d",
+				e.D, e.H, e.W, dv)
+		}
+	}
+	if len(wins) > s.cfg.MaxQueue {
+		return nil, fmt.Errorf("serve: request needs %d patches, exceeding queue capacity %d", len(wins), s.cfg.MaxQueue)
+	}
+
+	// Admission: reserve queue slots or reject with a retry estimate.
+	if depth := s.pending.Add(int64(len(wins))); depth > int64(s.cfg.MaxQueue) {
+		s.pending.Add(-int64(len(wins)))
+		s.m.rejected.Add(1)
+		per := time.Duration(s.m.ewmaPatchNs.Load())
+		if per == 0 {
+			per = 10 * time.Millisecond
+		}
+		return nil, &OverloadedError{
+			QueueDepth: int(depth) - len(wins),
+			RetryAfter: time.Duration(int(per) * (int(depth) - len(wins)) / len(s.replicas)),
+		}
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.closed.Load() {
+		// Lost the race with Close; give the slots back.
+		s.pending.Add(-int64(len(wins)))
+		return nil, ErrClosed
+	}
+	s.m.requests.Add(1)
+
+	req := &request{
+		x:     x,
+		wins:  wins,
+		preds: make([]*tensor.Tensor, len(wins)),
+		done:  make(chan struct{}),
+	}
+	req.left.Store(int64(len(wins)))
+	now := time.Now()
+	for i := range wins {
+		s.queue <- &task{req: req, win: i, enq: now}
+	}
+	<-req.done
+
+	tBlend := time.Now()
+	out, err := s.cfg.Window.BlendPredictions(wins, req.preds, d, h, w)
+	for _, p := range req.preds {
+		tensor.Recycle(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.m.blend.observe(time.Since(tBlend))
+	s.m.total.observe(time.Since(t0))
+	return out, nil
+}
+
+// batcher coalesces queued patches into micro-batches: up to MaxBatch
+// same-extent tasks, waiting at most MaxLinger after the first, dispatched
+// round-robin across the replicas.
+func (s *Server) batcher() {
+	defer func() {
+		for _, r := range s.replicas {
+			close(r.ch)
+		}
+		close(s.batcherDone)
+	}()
+	rr := 0
+	dispatch := func(mb *microbatch) {
+		s.m.batches.Add(1)
+		s.m.fillSum.Add(uint64(len(mb.tasks)))
+		for _, t := range mb.tasks {
+			s.m.queue.observe(mb.formed.Sub(t.enq))
+		}
+		s.replicas[rr].ch <- mb
+		rr = (rr + 1) % len(s.replicas)
+	}
+	var carry *task // first task of the next batch when extents mismatch
+	for {
+		first := carry
+		carry = nil
+		if first == nil {
+			var ok bool
+			first, ok = <-s.queue
+			if !ok {
+				return
+			}
+		}
+		batch := []*task{first}
+		ext := first.req.wins[first.win]
+		timer := time.NewTimer(s.cfg.MaxLinger)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case t, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				// Patches of different window extents (requests with
+				// differently-clamped volumes) or channel counts cannot
+				// share a batch tensor; flush the current batch and start
+				// the next from t.
+				e := t.req.wins[t.win]
+				if e.D != ext.D || e.H != ext.H || e.W != ext.W ||
+					t.req.x.Shape()[0] != first.req.x.Shape()[0] {
+					carry = t
+					break collect
+				}
+				batch = append(batch, t)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		dispatch(&microbatch{tasks: batch, formed: time.Now()})
+	}
+}
+
+// runReplica assembles each micro-batch into a pooled batch tensor, runs
+// the no-grad forward, and scatters per-sample predictions back to their
+// requests.
+func (s *Server) runReplica(r *replica) {
+	defer close(r.done)
+	for mb := range r.ch {
+		s.reloadMu.RLock()
+		s.m.batch.observe(time.Since(mb.formed))
+
+		ext := mb.tasks[0].req.wins[mb.tasks[0].win]
+		c := mb.tasks[0].req.x.Shape()[0]
+		b := len(mb.tasks)
+		pvol := ext.D * ext.H * ext.W
+		batch := tensor.NewScratch(b, c, ext.D, ext.H, ext.W)
+		bd := batch.Data()
+		for i, t := range mb.tasks {
+			wn := t.req.wins[t.win]
+			xd := t.req.x.Data()
+			xs := t.req.x.Shape()
+			vd, vh, vw := xs[1], xs[2], xs[3]
+			for ci := 0; ci < c; ci++ {
+				for z := 0; z < wn.D; z++ {
+					for y := 0; y < wn.H; y++ {
+						src := ((ci*vd+wn.Z+z)*vh+wn.Y+y)*vw + wn.X
+						dst := ((i*c+ci)*ext.D+z)*ext.H*ext.W + y*ext.W
+						copy(bd[dst:dst+wn.W], xd[src:src+wn.W])
+					}
+				}
+			}
+		}
+
+		t0 := time.Now()
+		out := r.model.Infer(batch)
+		compute := time.Since(t0)
+		s.m.compute.observe(compute)
+		s.m.observePatchCompute(compute, b)
+
+		outC := out.Shape()[1]
+		od := out.Data()
+		for i, t := range mb.tasks {
+			pred := tensor.NewScratch(1, outC, ext.D, ext.H, ext.W)
+			copy(pred.Data(), od[i*outC*pvol:(i+1)*outC*pvol])
+			t.req.preds[t.win] = pred
+			s.m.patches.Add(1)
+			s.pending.Add(-1)
+			if t.req.left.Add(-1) == 0 {
+				close(t.req.done)
+			}
+		}
+		tensor.Recycle(batch)
+		tensor.Recycle(out)
+		s.reloadMu.RUnlock()
+	}
+}
+
+// Stats returns a point-in-time snapshot of counters, queue depth and
+// per-stage latency distributions.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:   s.m.requests.Load(),
+		Patches:    s.m.patches.Load(),
+		Batches:    s.m.batches.Load(),
+		Rejected:   s.m.rejected.Load(),
+		Reloads:    s.m.reloads.Load(),
+		QueueDepth: s.pending.Load(),
+		Queue:      s.m.queue.snapshot(),
+		Batch:      s.m.batch.snapshot(),
+		Compute:    s.m.compute.snapshot(),
+		Blend:      s.m.blend.snapshot(),
+		Total:      s.m.total.snapshot(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatchFill = float64(s.m.fillSum.Load()) / float64(st.Batches)
+	}
+	return st
+}
+
+// Close gracefully drains the server: new requests are rejected with
+// ErrClosed, in-flight requests complete, then the batcher and replica
+// workers shut down. Safe to call more than once.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		<-s.batcherDone
+		for _, r := range s.replicas {
+			<-r.done
+		}
+		return
+	}
+	s.inflight.Wait()
+	close(s.queue)
+	<-s.batcherDone
+	for _, r := range s.replicas {
+		<-r.done
+	}
+}

@@ -89,6 +89,32 @@ func GetScratch(n int) []float32 {
 	return make([]float32, size)[:n]
 }
 
+// NewScratch returns a tensor whose backing slice comes from the scratch
+// pool. The contents are UNDEFINED — callers must fully write every element
+// before reading (the inference fast-path kernels do). Return the tensor
+// with Recycle when it is no longer referenced anywhere; like GetScratch
+// buffers, an un-recycled tensor is simply collected by the GC.
+func NewScratch(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		data:    GetScratch(n),
+	}
+}
+
+// Recycle returns a tensor's backing slice to the scratch pool. The tensor
+// — and every view sharing its data, e.g. from Reshape — must not be used
+// afterwards. Recycling a tensor whose backing was not pool-allocated is
+// safe: buffers outside the pool's capacity classes are dropped.
+func Recycle(t *Tensor) {
+	if t == nil {
+		return
+	}
+	PutScratch(t.data)
+	t.data = nil
+}
+
 // PutScratch returns a buffer obtained from GetScratch to the pool. Buffers
 // whose capacity is not one of the pool's classes (e.g. plain slices or
 // oversized fallback allocations) are dropped for the garbage collector.

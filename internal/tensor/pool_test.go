@@ -47,6 +47,30 @@ func TestScratchReusesBuffers(t *testing.T) {
 	}
 }
 
+func TestNewScratchRecycleRoundTrip(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops a fraction of Puts under the race detector")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	warm := NewScratch(4, 8, 8)
+	if got := warm.Size(); got != 4*8*8 {
+		t.Fatalf("scratch tensor size %d, want %d", got, 4*8*8)
+	}
+	Recycle(warm)
+
+	before := ScratchStatsSnapshot().Allocs
+	for i := 0; i < 16; i++ {
+		s := NewScratch(4, 8, 8)
+		s.Data()[0] = float32(i)
+		Recycle(s)
+	}
+	if got := ScratchStatsSnapshot().Allocs - before; got != 0 {
+		t.Fatalf("NewScratch/Recycle loop allocated %d times, want 0", got)
+	}
+	Recycle(nil) // must not panic
+}
+
 func TestPutScratchDropsForeignBuffers(t *testing.T) {
 	// A capacity that is not a pool class must be dropped, not pooled.
 	foreign := make([]float32, 100) // cap 100, not a power of two

@@ -266,6 +266,27 @@ func (u *UNet) SetTraining(training bool) {
 // ZeroGrads clears all parameter gradients.
 func (u *UNet) ZeroGrads() { nn.ZeroGrads(u.params) }
 
+// AuxState merges the batch-norm running statistics of every normalization
+// layer — the trained non-parameter state a checkpoint must capture for
+// evaluation-mode forwards to reproduce. The slices alias the live state.
+func (u *UNet) AuxState() map[string][]float64 {
+	out := map[string][]float64{}
+	merge := func(a nn.AuxStater) {
+		for k, v := range a.AuxState() {
+			out[k] = v
+		}
+	}
+	for _, e := range u.enc {
+		merge(e.bnA)
+		merge(e.bnB)
+	}
+	for _, d := range u.dec {
+		merge(d.bnA)
+		merge(d.bnB)
+	}
+	return out
+}
+
 // Forward computes per-voxel probabilities for x ([N, InC, D, H, W]).
 // Spatial dimensions must be divisible by MinVolume().
 func (u *UNet) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -297,6 +318,81 @@ func (u *UNet) Forward(x *tensor.Tensor) *tensor.Tensor {
 		h = d.reluB.Forward(d.bnB.Forward(d.convB.Forward(h)))
 	}
 	return u.act.Forward(u.head.Forward(h))
+}
+
+// Infer computes per-voxel probabilities like an evaluation-mode Forward —
+// bit-for-bit identically, the kernels are shared — but through the layers'
+// forward-only fast path: every activation comes from the tensor scratch
+// pool and is recycled the moment its consumer has run, no backward caches
+// are retained, and batch normalization always uses the running statistics.
+// After warm-up a steady-state Infer performs zero fresh scratch
+// allocations (TestInferScratchSteadyState).
+//
+// The returned tensor is pool-backed; the caller may tensor.Recycle it once
+// the prediction has been consumed. Calling Backward after Infer is invalid.
+func (u *UNet) Infer(x *tensor.Tensor) *tensor.Tensor {
+	s := x.Shape()
+	if len(s) != 5 {
+		panic(fmt.Sprintf("unet: Infer expects [N,C,D,H,W], got %v", s))
+	}
+	mv := u.Cfg.MinVolume()
+	for _, d := range s[2:] {
+		if d%mv != 0 {
+			panic(fmt.Sprintf("unet: spatial dims %v must be divisible by %d", s[2:], mv))
+		}
+	}
+	// recycle returns an intermediate to the pool unless it is the caller's
+	// input, which the fast path never owns.
+	recycle := func(t *tensor.Tensor) {
+		if t != x {
+			tensor.Recycle(t)
+		}
+	}
+	skips := make([]*tensor.Tensor, 0, len(u.enc)-1)
+	h := x
+	for i, e := range u.enc {
+		t := e.convA.Infer(h)
+		recycle(h)
+		h = e.bnA.Infer(t)
+		tensor.Recycle(t)
+		t = e.reluA.Infer(h)
+		tensor.Recycle(h)
+		h = e.convB.Infer(t)
+		tensor.Recycle(t)
+		t = e.bnB.Infer(h)
+		tensor.Recycle(h)
+		h = e.reluB.Infer(t)
+		tensor.Recycle(t)
+		if i < len(u.enc)-1 {
+			skips = append(skips, h)
+			h = e.pool.Infer(h) // the skip stays alive for the decoder
+		}
+	}
+	for i, d := range u.dec {
+		up := d.up.Infer(h)
+		recycle(h)
+		skip := skips[len(skips)-1-i]
+		h = nn.ConcatChannelsScratch(up, skip)
+		tensor.Recycle(up)
+		tensor.Recycle(skip)
+		t := d.convA.Infer(h)
+		tensor.Recycle(h)
+		h = d.bnA.Infer(t)
+		tensor.Recycle(t)
+		t = d.reluA.Infer(h)
+		tensor.Recycle(h)
+		h = d.convB.Infer(t)
+		tensor.Recycle(t)
+		t = d.bnB.Infer(h)
+		tensor.Recycle(h)
+		h = d.reluB.Infer(t)
+		tensor.Recycle(t)
+	}
+	t := u.head.Infer(h)
+	recycle(h)
+	out := u.act.Infer(t)
+	tensor.Recycle(t)
+	return out
 }
 
 // Backward propagates dL/d(output) through the network, accumulating
