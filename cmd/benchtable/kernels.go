@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/unet"
 )
 
 // Kernel-level benchmark tables: wall-clock per convolution layer
@@ -93,6 +94,62 @@ func kernelSpeedups(sh kernelShape, reps int) (fwd, bwd float64) {
 	return float64(dFwd) / float64(gFwd), float64(dBwd) / float64(gBwd)
 }
 
+// trainStepShapeName is the floors-file name of the whole-network training
+// step measurement — the regression guard over the fused-packing path,
+// which only a full forward+backward through every layer exercises
+// end to end (patch cache fill, cache-reusing backward, batch-parallel
+// backward-weights, per-layer scratch traffic).
+const trainStepShapeName = "unet trainstep 8^3 b2 f4 s3"
+
+// trainStepConfig is the network behind trainStepShapeName: small enough
+// to time in CI, deep enough to hit every conv path (body 3³, head 1³,
+// up 2³) at batch 2.
+func trainStepConfig(engine nn.ConvEngine, workers int) unet.Config {
+	return unet.Config{
+		InChannels:  2,
+		OutChannels: 1,
+		BaseFilters: 4,
+		Steps:       3,
+		Kernel:      3,
+		UpKernel:    2,
+		Seed:        1,
+		Workers:     workers,
+		Engine:      engine,
+	}
+}
+
+// timeTrainStep returns the best-of-reps wall clock of one full training
+// step (zero grads, forward, backward) of the train-step network.
+func timeTrainStep(engine nn.ConvEngine, workers, reps int) time.Duration {
+	u := unet.MustNew(trainStepConfig(engine, workers))
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.Randn(rng, 0, 1, 2, 2, 8, 8, 8)
+	g := tensor.Randn(rng, 0, 1, 2, 1, 8, 8, 8)
+	step := func() {
+		u.ZeroGrads()
+		u.Forward(x)
+		u.Backward(g)
+	}
+	step() // warm-up: pools, patch caches, goroutines
+	best := time.Duration(1 << 62)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		step()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// trainStepSpeedup measures the workers=1 gemm-over-direct speedup of the
+// full training step.
+func trainStepSpeedup(reps int) float64 {
+	d := timeTrainStep(nn.EngineDirect, 1, reps)
+	g := timeTrainStep(nn.EngineGEMM, 1, reps)
+	return float64(d) / float64(g)
+}
+
 // speedupFloor is one line of the checked-in floors file: the minimum
 // workers=1 gemm speedup a shape must sustain.
 type speedupFloor struct {
@@ -147,6 +204,24 @@ func checkKernelFloors(floorsPath string, reps int) error {
 	fmt.Printf("KERNEL REGRESSION GATE: gemm-over-direct speedup floors, workers=1, best of %d\n\n", reps)
 	var failures []string
 	for _, fl := range floors {
+		if fl.name == trainStepShapeName {
+			// Whole-network training step: one speedup number, gated
+			// against the line's first (fwd) floor.
+			step := trainStepSpeedup(reps)
+			status := "ok"
+			if step < fl.fwd {
+				fmt.Printf("  %-28s step %.2fx (floor %.2f) — MISS, re-measuring\n", fl.name, step, fl.fwd)
+				step = trainStepSpeedup(reps)
+				if step < fl.fwd {
+					status = "FAIL (missed twice in a row)"
+					failures = append(failures, fmt.Sprintf("%s: step %.2fx (floor %.2f)", fl.name, step, fl.fwd))
+				} else {
+					status = "ok on retry"
+				}
+			}
+			fmt.Printf("  %-28s step %5.2fx (floor %.2f)   %s\n", fl.name, step, fl.fwd, status)
+			continue
+		}
 		sh, ok := shapes[fl.name]
 		if !ok {
 			return fmt.Errorf("floors file names unknown shape %q", fl.name)
@@ -198,4 +273,16 @@ func printKernelTables(reps int) {
 		}
 		fmt.Println()
 	}
+
+	// Whole-network training step: the end-to-end guard over the fused
+	// GEMM training path (patch cache, batch-parallel backward-weights).
+	fmt.Printf("%s (full fwd+bwd step)\n", trainStepShapeName)
+	fmt.Printf("  %-8s %12s %12s %8s\n", "workers", "direct step", "gemm step", "speedup")
+	for _, w := range kernelWorkerCounts() {
+		d := timeTrainStep(nn.EngineDirect, w, reps)
+		g := timeTrainStep(nn.EngineGEMM, w, reps)
+		fmt.Printf("  %-8d %12s %12s %7.2fx\n",
+			w, d.Round(time.Microsecond), g.Round(time.Microsecond), float64(d)/float64(g))
+	}
+	fmt.Println()
 }

@@ -2,11 +2,17 @@
 // Hyperparameter Tuning for 3D Medical Image Segmentation" (Berral et al.,
 // IPDPS 2022, arXiv:2110.15884).
 //
-// The library lives under internal/: a float32 tensor engine with a pooled
-// scratch-buffer allocator, the fork-join worker pool, a cache-blocked
-// register-tiled GEMM microkernel and the 3D CNN layers running on either
-// the im2col+GEMM or the direct convolution engine (tensor, parallel, gemm,
-// nn), the paper's 3D U-Net (unet), Dice losses and optimizers (loss, optim, metrics), the data path
+// The library lives under internal/: a float32 tensor engine with
+// zero-copy views and a pooled scratch-buffer allocator, the fork-join
+// worker pool, a cache-blocked register-tiled GEMM microkernel with
+// pluggable panel packing and the 3D CNN layers running on either the
+// im2col+GEMM or the direct convolution engine (tensor, parallel, gemm,
+// nn — the GEMM training path materializes each layer's patch matrices
+// once per step into a pooled cache that backward reuses, the inference
+// path streams them straight into the packing panels, and
+// backward-weights reduces per-sample partial products so its parallelism
+// scales with the batch; REPRO_CONV_ENGINE=gemm|direct selects the
+// engine), the paper's 3D U-Net (unet), Dice losses and optimizers (loss, optim, metrics), the data path
 // from NIfTI phantoms to TFRecords and tf.Data-style pipelines (msd, nifti,
 // volume, record, pipeline, profiler), the distribution layer (allreduce,
 // mirrored, raysgd, tune, cluster), the MareNostrum performance model and

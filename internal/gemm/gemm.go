@@ -18,6 +18,16 @@
 // TestGemmWorkerCountInvariant). They differ from a naive triple loop only
 // by float reassociation across kcBlock boundaries and the register tile.
 //
+// The B-side packer is pluggable: GemmPackB accepts a PackBFunc that
+// streams op(B) panels straight into the packed buffer, so callers whose B
+// is a *virtual* matrix (the convolution engine's im2col patch matrix) can
+// skip materializing it entirely. Because the packed panel contents are
+// identical either way, GemmPackB is bit-for-bit equal to Gemm over the
+// materialized matrix. GemmBatch runs `count` independent same-shape
+// products with the parallel partition over (instance × column block)
+// pairs, lifting the parallel degree of many-small-GEMM callers (the
+// convolution backward-weights pass) past the per-product block count.
+//
 // The packing panels come from the tensor scratch pool, so steady-state
 // callers allocate nothing.
 package gemm
@@ -49,6 +59,21 @@ const (
 	mcBlock = 128
 )
 
+// PanelCols is the column width of a packed B panel — the nr of the
+// register tile. A PackBFunc must produce panels of exactly this width.
+const PanelCols = nr
+
+// PackBFunc fills dst with the PanelCols-column panels of the pw×jw block
+// of op(B) at row p0, column j0:
+//
+//	dst[jp·pw·PanelCols + p·PanelCols + jj] = op(B)[p0+p, j0+jp·PanelCols+jj]
+//
+// zero-padded for jj past jw. It is the contract packB satisfies for a
+// dense matrix; a virtual-B caller (im2col) computes the same elements
+// straight from its source. The function may be called concurrently from
+// several workers with disjoint (p0, j0) blocks and distinct dst buffers.
+type PackBFunc func(p0, pw, j0, jw int, dst []float32)
+
 // Gemm computes C = op(A)·op(B), or C += op(A)·op(B) when accumulate is
 // true, over dense row-major operands: op(A) is m×k, op(B) is k×n and C is
 // m×n with leading dimensions lda, ldb, ldc. transA/transB select op(X) =
@@ -56,6 +81,23 @@ const (
 // parallel worker budget (0 = the global default).
 func Gemm(transA, transB bool, m, n, k int,
 	a []float32, lda int, b []float32, ldb int,
+	accumulate bool, c []float32, ldc int, workers int) {
+
+	GemmPackB(transA, m, n, k, a, lda,
+		func(p0, pw, j0, jw int, dst []float32) {
+			packB(transB, b, ldb, p0, pw, j0, jw, dst)
+		},
+		accumulate, c, ldc, workers)
+}
+
+// GemmPackB is Gemm with the B operand supplied as a PackBFunc instead of
+// a dense matrix: pack is invoked per (K-slice, column-block) pair to
+// produce the packed panels directly, so op(B) never needs to exist in
+// memory. Results are bit-for-bit identical to Gemm over the matrix the
+// pack function describes (the compute kernel consumes identical panels in
+// an identical order).
+func GemmPackB(transA bool, m, n, k int,
+	a []float32, lda int, pack PackBFunc,
 	accumulate bool, c []float32, ldc int, workers int) {
 
 	if m <= 0 || n <= 0 {
@@ -80,19 +122,80 @@ func Gemm(transA, transB bool, m, n, k int,
 		defer tensor.PutScratch(packedB)
 		defer tensor.PutScratch(packedA)
 		for jb := lo; jb < hi; jb++ {
-			j0 := jb * ncBlock
-			jw := min(ncBlock, n-j0)
-			for p0 := 0; p0 < k; p0 += kcBlock {
-				pw := min(kcBlock, k-p0)
-				packB(transB, b, ldb, p0, pw, j0, jw, packedB)
-				overwrite := p0 == 0 && !accumulate
-				for i0 := 0; i0 < m; i0 += mcBlock {
-					iw := min(mcBlock, m-i0)
-					packA(transA, a, lda, i0, iw, p0, pw, packedA)
-					macroKernel(iw, jw, pw, packedA, packedB,
-						c, i0*ldc+j0, ldc, overwrite)
+			columnBlock(jb, transA, m, n, k, a, lda, pack,
+				accumulate, c, ldc, packedA, packedB)
+		}
+	})
+}
+
+// columnBlock computes column block jb of one C = op(A)·B product — the
+// unit of parallel work shared by GemmPackB and GemmBatch. The accumulation
+// order within the block (K ascending within a kcBlock slice, slices
+// ascending) depends only on the problem shape.
+func columnBlock(jb int, transA bool, m, n, k int,
+	a []float32, lda int, pack PackBFunc,
+	accumulate bool, c []float32, ldc int, packedA, packedB []float32) {
+
+	j0 := jb * ncBlock
+	jw := min(ncBlock, n-j0)
+	for p0 := 0; p0 < k; p0 += kcBlock {
+		pw := min(kcBlock, k-p0)
+		pack(p0, pw, j0, jw, packedB)
+		overwrite := p0 == 0 && !accumulate
+		for i0 := 0; i0 < m; i0 += mcBlock {
+			iw := min(mcBlock, m-i0)
+			packA(transA, a, lda, i0, iw, p0, pw, packedA)
+			macroKernel(iw, jw, pw, packedA, packedB,
+				c, i0*ldc+j0, ldc, overwrite)
+		}
+	}
+}
+
+// GemmBatch computes count independent, same-shape products
+// C[i] = op(A[i])·op(B[i]) (or += when accumulate is true): the operands of
+// instance i are fetched through the a/b/c accessors. The parallel
+// partition is over (instance × column block) pairs, so the parallel
+// degree is count × ⌈n/ncBlock⌉ — this is what lets the convolution
+// backward-weights pass scale with the batch size when its per-product
+// column count fits in one or two blocks. Each C element is still owned by
+// exactly one worker and accumulated in a shape-only order, so results are
+// bit-for-bit identical to count sequential Gemm calls at any budget.
+func GemmBatch(count int, transA, transB bool, m, n, k int,
+	a func(int) []float32, lda int, b func(int) []float32, ldb int,
+	accumulate bool, c func(int) []float32, ldc int, workers int) {
+
+	if count <= 0 || m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		if !accumulate {
+			for i := 0; i < count; i++ {
+				ci := c(i)
+				for r := 0; r < m; r++ {
+					row := ci[r*ldc : r*ldc+n]
+					for j := range row {
+						row[j] = 0
+					}
 				}
 			}
+		}
+		return
+	}
+
+	nBlocks := (n + ncBlock - 1) / ncBlock
+	parallel.ForWorkers(workers, count*nBlocks, 1, func(lo, hi int) {
+		packedB := tensor.GetScratch(kcBlock * ncBlock)
+		packedA := tensor.GetScratch(mcBlock * kcBlock)
+		defer tensor.PutScratch(packedB)
+		defer tensor.PutScratch(packedA)
+		for item := lo; item < hi; item++ {
+			i, jb := item/nBlocks, item%nBlocks
+			ai, bi, ci := a(i), b(i), c(i)
+			columnBlock(jb, transA, m, n, k, ai, lda,
+				func(p0, pw, j0, jw int, dst []float32) {
+					packB(transB, bi, ldb, p0, pw, j0, jw, dst)
+				},
+				accumulate, ci, ldc, packedA, packedB)
 		}
 	})
 }

@@ -131,6 +131,89 @@ func TestGemmWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestGemmPackBMatchesDense asserts the fused-packing contract: GemmPackB
+// with a pack function describing a matrix is bit-for-bit equal to Gemm
+// over the materialized matrix, at several worker budgets.
+func TestGemmPackBMatchesDense(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{16, 4096, 216}, // conv forward shape
+		{5, 7, 9},
+		{129, 2*ncBlock + 37, kcBlock + 129},
+	}
+	for _, sh := range shapes {
+		for _, transA := range []bool{false, true} {
+			for _, acc := range []bool{false, true} {
+				name := fmt.Sprintf("m%d_n%d_k%d_tA%v_acc%v", sh.m, sh.n, sh.k, transA, acc)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(11))
+					lda := sh.k
+					if transA {
+						lda = sh.m
+					}
+					a := randMat(rng, sh.m*sh.k)
+					b := randMat(rng, sh.k*sh.n)
+					seed := randMat(rng, sh.m*sh.n)
+
+					want := append([]float32(nil), seed...)
+					Gemm(transA, false, sh.m, sh.n, sh.k, a, lda, b, sh.n, acc, want, sh.n, 1)
+
+					pack := func(p0, pw, j0, jw int, dst []float32) {
+						packB(false, b, sh.n, p0, pw, j0, jw, dst)
+					}
+					for _, workers := range []int{1, 3, 8} {
+						got := append([]float32(nil), seed...)
+						GemmPackB(transA, sh.m, sh.n, sh.k, a, lda, pack, acc, got, sh.n, workers)
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("workers=%d: element %d = %v, want %v (bit-for-bit)",
+									workers, i, got[i], want[i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGemmBatchMatchesSequential asserts GemmBatch is bit-for-bit equal to
+// count sequential Gemm calls, at any worker budget — what makes the
+// batch-parallel backward-weights pass worker-count invariant.
+func TestGemmBatchMatchesSequential(t *testing.T) {
+	const count, m, n, k = 5, 16, 216, 300 // backward-weights-like: n fits one block
+	rng := rand.New(rand.NewSource(13))
+	as := make([][]float32, count)
+	bs := make([][]float32, count)
+	want := make([][]float32, count)
+	seed := make([][]float32, count)
+	for i := range as {
+		as[i] = randMat(rng, m*k)
+		bs[i] = randMat(rng, n*k) // transB: stored n×k
+		seed[i] = randMat(rng, m*n)
+		want[i] = append([]float32(nil), seed[i]...)
+		Gemm(false, true, m, n, k, as[i], k, bs[i], k, true, want[i], n, 1)
+	}
+	for _, workers := range []int{1, 2, 7, 16} {
+		got := make([][]float32, count)
+		for i := range got {
+			got[i] = append([]float32(nil), seed[i]...)
+		}
+		GemmBatch(count, false, true, m, n, k,
+			func(i int) []float32 { return as[i] }, k,
+			func(i int) []float32 { return bs[i] }, k,
+			true,
+			func(i int) []float32 { return got[i] }, n, workers)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: instance %d element %d = %v, want %v (bit-for-bit)",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
 // TestGemmStridedC checks that a C leading dimension wider than n leaves the
 // gutter columns untouched.
 func TestGemmStridedC(t *testing.T) {

@@ -199,15 +199,12 @@ func (t *Trainer) InSync() bool {
 	return true
 }
 
-// shardTensor returns a copy of rows [i·shard, (i+1)·shard) of a batched
-// tensor (first dimension is the batch).
+// shardTensor returns rows [i·shard, (i+1)·shard) of a batched tensor
+// (first dimension is the batch) as a zero-copy view: replicas only read
+// their input and mask shards, so nothing needs the copy that used to churn
+// one global batch of allocations per step.
 func shardTensor(t *tensor.Tensor, i, shard int) *tensor.Tensor {
-	shape := t.Shape()
-	stride := t.Size() / shape[0]
-	out := append([]int{shard}, shape[1:]...)
-	data := make([]float32, shard*stride)
-	copy(data, t.Data()[i*shard*stride:(i*shard+shard)*stride])
-	return tensor.FromSlice(data, out...)
+	return t.Slice(i*shard, (i+1)*shard)
 }
 
 // flattenGrads concatenates all parameter gradients into one buffer, the

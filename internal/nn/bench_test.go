@@ -149,6 +149,72 @@ func BenchmarkConvTranspose3DBackward(b *testing.B) {
 	}
 }
 
+// BenchmarkConv3DBackwardWeights isolates the kernel-gradient pass of the
+// GEMM backward: per-sample partial products (gemm.GemmBatch over
+// sample × column block) reduced in fixed order. Batch 4 instead of the
+// usual 2 so the batch-scaled parallel degree is visible: the pass used to
+// cap at ⌈IC·K³/256⌉ = 1 column block regardless of the worker budget.
+func BenchmarkConv3DBackwardWeights(b *testing.B) {
+	const batch = 4
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 0, 1, batch, benchIC, benchDim, benchDim, benchDim)
+	g := tensor.Randn(rng, 0, 1, batch, benchOC, benchDim, benchDim, benchDim)
+	const cols = benchDim * benchDim * benchDim
+	const kdim = benchIC * 27
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+			c.SetConvEngine(EngineGEMM)
+			c.SetWorkers(w)
+			c.Forward(x) // fills the patch cache the pass reads
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.backwardWeightsGEMM(g.Data(), x.Data(), batch, benchIC, cols, kdim, w)
+			}
+		})
+	}
+}
+
+// BenchmarkConv3DBackwardInput isolates the input-gradient pass
+// (gP = Wᵀ·gOut + col2im scatter-add) for the step-time breakdown.
+func BenchmarkConv3DBackwardInput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 0, 1, benchN, benchIC, benchDim, benchDim, benchDim)
+	g := tensor.Randn(rng, 0, 1, benchN, benchOC, benchDim, benchDim, benchDim)
+	gid := tensor.New(benchN, benchIC, benchDim, benchDim, benchDim)
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+			c.SetConvEngine(EngineGEMM)
+			c.SetWorkers(w)
+			c.Forward(x)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.backwardInputGEMM(g.Data(), gid.Data(), c.W.Value.Data(),
+					benchN, benchIC, benchDim, benchDim, benchDim, 3, 1, w)
+			}
+		})
+	}
+}
+
+// BenchmarkConv3DInfer measures the im2col-free fused-packing forward (the
+// inference fast path) against the materializing training forward
+// (BenchmarkConv3DForward engine=gemm).
+func BenchmarkConv3DInfer(b *testing.B) {
+	x := benchInput(1, benchIC)
+	for _, w := range budgets() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
+			c.SetConvEngine(EngineGEMM)
+			c.SetWorkers(w)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.Recycle(c.Infer(x))
+			}
+		})
+	}
+}
+
 // BenchmarkConv3DHeadForward measures the 1×1×1 OC=1 sigmoid-head shape.
 // The direct engine partitions over (sample × out-channel × z-plane), so
 // even this OC=1 layer exposes batch×depth work items instead of capping at

@@ -36,6 +36,25 @@ type Conv3D struct {
 	B *Param // [OC]
 
 	input *tensor.Tensor // cached for backward
+
+	// training gates the patch cache: evaluation-mode forwards (validation
+	// epochs run whole volumes, far larger than training batches) must not
+	// fill — or grow — a cache that only Backward reads. NewConv3D starts
+	// in training mode; SetTraining toggles it (Sequential/unet forward the
+	// flag).
+	training bool
+
+	// patchCache holds the im2col patch matrices of the whole batch from
+	// the last GEMM-engine training forward ([N × IC·K³ × D·H·W], claimed
+	// from the scratch pool and retained), so backward-weights reuses them
+	// instead of recomputing im2col. patchCacheOf is the input tensor the
+	// cache describes — the staleness token consulted by backwardGEMM.
+	patchCache   []float32
+	patchCacheOf *tensor.Tensor
+
+	// taps is the lazily-built per-tap offset table of the fused packer
+	// (the kernel edge is fixed per layer).
+	taps *tapOffsets
 }
 
 // NewConv3D creates a stride-1 same-padded cubic convolution. Weights are
@@ -55,11 +74,28 @@ func NewConv3D(name string, inC, outC, kernel int, rng *rand.Rand) *Conv3D {
 		Kernel:      kernel,
 		W:           NewParam(name+".w", w),
 		B:           NewParam(name+".b", b),
+		training:    true,
 	}
 }
 
 // Params returns the kernel and bias parameters.
 func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// SetTraining toggles training mode. In evaluation mode the GEMM forward
+// takes the fused-packing path (no patch-matrix materialization) instead
+// of filling the backward patch cache — values are bit-for-bit identical
+// either way — and the cache itself is released back to the scratch pool,
+// so a model kept for inference pins no K³×-activation buffers. The next
+// training forward re-claims it (from the pool: no fresh allocation in
+// the usual train/eval/train cadence).
+func (c *Conv3D) SetTraining(training bool) {
+	c.training = training
+	if !training {
+		tensor.PutScratch(c.patchCache)
+		c.patchCache = nil
+		c.patchCacheOf = nil
+	}
+}
 
 // Forward computes the convolution of x ([N, IC, D, H, W]) and caches x
 // for Backward, dispatching to the layer's engine (GEMM by default).

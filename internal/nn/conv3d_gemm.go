@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/gemm"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -14,23 +15,121 @@ import (
 //	backward-weights: gW     += gOut[n]·Pᵀ
 //	backward-input:   gP      = Wᵀ·gOut[n],  gIn[n] = col2im(gP)
 //
-// P, gP and the GEMM packing panels all come from the tensor scratch pool,
+// P is handled differently per path:
+//
+//   - The training forward materializes the patch matrices of the whole
+//     batch once into a persistent, pooled per-layer cache, which the
+//     backward pass reuses — the im2col work is done once per step instead
+//     of once per pass. The cache costs IC·K³ × D·H·W floats per sample
+//     (K³× the input activation) and lives until the layer sees a larger
+//     input or is collected.
+//   - The inference fast path (forwardGEMMInto, under Infer) fuses im2col
+//     into the GEMM's B-panel packer (im2colPackB): patches stream directly
+//     into the packed panels and no patch matrix is ever materialized.
+//     The packed panels are identical either way, so both paths produce
+//     bit-for-bit identical outputs.
+//
+// Backward-weights runs as per-sample partial products (gemm.GemmBatch,
+// parallel over sample × column block) reduced onto gW in ascending sample
+// order — the parallel degree scales with the batch size instead of being
+// capped by the ⌈IC·K³/256⌉ column blocks of a single product, while each
+// gW element still sees a fixed, budget-independent accumulation order.
+//
+// Scratch buffers and the GEMM packing panels all come from the tensor
+// scratch pool, and the patch cache is claimed from it once and retained,
 // so a steady-state training step performs no allocations here. A 1×1×1
 // convolution needs no patch matrix at all — the input slab already is P.
 
-// forwardGEMM computes the convolution of x as im2col + GEMM.
+// forwardGEMM computes the convolution of x as im2col + GEMM, materializing
+// the batch's patch matrices into the per-layer cache for backward to reuse.
 func (c *Conv3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
-	n, _, d, h, w := check5D("Conv3D", x)
+	n, ic, d, h, w := check5D("Conv3D", x)
+	if ic != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
+	}
 	c.input = x
 	out := tensor.New(n, c.OutChannels, d, h, w)
-	c.forwardGEMMInto(x, out)
+	if !c.training {
+		// Evaluation: no Backward will read a patch cache, so take the
+		// fused-packing path — bit-for-bit the same values, no
+		// K³×-activation cache filled or grown by validation volumes.
+		// (Backward after an eval forward still works: backwardGEMM
+		// rebuilds a stale cache from the retained input.)
+		c.forwardGEMMInto(x, out)
+		return out
+	}
+
+	k := c.Kernel
+	p := k / 2
+	oc := c.OutChannels
+	cols := d * h * w
+	kdim := ic * k * k * k
+	workers := c.workers
+
+	xd := x.Data()
+	od := out.Data()
+	wd := c.W.Value.Data()
+
+	if k > 1 {
+		c.fillPatchCache(xd, x, n, ic, d, h, w, k, p, workers)
+	}
+	for ni := 0; ni < n; ni++ {
+		pm := c.patchSlab(xd, ni, ic, cols, kdim)
+		oSlab := od[ni*oc*cols : (ni+1)*oc*cols]
+		c.seedBias(oSlab, oc, cols)
+		gemm.Gemm(false, false, oc, cols, kdim, wd, kdim, pm, cols, true, oSlab, cols, workers)
+	}
 	return out
+}
+
+// fillPatchCache sizes the persistent patch cache for an n-sample batch and
+// fills it with im2col of every sample. The buffer is claimed from the
+// scratch pool once and retained across steps; it is only re-claimed when a
+// larger batch arrives.
+func (c *Conv3D) fillPatchCache(xd []float32, x *tensor.Tensor, n, ic, d, h, w, k, p, workers int) {
+	cols := d * h * w
+	kdim := ic * k * k * k
+	need := n * kdim * cols
+	if cap(c.patchCache) < need {
+		tensor.PutScratch(c.patchCache)
+		c.patchCache = tensor.GetScratch(need)
+	}
+	c.patchCache = c.patchCache[:need]
+	c.patchCacheOf = x
+	for ni := 0; ni < n; ni++ {
+		im2col(xd[ni*ic*cols:(ni+1)*ic*cols], ic, d, h, w, k, p,
+			c.patchCache[ni*kdim*cols:(ni+1)*kdim*cols], workers)
+	}
+}
+
+// patchSlab returns sample ni's patch matrix: the input slab itself at
+// 1×1×1, the cache slab otherwise (fillPatchCache must have run).
+func (c *Conv3D) patchSlab(xd []float32, ni, ic, cols, kdim int) []float32 {
+	if c.Kernel == 1 {
+		return xd[ni*ic*cols : (ni+1)*ic*cols]
+	}
+	return c.patchCache[ni*kdim*cols : (ni+1)*kdim*cols]
+}
+
+// seedBias fills an output slab with the per-channel bias so the GEMM
+// accumulates onto it, keeping the bias first in each element's sum like
+// the direct kernels do.
+func (c *Conv3D) seedBias(oSlab []float32, oc, cols int) {
+	bd := c.B.Value.Data()
+	for oci := 0; oci < oc; oci++ {
+		row := oSlab[oci*cols : (oci+1)*cols]
+		bias := bd[oci]
+		for i := range row {
+			row[i] = bias
+		}
+	}
 }
 
 // forwardGEMMInto runs the GEMM forward kernel into a caller-provided output
 // tensor (every element is written: bias seed, then GEMM accumulation),
-// retaining nothing — the shared body of the training forward and the
-// inference fast path.
+// retaining nothing — the inference fast path. im2col is fused into the
+// GEMM's B-panel packer, so no patch matrix is materialized; outputs are
+// bit-for-bit identical to the training forward's.
 func (c *Conv3D) forwardGEMMInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
@@ -43,42 +142,30 @@ func (c *Conv3D) forwardGEMMInto(x, out *tensor.Tensor) {
 	xd := x.Data()
 	od := out.Data()
 	wd := c.W.Value.Data()
-	bd := c.B.Value.Data()
 
 	cols := d * h * w
 	kdim := ic * k * k * k
 	workers := c.workers
 
-	var patch []float32
-	if k > 1 {
-		patch = tensor.GetScratch(kdim * cols)
-		defer tensor.PutScratch(patch)
-	}
 	for ni := 0; ni < n; ni++ {
-		pm := patch
+		xSlab := xd[ni*ic*cols : (ni+1)*ic*cols]
+		oSlab := od[ni*oc*cols : (ni+1)*oc*cols]
+		c.seedBias(oSlab, oc, cols)
 		if k == 1 {
 			// 1×1×1: the input slab is the patch matrix.
-			pm = xd[ni*ic*cols : (ni+1)*ic*cols]
-		} else {
-			im2col(xd[ni*ic*cols:(ni+1)*ic*cols], ic, d, h, w, k, p, patch, workers)
+			gemm.Gemm(false, false, oc, cols, kdim, wd, kdim, xSlab, cols, true, oSlab, cols, workers)
+			continue
 		}
-		oSlab := od[ni*oc*cols : (ni+1)*oc*cols]
-		// Seed the output with the bias so the GEMM accumulates onto it,
-		// keeping the bias first in each element's sum like the direct
-		// kernels do.
-		for oci := 0; oci < oc; oci++ {
-			row := oSlab[oci*cols : (oci+1)*cols]
-			bias := bd[oci]
-			for i := range row {
-				row[i] = bias
-			}
+		if c.taps == nil {
+			c.taps = newTapOffsets(k, p)
 		}
-		gemm.Gemm(false, false, oc, cols, kdim, wd, kdim, pm, cols, true, oSlab, cols, workers)
+		gemm.GemmPackB(false, oc, cols, kdim, wd, kdim,
+			im2colPackB(xSlab, ic, d, h, w, k, p, c.taps), true, oSlab, cols, workers)
 	}
 }
 
 // backwardGEMM accumulates kernel/bias gradients and returns dL/d(input)
-// using the GEMM formulation.
+// using the GEMM formulation, reusing the forward's patch cache.
 func (c *Conv3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: Conv3D.Backward called before Forward")
@@ -87,14 +174,12 @@ func (c *Conv3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, ic, d, h, w := check5D("Conv3D.Backward", x)
 	k := c.Kernel
 	p := k / 2
-	oc := c.OutChannels
 	gradIn := tensor.New(x.Shape()...)
 
 	xd := x.Data()
 	gid := gradIn.Data()
 	god := gradOut.Data()
 	wd := c.W.Value.Data()
-	gwd := c.W.Grad.Data()
 
 	cols := d * h * w
 	kdim := ic * k * k * k
@@ -102,35 +187,75 @@ func (c *Conv3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
 
 	c.biasGradPass(god, n, cols, workers)
 
-	var patch, gradP []float32
+	// Patch matrices: normally the cache filled by forwardGEMM; rebuilt
+	// into the same cache if it is stale (e.g. the engine was switched to
+	// GEMM after a direct-engine forward).
+	if k > 1 && (c.patchCacheOf != x || len(c.patchCache) != n*kdim*cols) {
+		c.fillPatchCache(xd, x, n, ic, d, h, w, k, p, workers)
+	}
+
+	c.backwardWeightsGEMM(god, xd, n, ic, cols, kdim, workers)
+	c.backwardInputGEMM(god, gid, wd, n, ic, d, h, w, k, p, workers)
+	return gradIn
+}
+
+// backwardWeightsGEMM is the isolated kernel-gradient pass: per-sample
+// partials gOut[n]·Pᵀ in parallel over (sample × column block), then
+// gW += partials in ascending sample order per element. The patch cache
+// must be current (backwardGEMM guarantees it). Split out so the pass can
+// be benchmarked on its own — its parallel degree is the batch-scaling
+// claim of the fused training path.
+func (c *Conv3D) backwardWeightsGEMM(god, xd []float32, n, ic, cols, kdim, workers int) {
+	oc := c.OutChannels
+	gwd := c.W.Grad.Data()
+	partials := tensor.GetScratch(n * oc * kdim)
+	defer tensor.PutScratch(partials)
+	gemm.GemmBatch(n, false, true, oc, kdim, cols,
+		func(ni int) []float32 { return god[ni*oc*cols : (ni+1)*oc*cols] }, cols,
+		func(ni int) []float32 { return c.patchSlab(xd, ni, ic, cols, kdim) }, cols,
+		false,
+		func(ni int) []float32 { return partials[ni*oc*kdim : (ni+1)*oc*kdim] }, kdim,
+		workers)
+	reduceWeightPartials(gwd, partials, n, oc*kdim, workers)
+}
+
+// backwardInputGEMM is the isolated input-gradient pass: per sample,
+// gP = Wᵀ·gOut[n] followed by the col2im scatter-add (the identity at
+// 1×1×1, where gP is written straight into the input-gradient slab).
+func (c *Conv3D) backwardInputGEMM(god, gid, wd []float32, n, ic, d, h, w, k, p, workers int) {
+	oc := c.OutChannels
+	cols := d * h * w
+	kdim := ic * k * k * k
+	var gradP []float32
 	if k > 1 {
-		patch = tensor.GetScratch(kdim * cols)
 		gradP = tensor.GetScratch(kdim * cols)
-		defer tensor.PutScratch(patch)
 		defer tensor.PutScratch(gradP)
 	}
 	for ni := 0; ni < n; ni++ {
-		xSlab := xd[ni*ic*cols : (ni+1)*ic*cols]
 		gSlab := god[ni*oc*cols : (ni+1)*oc*cols]
 		iSlab := gid[ni*ic*cols : (ni+1)*ic*cols]
-
-		pm := patch
 		gp := gradP
 		if k == 1 {
-			pm = xSlab
-			// col2im is the identity at 1×1×1: write dL/dP straight into
-			// the input-gradient slab.
 			gp = iSlab
-		} else {
-			im2col(xSlab, ic, d, h, w, k, p, patch, workers)
 		}
-		// Kernel gradient: gW += gOut[n]·Pᵀ, samples in ascending order.
-		gemm.Gemm(false, true, oc, kdim, cols, gSlab, cols, pm, cols, true, gwd, kdim, workers)
-		// Input gradient: gP = Wᵀ·gOut[n], then scatter-add back.
 		gemm.Gemm(true, false, kdim, cols, oc, wd, kdim, gSlab, cols, false, gp, cols, workers)
 		if k > 1 {
 			col2imAdd(gradP, ic, d, h, w, k, p, iSlab, workers)
 		}
 	}
-	return gradIn
+}
+
+// reduceWeightPartials adds n concatenated per-sample partial gradient
+// buffers (elems floats each) onto grad. Each gradient element is owned by
+// one worker and receives its partials in ascending sample order, so the
+// reduction is bit-for-bit identical at any worker budget.
+func reduceWeightPartials(grad, partials []float32, n, elems, workers int) {
+	parallel.ForWorkers(workers, elems, 4096, func(lo, hi int) {
+		for ni := 0; ni < n; ni++ {
+			part := partials[ni*elems : (ni+1)*elems]
+			for j := lo; j < hi; j++ {
+				grad[j] += part[j]
+			}
+		}
+	})
 }

@@ -116,36 +116,51 @@ func (c *ConvTranspose3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
 
 	c.biasGradPass(god, n, outCh, workers)
 
-	gradCols := tensor.GetScratch(rows * inCols)
+	// Gather the whole batch's output gradients into column form (inverse
+	// of the forward scatter), one owner per (sample, oc, tap) row, so the
+	// kernel-gradient pass below can run every sample's product at once.
+	gradCols := tensor.GetScratch(n * rows * inCols)
 	defer tensor.PutScratch(gradCols)
-	for ni := 0; ni < n; ni++ {
-		xSlab := xd[ni*ic*inCols : (ni+1)*ic*inCols]
-		oBase := ni * oc * outCh
-		// Gather the output gradient into column form (inverse of the
-		// forward scatter), one owner per (oc, tap) row.
-		parallel.ForWorkers(workers, rows, 1, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				tap := r % kk
-				oci := r / kk
-				kx := tap % k
-				ky := (tap / k) % k
-				kz := tap / (k * k)
-				dst := gradCols[r*inCols:]
-				for z := 0; z < d; z++ {
-					for y := 0; y < h; y++ {
-						s := (z*h + y) * w
-						srow := god[oBase+oci*outCh+((z*k+kz)*oh+y*k+ky)*ow+kx:]
-						for xx := 0; xx < w; xx++ {
-							dst[s+xx] = srow[xx*k]
-						}
+	parallel.ForWorkers(workers, n*rows, 1, func(lo, hi int) {
+		for item := lo; item < hi; item++ {
+			ni, r := item/rows, item%rows
+			tap := r % kk
+			oci := r / kk
+			kx := tap % k
+			ky := (tap / k) % k
+			kz := tap / (k * k)
+			oBase := ni * oc * outCh
+			dst := gradCols[(ni*rows+r)*inCols:]
+			for z := 0; z < d; z++ {
+				for y := 0; y < h; y++ {
+					s := (z*h + y) * w
+					srow := god[oBase+oci*outCh+((z*k+kz)*oh+y*k+ky)*ow+kx:]
+					for xx := 0; xx < w; xx++ {
+						dst[s+xx] = srow[xx*k]
 					}
 				}
 			}
-		})
-		// Kernel gradient: gW += x[n]·gradColsᵀ, samples ascending.
-		gemm.Gemm(false, true, ic, rows, inCols, xSlab, inCols, gradCols, inCols, true, gwd, rows, workers)
-		// Input gradient: gIn[n] = W·gradCols.
-		gemm.Gemm(false, false, ic, inCols, rows, wd, rows, gradCols, inCols, false, gid[ni*ic*inCols:(ni+1)*ic*inCols], inCols, workers)
+		}
+	})
+
+	// Kernel gradient: per-sample partials x[n]·gradColsᵀ in parallel over
+	// (sample × column block), then gW += partials in ascending sample
+	// order per element (see conv3d_gemm.go).
+	partials := tensor.GetScratch(n * ic * rows)
+	defer tensor.PutScratch(partials)
+	gemm.GemmBatch(n, false, true, ic, rows, inCols,
+		func(ni int) []float32 { return xd[ni*ic*inCols : (ni+1)*ic*inCols] }, inCols,
+		func(ni int) []float32 { return gradCols[ni*rows*inCols : (ni+1)*rows*inCols] }, inCols,
+		false,
+		func(ni int) []float32 { return partials[ni*ic*rows : (ni+1)*ic*rows] }, rows,
+		workers)
+	reduceWeightPartials(gwd, partials, n, ic*rows, workers)
+
+	// Input gradient: gIn[n] = W·gradCols.
+	for ni := 0; ni < n; ni++ {
+		gemm.Gemm(false, false, ic, inCols, rows,
+			wd, rows, gradCols[ni*rows*inCols:(ni+1)*rows*inCols], inCols,
+			false, gid[ni*ic*inCols:(ni+1)*ic*inCols], inCols, workers)
 	}
 	return gradIn
 }

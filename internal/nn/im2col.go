@@ -1,6 +1,9 @@
 package nn
 
-import "repro/internal/parallel"
+import (
+	"repro/internal/gemm"
+	"repro/internal/parallel"
+)
 
 // im2col / col2im lowering for the GEMM convolution engine.
 //
@@ -59,6 +62,131 @@ func im2col(x []float32, ic, d, h, w, k, p int, patch []float32, workers int) {
 			}
 		}
 	})
+}
+
+// tapOffsets holds the precomputed (dz, dy, dx) input offset of every
+// kernel tap, indexed by patch row r % k³. The kernel edge is fixed per
+// layer, so conv layers build the table once and reuse it across calls.
+type tapOffsets struct {
+	dzs, dys, dxs []int
+}
+
+func newTapOffsets(k, p int) *tapOffsets {
+	kk := k * k * k
+	t := &tapOffsets{
+		dzs: make([]int, kk),
+		dys: make([]int, kk),
+		dxs: make([]int, kk),
+	}
+	for tap := 0; tap < kk; tap++ {
+		t.dzs[tap] = tap/(k*k) - p
+		t.dys[tap] = (tap/k)%k - p
+		t.dxs[tap] = tap%k - p
+	}
+	return t
+}
+
+// im2colPackB returns a gemm.PackBFunc that packs blocks of the im2col
+// patch matrix of one sample directly from the input slab x ([ic, d, h, w]
+// row-major) — the fused-packing path of the inference forward. The patch
+// matrix never exists in memory, but every packed element is the same
+// input load (or padding zero) that packB would copy out of the im2col
+// output, so GemmPackB over this function is bit-for-bit identical to Gemm
+// over the materialized matrix. taps must be newTapOffsets(k, p).
+func im2colPackB(x []float32, ic, d, h, w, k, p int, taps *tapOffsets) gemm.PackBFunc {
+	cols := d * h * w
+	kk := k * k * k
+	dzs, dys, dxs := taps.dzs, taps.dys, taps.dxs
+	const nr = gemm.PanelCols
+	return func(p0, pw, j0, jw int, dst []float32) {
+		panels := (jw + nr - 1) / nr
+		for jp := 0; jp < panels; jp++ {
+			out := dst[jp*pw*nr:]
+			colN := nr
+			if jw-jp*nr < nr {
+				colN = jw - jp*nr
+			}
+			// Decompose the panel's output voxels (patch-matrix columns).
+			// Consecutive columns are consecutive voxels in x scan order;
+			// when they all sit in one x-row the per-element z/y bounds
+			// checks hoist out of the inner loop entirely.
+			c0 := j0 + jp*nr
+			cx0 := c0 % w
+			cy0 := (c0 / w) % h
+			cz0 := c0 / (w * h)
+			sameRow := cx0+colN <= w
+			var cz, cy, cx [nr]int
+			if !sameRow {
+				for jj := 0; jj < colN; jj++ {
+					cv := c0 + jj
+					cx[jj] = cv % w
+					cy[jj] = (cv / w) % h
+					cz[jj] = cv / (w * h)
+				}
+			}
+			tap := p0 % kk
+			base := (p0 / kk) * cols // input-channel slab of row p0
+			for pp := 0; pp < pw; pp++ {
+				dz, dy, dx := dzs[tap], dys[tap], dxs[tap]
+				o := pp * nr
+				if sameRow {
+					iz := cz0 + dz
+					iy := cy0 + dy
+					if iz >= 0 && iz < d && iy >= 0 && iy < h {
+						// Valid x-range of the run: 0 <= cx0+jj+dx < w,
+						// clamped to [0, colN] — for |dx| ≥ the run width
+						// (large kernels, narrow volumes) the range is
+						// empty and the whole run is padding.
+						lo, hi := -cx0-dx, w-cx0-dx
+						if lo < 0 {
+							lo = 0
+						}
+						if lo > colN {
+							lo = colN
+						}
+						if hi > colN {
+							hi = colN
+						}
+						if hi < lo {
+							hi = lo
+						}
+						s := base + (iz*h+iy)*w + cx0 + dx
+						for jj := 0; jj < lo; jj++ {
+							out[o+jj] = 0
+						}
+						for jj := lo; jj < hi; jj++ {
+							out[o+jj] = x[s+jj]
+						}
+						for jj := hi; jj < nr; jj++ {
+							out[o+jj] = 0
+						}
+					} else {
+						for jj := 0; jj < nr; jj++ {
+							out[o+jj] = 0
+						}
+					}
+				} else {
+					for jj := 0; jj < colN; jj++ {
+						iz := cz[jj] + dz
+						iy := cy[jj] + dy
+						ix := cx[jj] + dx
+						if iz >= 0 && iz < d && iy >= 0 && iy < h && ix >= 0 && ix < w {
+							out[o+jj] = x[base+(iz*h+iy)*w+ix]
+						} else {
+							out[o+jj] = 0
+						}
+					}
+					for jj := colN; jj < nr; jj++ {
+						out[o+jj] = 0
+					}
+				}
+				if tap++; tap == kk {
+					tap = 0
+					base += cols
+				}
+			}
+		}
+	}
 }
 
 // tapXRange returns the output x-range [x0, x1) for which a tap offset by

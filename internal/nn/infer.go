@@ -99,6 +99,95 @@ func (s *Sigmoid) Infer(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// Infer computes max(x, α·x) without recording the backward sign mask.
+func (r *LeakyReLU) Infer(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.NewScratch(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	parallel.ForWorkers(r.workers, len(xd), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := xd[i]; v > 0 {
+				od[i] = v
+			} else {
+				od[i] = r.Alpha * v
+			}
+		}
+	})
+	return out
+}
+
+// Infer normalizes every (sample, channel) slice without retaining the
+// normalized activations or inverse deviations for Backward. InstanceNorm
+// has no running statistics, so this is the same computation as Forward in
+// either mode — bit for bit, the arithmetic is shared.
+func (n *InstanceNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
+	nb, c, d, h, w := check5D("InstanceNorm", x)
+	if c != n.Channels {
+		panic("nn: InstanceNorm channel mismatch")
+	}
+	spatial := d * h * w
+	out := tensor.NewScratch(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	gd := n.Gamma.Value.Data()
+	bd := n.Beta.Value.Data()
+	parallel.ForWorkers(n.workers, nb*c, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			base := s * spatial
+			var sum float64
+			for _, v := range xd[base : base+spatial] {
+				sum += float64(v)
+			}
+			mean := sum / float64(spatial)
+			var varSum float64
+			for _, v := range xd[base : base+spatial] {
+				dv := float64(v) - mean
+				varSum += dv * dv
+			}
+			rstd := 1 / math.Sqrt(varSum/float64(spatial)+n.Eps)
+			g, bt := gd[s%c], bd[s%c]
+			for i := base; i < base+spatial; i++ {
+				xh := float32((float64(xd[i]) - mean) * rstd)
+				od[i] = g*xh + bt
+			}
+		}
+	})
+	return out
+}
+
+// Infer computes the channel softmax without retaining the output for
+// Backward.
+func (s *ChannelSoftmax) Infer(x *tensor.Tensor) *tensor.Tensor {
+	n, c, d, h, w := check5D("ChannelSoftmax", x)
+	out := tensor.NewScratch(x.Shape()...)
+	xd := x.Data()
+	od := out.Data()
+	spatial := d * h * w
+	parallel.ForWorkers(s.workers, n*spatial, elemGrain/4, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			base := (j / spatial) * c * spatial
+			v := j % spatial
+			maxLogit := xd[base+v]
+			for ci := 1; ci < c; ci++ {
+				if l := xd[base+ci*spatial+v]; l > maxLogit {
+					maxLogit = l
+				}
+			}
+			var sum float64
+			for ci := 0; ci < c; ci++ {
+				e := math.Exp(float64(xd[base+ci*spatial+v] - maxLogit))
+				od[base+ci*spatial+v] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for ci := 0; ci < c; ci++ {
+				od[base+ci*spatial+v] *= inv
+			}
+		}
+	})
+	return out
+}
+
 // Infer downsamples x without recording the backward argmax.
 func (m *MaxPool3D) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n, c, d, h, w := check5D("MaxPool3D", x)

@@ -18,7 +18,11 @@ import (
 	"repro/internal/volume"
 )
 
-// Extract copies the [z0:z0+pd, y0:y0+ph, x0:x0+pw] sub-volume of a sample.
+// Extract returns the [z0:z0+pd, y0:y0+ph, x0:x0+pw] sub-volume of a
+// sample. Contiguous cuts — the whole volume, or a z-slab of a
+// single-channel tensor spanning full y/x extents — come back as zero-copy
+// views of s's tensors (treat extracted patches as read-only); strided cuts
+// are copied.
 func Extract(s *volume.Sample, z0, y0, x0, pd, ph, pw int) (*volume.Sample, error) {
 	cut := func(t *tensor.Tensor) (*tensor.Tensor, error) {
 		sh := t.Shape()
@@ -26,6 +30,17 @@ func Extract(s *volume.Sample, z0, y0, x0, pd, ph, pw int) (*volume.Sample, erro
 		if z0 < 0 || y0 < 0 || x0 < 0 || z0+pd > d || y0+ph > h || x0+pw > w {
 			return nil, fmt.Errorf("patch: [%d:%d, %d:%d, %d:%d] outside %dx%dx%d",
 				z0, z0+pd, y0, y0+ph, x0, x0+pw, d, h, w)
+		}
+		if y0 == 0 && x0 == 0 && ph == h && pw == w {
+			if pd == d {
+				// The cut is the whole volume.
+				return t.View(0, c, pd, ph, pw), nil
+			}
+			if c == 1 {
+				// A full-plane z-slab of a single-channel volume (the
+				// common mask layout) is one contiguous run.
+				return t.View(z0*h*w, 1, pd, ph, pw), nil
+			}
 		}
 		out := tensor.New(c, pd, ph, pw)
 		od := out.Data()
@@ -186,6 +201,114 @@ func gaussianWindow(pd, ph, pw int, frac float64) []float32 {
 	return wm
 }
 
+// NonOverlapping reports whether the sliding-window decomposition of a
+// d×h×w volume produces pairwise-disjoint windows — every voxel covered by
+// exactly one window. True when each axis stride is at least the window
+// extent and the boundary-clamped final window does not back into its
+// neighbour. Disjoint windows admit the direct-scatter blend path: window
+// predictions can land in the output accumulator in any order and still
+// match the scan-order blend bit for bit, because no voxel sums more than
+// one contribution.
+func (sw SlidingWindow) NonOverlapping(d, h, w int) bool {
+	dims := [3]int{d, h, w}
+	for i := 0; i < 3; i++ {
+		pos := positions(dims[i], sw.Patch[i], sw.Stride[i])
+		ext := min(sw.Patch[i], dims[i])
+		for j := 1; j < len(pos); j++ {
+			if pos[j]-pos[j-1] < ext {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BlendWeights returns the per-window-voxel weight map of the blend mode
+// for a pd×ph×pw window: nil in uniform mode (every voxel weighs 1), the
+// centred Gaussian map otherwise.
+func (sw SlidingWindow) BlendWeights(pd, ph, pw int) []float32 {
+	if sw.Blend == BlendGaussian {
+		return gaussianWindow(pd, ph, pw, sw.Sigma)
+	}
+	return nil
+}
+
+// OverlapWeights returns the per-voxel blend weight of the window set over
+// a d×h×w volume: each window's weight map (uniform 1 or Gaussian) added
+// in scan order — the denominator of the overlap average.
+func (sw SlidingWindow) OverlapWeights(wins []Window, d, h, w int) []float32 {
+	if len(wins) == 0 {
+		return nil
+	}
+	pd, ph, pw := wins[0].D, wins[0].H, wins[0].W
+	wmap := sw.BlendWeights(pd, ph, pw)
+	weight := make([]float32, d*h*w)
+	for _, wn := range wins {
+		for z := 0; z < pd; z++ {
+			for y := 0; y < ph; y++ {
+				dst := ((wn.Z+z)*h+wn.Y+y)*w + wn.X
+				if wmap == nil {
+					for x := 0; x < pw; x++ {
+						weight[dst+x]++
+					}
+				} else {
+					src := (z*ph + y) * pw
+					for x := 0; x < pw; x++ {
+						weight[dst+x] += wmap[src+x]
+					}
+				}
+			}
+		}
+	}
+	return weight
+}
+
+// ScatterWeighted adds the window's prediction pred ([outC, D, H, W] of
+// the window extent) into the full-volume accumulator acc ([outC, d, h, w]),
+// scaled per voxel by the window weight map (nil = uniform weight 1).
+// Callers with pairwise-disjoint windows may invoke it concurrently — each
+// window owns its accumulator region.
+func (wn Window) ScatterWeighted(acc []float32, outC, d, h, w int, pred, wmap []float32) {
+	pd, ph, pw := wn.D, wn.H, wn.W
+	for ci := 0; ci < outC; ci++ {
+		for z := 0; z < pd; z++ {
+			for y := 0; y < ph; y++ {
+				src := ((ci*pd+z)*ph + y) * pw
+				dst := ((ci*d+wn.Z+z)*h+wn.Y+y)*w + wn.X
+				if wmap == nil {
+					for x := 0; x < pw; x++ {
+						acc[dst+x] += pred[src+x]
+					}
+				} else {
+					wsrc := (z*ph + y) * pw
+					for x := 0; x < pw; x++ {
+						acc[dst+x] += wmap[wsrc+x] * pred[src+x]
+					}
+				}
+			}
+		}
+	}
+}
+
+// NormalizeBlend divides the accumulator by the overlap weights in place,
+// skipping uncovered voxels — the final step of BlendPredictions, exposed
+// for callers that scatter window predictions directly (the serving
+// layer's disjoint-window fast path). Element divisions are independent,
+// so the result is bitwise identical at any worker budget.
+func NormalizeBlend(acc, weight []float32, outC, workers int) {
+	spatial := len(weight)
+	parallel.ForWorkers(workers, outC, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			base := ci * spatial
+			for i := 0; i < spatial; i++ {
+				if weight[i] > 0 {
+					acc[base+i] /= weight[i]
+				}
+			}
+		}
+	})
+}
+
 // BlendPredictions combines per-window predictions — preds[i] belonging to
 // wins[i], each of size outC·D·H·W of the shared window extent — into the
 // overlap-weighted full volume. Windows are always accumulated in scan
@@ -214,30 +337,8 @@ func (sw SlidingWindow) BlendPredictions(wins []Window, preds []*tensor.Tensor, 
 		}
 	}
 
-	var wmap []float32
-	if sw.Blend == BlendGaussian {
-		wmap = gaussianWindow(pd, ph, pw, sw.Sigma)
-	}
-
-	// Per-voxel overlap weight, windows in scan order.
-	weight := make([]float32, d*h*w)
-	for _, wn := range wins {
-		for z := 0; z < pd; z++ {
-			for y := 0; y < ph; y++ {
-				dst := ((wn.Z+z)*h+wn.Y+y)*w + wn.X
-				if wmap == nil {
-					for x := 0; x < pw; x++ {
-						weight[dst+x]++
-					}
-				} else {
-					src := (z*ph + y) * pw
-					for x := 0; x < pw; x++ {
-						weight[dst+x] += wmap[src+x]
-					}
-				}
-			}
-		}
-	}
+	wmap := sw.BlendWeights(pd, ph, pw)
+	weight := sw.OverlapWeights(wins, d, h, w)
 
 	acc := tensor.New(outC, d, h, w)
 	ad := acc.Data()

@@ -42,6 +42,35 @@ func TestExtractCopiesWindow(t *testing.T) {
 	}
 }
 
+// TestExtractFullVolumeIsView pins the zero-copy fast paths: a cut covering
+// the whole volume (and a full-plane z-slab of the single-channel mask)
+// shares backing with the source sample instead of copying.
+func TestExtractFullVolumeIsView(t *testing.T) {
+	s := sample(t, 8)
+	p, err := Extract(s, 0, 0, 0, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Input.Set(123, 0, 0, 0, 0)
+	if p.Input.At(0, 0, 0, 0) != 123 {
+		t.Fatal("full-volume extract copied; want a view")
+	}
+	// Mask is [1, D, H, W]: a z-slab spanning full H and W is contiguous.
+	zs, err := Extract(s, 2, 0, 0, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Mask.Set(7, 0, 2, 0, 0)
+	if zs.Mask.At(0, 0, 0, 0) != 7 {
+		t.Fatal("single-channel z-slab extract copied; want a view")
+	}
+	// The multi-channel input of the same z-slab is strided: still a copy.
+	s.Input.Set(-5, 0, 2, 0, 0)
+	if zs.Input.At(0, 0, 0, 0) == -5 {
+		t.Fatal("strided multi-channel extract aliased; want a copy")
+	}
+}
+
 func TestExtractOutOfBounds(t *testing.T) {
 	s := sample(t, 8)
 	if _, err := Extract(s, 6, 0, 0, 4, 4, 4); err == nil {

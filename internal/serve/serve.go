@@ -9,7 +9,12 @@
 // cross-request batching feeds the blocked GEMM larger matrices — the same
 // utilization argument the paper makes for batch and replica scaling.
 // Per-window predictions are scattered back and overlap-blended (uniform or
-// Gaussian) into each request's full-volume probability map.
+// Gaussian) into each request's full-volume probability map. When a
+// request's windows are pairwise disjoint (stride ≥ window extent, no
+// clamped overlap), replica workers scatter each weighted prediction
+// straight into the request's accumulator — no per-patch copy and no
+// separate blend pass — which is still bitwise identical because every
+// voxel receives exactly one contribution.
 //
 // Because the inference fast path is bit-for-bit an evaluation-mode forward
 // and blending always accumulates windows in scan order, a batched result
@@ -135,6 +140,20 @@ type request struct {
 	preds []*tensor.Tensor // pool-backed [1, outC, pd, ph, pw] per window
 	left  atomic.Int64
 	done  chan struct{}
+
+	// Direct-scatter fast path, taken when the request's windows are
+	// pairwise disjoint (NonOverlapping): replica workers scatter each
+	// weighted window prediction straight into acc — no per-patch copy, no
+	// separate blend pass — and Segment finishes with the weight division.
+	// Every voxel belongs to exactly one window, so arrival order cannot
+	// change the sums and the result stays bitwise identical to
+	// BlendPredictions. acc is allocated by whichever worker finishes the
+	// request's first patch (output channel count is unknown before then).
+	direct  bool
+	wmap    []float32 // per-window-voxel blend weights (nil = uniform)
+	accOnce sync.Once
+	acc     []float32 // [outC, D, H, W] accumulator
+	outC    int
 }
 
 // microbatch is a set of same-extent tasks headed for one replica.
@@ -292,10 +311,15 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 	s.m.requests.Add(1)
 
 	req := &request{
-		x:     x,
-		wins:  wins,
-		preds: make([]*tensor.Tensor, len(wins)),
-		done:  make(chan struct{}),
+		x:    x,
+		wins: wins,
+		done: make(chan struct{}),
+	}
+	if s.cfg.Window.NonOverlapping(d, h, w) {
+		req.direct = true
+		req.wmap = s.cfg.Window.BlendWeights(wins[0].D, wins[0].H, wins[0].W)
+	} else {
+		req.preds = make([]*tensor.Tensor, len(wins))
 	}
 	req.left.Store(int64(len(wins)))
 	now := time.Now()
@@ -305,6 +329,19 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 	<-req.done
 
 	tBlend := time.Now()
+	if req.direct {
+		// Uniform weighting over disjoint windows is exactly 1 everywhere
+		// a window wrote, so the weight map and division would be no-ops;
+		// only the Gaussian mode needs the normalize pass.
+		if req.wmap != nil {
+			weight := s.cfg.Window.OverlapWeights(wins, d, h, w)
+			patch.NormalizeBlend(req.acc, weight, req.outC, s.cfg.Window.Workers)
+		}
+		out := tensor.FromSlice(req.acc, req.outC, d, h, w)
+		s.m.blend.observe(time.Since(tBlend))
+		s.m.total.observe(time.Since(t0))
+		return out, nil
+	}
 	out, err := s.cfg.Window.BlendPredictions(wins, req.preds, d, h, w)
 	for _, p := range req.preds {
 		tensor.Recycle(p)
@@ -418,13 +455,28 @@ func (s *Server) runReplica(r *replica) {
 		outC := out.Shape()[1]
 		od := out.Data()
 		for i, t := range mb.tasks {
-			pred := tensor.NewScratch(1, outC, ext.D, ext.H, ext.W)
-			copy(pred.Data(), od[i*outC*pvol:(i+1)*outC*pvol])
-			t.req.preds[t.win] = pred
+			req := t.req
+			sample := od[i*outC*pvol : (i+1)*outC*pvol]
+			if req.direct {
+				// Disjoint windows: scatter the weighted prediction
+				// straight into the request accumulator — this window owns
+				// its region, so no lock and no intermediate patch tensor.
+				req.accOnce.Do(func() {
+					xs := req.x.Shape()
+					req.outC = outC
+					req.acc = make([]float32, outC*xs[1]*xs[2]*xs[3])
+				})
+				xs := req.x.Shape()
+				req.wins[t.win].ScatterWeighted(req.acc, outC, xs[1], xs[2], xs[3], sample, req.wmap)
+			} else {
+				pred := tensor.NewScratch(1, outC, ext.D, ext.H, ext.W)
+				copy(pred.Data(), sample)
+				req.preds[t.win] = pred
+			}
 			s.m.patches.Add(1)
 			s.pending.Add(-1)
-			if t.req.left.Add(-1) == 0 {
-				close(t.req.done)
+			if req.left.Add(-1) == 0 {
+				close(req.done)
 			}
 		}
 		tensor.Recycle(batch)

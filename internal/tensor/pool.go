@@ -104,11 +104,17 @@ func NewScratch(shape ...int) *Tensor {
 }
 
 // Recycle returns a tensor's backing slice to the scratch pool. The tensor
-// — and every view sharing its data, e.g. from Reshape — must not be used
-// afterwards. Recycling a tensor whose backing was not pool-allocated is
-// safe: buffers outside the pool's capacity classes are dropped.
+// — and every view sharing its data, e.g. from Reshape, View or Slice —
+// must not be used afterwards. Recycling a tensor whose backing was not
+// pool-allocated is safe: buffers outside the pool's capacity classes are
+// dropped. Recycling a View/Slice window is a no-op (pooling a mid-buffer
+// window would alias later GetScratch results); recycle the owner instead.
 func Recycle(t *Tensor) {
 	if t == nil {
+		return
+	}
+	if t.view {
+		t.data = nil
 		return
 	}
 	PutScratch(t.data)

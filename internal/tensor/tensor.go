@@ -17,6 +17,12 @@ type Tensor struct {
 	shape   []int
 	strides []int
 	data    []float32
+
+	// view marks tensors created by View/Slice, whose data is a window
+	// into another tensor's backing. Recycle refuses to pool such windows:
+	// a mid-buffer slice whose capacity coincides with a pool class would
+	// otherwise hand overlapping buffers to later GetScratch callers.
+	view bool
 }
 
 // New returns a zero-filled tensor with the given shape.
@@ -185,7 +191,40 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		shape:   append([]int(nil), shape...),
 		strides: computeStrides(shape),
 		data:    t.data,
+		view:    t.view, // reshaping a view yields a view
 	}
+}
+
+// View returns a tensor of the given shape over t's backing array starting
+// at flat element offset off — a zero-copy window: mutating the view
+// mutates t and vice versa. The window [off, off+volume) must lie inside
+// t's data; View panics otherwise. Passing a view to Recycle is a no-op
+// (only the tensor that owns the full backing may recycle it).
+func (t *Tensor) View(off int, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if off < 0 || off+n > len(t.data) {
+		panic(fmt.Sprintf("tensor: view [%d, %d) outside backing of %d elements", off, off+n, len(t.data)))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		data:    t.data[off : off+n : off+n],
+		view:    true,
+	}
+}
+
+// Slice returns a zero-copy view of rows [lo, hi) along the leading
+// dimension: for a [N, ...] tensor, Slice(lo, hi) is the [hi-lo, ...]
+// sub-tensor sharing t's backing array. It panics unless
+// 0 <= lo < hi <= Dim(0). This is what makes per-replica batch shards and
+// full-volume patch extraction allocation-free.
+func (t *Tensor) Slice(lo, hi int) *Tensor {
+	if lo < 0 || hi <= lo || hi > t.shape[0] {
+		panic(fmt.Sprintf("tensor: slice [%d, %d) outside leading dimension %d", lo, hi, t.shape[0]))
+	}
+	stride := t.strides[0]
+	shape := append([]int{hi - lo}, t.shape[1:]...)
+	return t.View(lo*stride, shape...)
 }
 
 // SameShape reports whether t and o have identical shapes.

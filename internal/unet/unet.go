@@ -251,16 +251,23 @@ func (u *UNet) SetConvEngine(e nn.ConvEngine) {
 	u.head.SetConvEngine(e)
 }
 
-// SetTraining toggles training mode on every batch-norm layer.
+// SetTraining toggles training mode on every batch-norm layer and on the
+// convolutions (whose GEMM forward only fills the backward patch cache in
+// training mode — evaluation volumes must not grow it).
 func (u *UNet) SetTraining(training bool) {
 	for _, e := range u.enc {
+		e.convA.SetTraining(training)
+		e.convB.SetTraining(training)
 		e.bnA.SetTraining(training)
 		e.bnB.SetTraining(training)
 	}
 	for _, d := range u.dec {
+		d.convA.SetTraining(training)
+		d.convB.SetTraining(training)
 		d.bnA.SetTraining(training)
 		d.bnB.SetTraining(training)
 	}
+	u.head.SetTraining(training)
 }
 
 // ZeroGrads clears all parameter gradients.

@@ -213,13 +213,29 @@ func Preprocess(v *Volume, minDiv int) (*Sample, error) {
 }
 
 // Batch stacks samples into [N, C, D, H, W] inputs and [N, 1, D, H, W]
-// masks. All samples must share a shape.
+// masks. All samples must share a shape. A single-sample batch is a
+// zero-copy view aliasing the sample's tensors, so callers must treat the
+// returned batch as read-only while the sample is live; multi-sample
+// batches are copies.
 func Batch(samples []*Sample) (inputs, masks *tensor.Tensor, err error) {
 	if len(samples) == 0 {
 		return nil, nil, fmt.Errorf("volume: empty batch")
 	}
 	is := samples[0].Input.Shape()
 	ms := samples[0].Mask.Shape()
+	if len(samples) == 1 {
+		// A single-sample batch is the sample itself with a leading batch
+		// axis — a zero-copy view, not a copy. Patch-based training and
+		// per-sample evaluation loops batch one sample at a time, so this
+		// removes a full volume copy per step; callers must treat the
+		// batch as read-only while the sample is live (they already do:
+		// batches only feed forward passes). View (not Reshape) so a
+		// caller recycling the batch cannot pool the live sample's
+		// backing.
+		inputs = samples[0].Input.View(0, append([]int{1}, is...)...)
+		masks = samples[0].Mask.View(0, append([]int{1}, ms...)...)
+		return inputs, masks, nil
+	}
 	inputs = tensor.New(append([]int{len(samples)}, is...)...)
 	masks = tensor.New(append([]int{len(samples)}, ms...)...)
 	inStride := samples[0].Input.Size()
