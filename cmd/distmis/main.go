@@ -8,7 +8,13 @@
 //
 //	distmis [-strategy data|experiment] [-gpus N] [-epochs N] [-trials N]
 //	        [-cases N] [-dim N] [-scheduler fifo|median|asha] [-seed N]
-//	        [-workers N] [-engine gemm|direct|auto]
+//	        [-workers N] [-engine gemm|direct|auto] [-lrpoints N]
+//	        [-ckpt-dir DIR]
+//
+// With -ckpt-dir the search is a resumable campaign: every trial
+// checkpoints its training session there each epoch and the runner records
+// finished trials, so re-running the same command after an interrupt skips
+// completed trials and resumes the in-flight one bit-identically.
 package main
 
 import (
@@ -40,11 +46,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "compute-worker budget shared across replicas/trials (0 = all cores)")
 	engine := flag.String("engine", "auto", "convolution engine: gemm, direct or auto (REPRO_CONV_ENGINE, gemm default)")
+	lrPoints := flag.Int("lrpoints", 2, "log-spaced learning-rate grid points for truncated searches (≥ 2)")
+	ckptDir := flag.String("ckpt-dir", "", "campaign checkpoint directory: re-running with the same flags skips completed trials and resumes the in-flight one")
 	flag.Parse()
 
 	convEngine, err := nn.ParseConvEngine(*engine)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *lrPoints < 2 {
+		log.Fatalf("-lrpoints must be ≥ 2, got %d", *lrPoints)
 	}
 
 	opts := core.DefaultOptions()
@@ -66,6 +77,7 @@ func main() {
 	opts.MaxTrainCases = 0
 	opts.MaxValCases = 0
 	opts.Workers = *workers
+	opts.CheckpointDir = *ckptDir
 
 	switch *scheduler {
 	case "fifo":
@@ -85,8 +97,11 @@ func main() {
 	}
 	tune.SortConfigs(cfgs)
 	if *trials < len(cfgs) {
+		// The learning-rate axis extends log-spaced (LogSpaced with 2 points
+		// is exactly the former {1e-2, 3e-2} grid): linear spacing would
+		// crowd extra points into the top of the 1e-2–3e-2 range.
 		dims := []tune.Dimension{
-			tune.Grid("lr", 1e-2, 3e-2),
+			tune.LogSpaced("lr", 1e-2, 3e-2, *lrPoints),
 			tune.Grid("loss", "dice", "quadratic-dice"),
 			tune.Grid("optimizer", "adam", "sgd"),
 		}

@@ -14,11 +14,14 @@
 // scales with the batch; REPRO_CONV_ENGINE=gemm|direct selects the
 // engine), the paper's 3D U-Net (unet), Dice losses and optimizers (loss, optim, metrics), the data path
 // from NIfTI phantoms to TFRecords and tf.Data-style pipelines (msd, nifti,
-// volume, record, pipeline, profiler), the distribution layer (allreduce,
-// mirrored, raysgd, tune, cluster), the MareNostrum performance model and
-// discrete-event simulator regenerating the paper's Table I and Figure 4
-// (gpusim, netsim, perfmodel, simsched, experiments), and the DistMIS facade
-// (core).
+// volume, record, pipeline, profiler), the unified training-orchestration
+// layer — one Session loop over pluggable strategies with an ordered
+// callback chain and bit-exact checkpoint/resume (train, ckpt) — the
+// distribution layer selecting and driving those strategies with resumable
+// hyper-parameter campaigns (allreduce, mirrored, raysgd, tune, cluster),
+// the MareNostrum performance model and discrete-event simulator
+// regenerating the paper's Table I and Figure 4 (gpusim, netsim, perfmodel,
+// simsched, experiments), and the DistMIS facade (core).
 //
 // See README.md for a tour and PAPER.md for the source-paper summary.
 // Executables live in cmd/ and runnable examples in examples/.

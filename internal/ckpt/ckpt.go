@@ -1,8 +1,12 @@
-// Package ckpt persists and restores model state: parameter tensors plus
-// scalar metadata (epoch, best Dice, learning rate). Ray.Tune-style trial
-// schedulers and long campaigns rely on checkpoints to pause, resume and
-// recover experiments; the on-disk payload reuses the repository's TFRecord
-// feature codec so checkpoints share the dataset tooling.
+// Package ckpt persists and restores model and training-session state:
+// parameter tensors, auxiliary state (batch-norm running statistics) and —
+// for sessions — opaque float64 state slices (optimizer moments, counters,
+// metric history) stored bit-exactly as uint64 bit patterns, plus scalar
+// metadata. Ray.Tune-style trial schedulers and long campaigns rely on
+// checkpoints to pause, resume and recover experiments; the on-disk payload
+// reuses the repository's TFRecord feature codec so checkpoints share the
+// dataset tooling. A session checkpoint is a superset of a model
+// checkpoint: LoadModel reads one by skipping the session namespace.
 package ckpt
 
 import (
@@ -11,6 +15,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/nn"
 	"repro/internal/record"
@@ -25,6 +30,10 @@ func Save(w io.Writer, params []*nn.Param, meta map[string]float64) error {
 }
 
 func saveModel(w io.Writer, params []*nn.Param, aux map[string][]float64, meta map[string]float64) error {
+	return savePayload(w, params, aux, nil, meta)
+}
+
+func savePayload(w io.Writer, params []*nn.Param, aux, opt map[string][]float64, meta map[string]float64) error {
 	f := record.NewFeatures()
 	names := make([]byte, 0, 256)
 	for i, p := range params {
@@ -44,19 +53,25 @@ func saveModel(w io.Writer, params []*nn.Param, aux map[string][]float64, meta m
 	f.AddBytes("names", names)
 	// Auxiliary float64 state, stored bit-exactly as uint64 bit patterns in
 	// the codec's int64 feature; keys sorted for a deterministic payload.
-	auxKeys := make([]string, 0, len(aux))
-	for k := range aux {
-		auxKeys = append(auxKeys, k)
-	}
-	sort.Strings(auxKeys)
-	for _, k := range auxKeys {
-		vals := aux[k]
-		bits := make([]int64, len(vals))
-		for i, v := range vals {
-			bits[i] = int64(math.Float64bits(v))
+	addBits := func(prefix string, m map[string][]float64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
 		}
-		f.AddInts("aux:"+k, bits)
+		sort.Strings(keys)
+		for _, k := range keys {
+			vals := m[k]
+			bits := make([]int64, len(vals))
+			for i, v := range vals {
+				bits[i] = int64(math.Float64bits(v))
+			}
+			f.AddInts(prefix+k, bits)
+		}
 	}
+	addBits("aux:", aux)
+	// Optimizer (and session) state shares the bit-pattern encoding under
+	// its own namespace, so model-only loaders skip it transparently.
+	addBits("opt:", opt)
 	metaKeys := make([]string, 0, len(meta))
 	metaVals := make([]float32, 0, len(meta))
 	for k, v := range meta {
@@ -91,36 +106,41 @@ func Load(r io.Reader, params []*nn.Param) (map[string]float64, error) {
 }
 
 func loadModel(r io.Reader, params []*nn.Param, aux map[string][]float64) (map[string]float64, error) {
+	meta, _, err := loadPayload(r, params, aux, false)
+	return meta, err
+}
+
+func loadPayload(r io.Reader, params []*nn.Param, aux map[string][]float64, wantOpt bool) (map[string]float64, map[string][]float64, error) {
 	payload, err := record.NewReader(r).Next()
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: %w", err)
+		return nil, nil, fmt.Errorf("ckpt: %w", err)
 	}
 	f, err := record.Unmarshal(payload)
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: %w", err)
+		return nil, nil, fmt.Errorf("ckpt: %w", err)
 	}
 	for _, p := range params {
 		vals, ok := f.Floats["param:"+p.Name]
 		if !ok {
-			return nil, fmt.Errorf("ckpt: checkpoint has no parameter %q (model expects shape %v)", p.Name, p.Value.Shape())
+			return nil, nil, fmt.Errorf("ckpt: checkpoint has no parameter %q (model expects shape %v)", p.Name, p.Value.Shape())
 		}
 		shape64, ok := f.Ints["shape:"+p.Name]
 		if !ok {
-			return nil, fmt.Errorf("ckpt: checkpoint is missing the shape record of parameter %q", p.Name)
+			return nil, nil, fmt.Errorf("ckpt: checkpoint is missing the shape record of parameter %q", p.Name)
 		}
 		shape := p.Value.Shape()
 		if len(shape64) != len(shape) {
-			return nil, fmt.Errorf("ckpt: parameter %q: model rank %d (shape %v), checkpoint rank %d (shape %v)",
+			return nil, nil, fmt.Errorf("ckpt: parameter %q: model rank %d (shape %v), checkpoint rank %d (shape %v)",
 				p.Name, len(shape), shape, len(shape64), shape64)
 		}
 		for i := range shape {
 			if int(shape64[i]) != shape[i] {
-				return nil, fmt.Errorf("ckpt: parameter %q: model shape %v, checkpoint shape %v (dimension %d: %d vs %d)",
+				return nil, nil, fmt.Errorf("ckpt: parameter %q: model shape %v, checkpoint shape %v (dimension %d: %d vs %d)",
 					p.Name, shape, shape64, i, shape[i], shape64[i])
 			}
 		}
 		if len(vals) != p.Value.Size() {
-			return nil, fmt.Errorf("ckpt: parameter %q: checkpoint holds %d values, model needs %d", p.Name, len(vals), p.Value.Size())
+			return nil, nil, fmt.Errorf("ckpt: parameter %q: checkpoint holds %d values, model needs %d", p.Name, len(vals), p.Value.Size())
 		}
 		copy(p.Value.Data(), vals)
 	}
@@ -139,10 +159,10 @@ func loadModel(r io.Reader, params []*nn.Param, aux map[string][]float64) (map[s
 			for name, dst := range aux {
 				bits, ok := f.Ints["aux:"+name]
 				if !ok {
-					return nil, fmt.Errorf("ckpt: checkpoint has no auxiliary state %q", name)
+					return nil, nil, fmt.Errorf("ckpt: checkpoint has no auxiliary state %q", name)
 				}
 				if len(bits) != len(dst) {
-					return nil, fmt.Errorf("ckpt: auxiliary state %q: checkpoint holds %d values, model needs %d",
+					return nil, nil, fmt.Errorf("ckpt: auxiliary state %q: checkpoint holds %d values, model needs %d",
 						name, len(bits), len(dst))
 				}
 				for i, b := range bits {
@@ -152,16 +172,32 @@ func loadModel(r io.Reader, params []*nn.Param, aux map[string][]float64) (map[s
 		}
 	}
 
+	var opt map[string][]float64
+	if wantOpt {
+		opt = map[string][]float64{}
+		for key, bits := range f.Ints {
+			name, ok := strings.CutPrefix(key, "opt:")
+			if !ok {
+				continue
+			}
+			vals := make([]float64, len(bits))
+			for i, b := range bits {
+				vals[i] = math.Float64frombits(uint64(b))
+			}
+			opt[name] = vals
+		}
+	}
+
 	meta := map[string]float64{}
 	names := splitNames(f.Bytes["meta-names"])
 	vals := f.Floats["meta-values"]
 	if len(names) != len(vals) {
-		return nil, fmt.Errorf("ckpt: metadata mismatch: %d names, %d values", len(names), len(vals))
+		return nil, nil, fmt.Errorf("ckpt: metadata mismatch: %d names, %d values", len(names), len(vals))
 	}
 	for i, k := range names {
 		meta[k] = float64(vals[i])
 	}
-	return meta, nil
+	return meta, opt, nil
 }
 
 func splitNames(b []byte) []string {
@@ -204,6 +240,39 @@ func auxOf(m Model) map[string][]float64 {
 		return a.AuxState()
 	}
 	return nil
+}
+
+// SaveSession serializes a full training-session checkpoint: the model
+// (parameters + auxiliary state) plus opaque session state — optimizer
+// moments, step counters, metric history — as float64 slices stored
+// bit-exactly, and float32-precision metadata. LoadModel reads a session
+// checkpoint too (the session namespace is simply skipped), so a finished
+// session's checkpoint doubles as a deployable model artifact.
+func SaveSession(w io.Writer, m Model, state map[string][]float64, meta map[string]float64) error {
+	return savePayload(w, m.Params(), auxOf(m), state, meta)
+}
+
+// LoadSession restores a model from a session checkpoint and returns the
+// session state and metadata written by SaveSession. Every float64 in the
+// state round-trips bit-exactly.
+func LoadSession(r io.Reader, m Model) (state map[string][]float64, meta map[string]float64, err error) {
+	meta, state, err = loadPayload(r, m.Params(), auxOf(m), true)
+	return state, meta, err
+}
+
+// SaveSessionFile writes a session checkpoint to path atomically.
+func SaveSessionFile(path string, m Model, state map[string][]float64, meta map[string]float64) error {
+	return writeFileAtomic(path, func(f io.Writer) error { return SaveSession(f, m, state, meta) })
+}
+
+// LoadSessionFile restores a session checkpoint from path.
+func LoadSessionFile(path string, m Model) (map[string][]float64, map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return LoadSession(f, m)
 }
 
 // SaveModelFile writes a model checkpoint to path atomically.

@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/msd"
 	"repro/internal/parallel"
 	"repro/internal/raysgd"
+	"repro/internal/train"
 	"repro/internal/tune"
 	"repro/internal/unet"
 	"repro/internal/volume"
@@ -57,6 +60,13 @@ type Options struct {
 	// use the full split.
 	MaxTrainCases int
 	MaxValCases   int
+
+	// CheckpointDir, when non-empty, makes the run a resumable campaign:
+	// every trial checkpoints its session there after each epoch, finished
+	// trials are recorded, and a re-run with the same options skips
+	// completed trials and resumes in-flight ones from their last
+	// checkpoint — bit-identically to a run that was never interrupted.
+	CheckpointDir string
 }
 
 // DefaultOptions returns a laptop-scale configuration exercising the whole
@@ -188,10 +198,14 @@ func prepareData(opts Options) (train, val []*volume.Sample, err error) {
 	return train, val, nil
 }
 
-// trainOne trains one configuration on the given GPU count and returns the
-// final validation Dice. The report hook forwards per-epoch metrics.
-func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus, workers int,
-	train, val []*volume.Sample, report func(epoch int, dice float64) bool) (float64, error) {
+// trainOne trains one configuration on the given GPU count through a
+// train.Session and returns the final validation Dice. The report hook
+// forwards per-epoch metrics. When trialDir is non-empty the session
+// checkpoints there every epoch and resumes from an existing checkpoint —
+// replaying the restored epochs through the report protocol so schedulers
+// observe the same stream as an uninterrupted run.
+func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus, workers int, trialDir string,
+	trainSet, val []*volume.Sample, report func(epoch int, dice float64) bool) (float64, error) {
 
 	var aug *augment.Pipeline
 	if cfg.Has("augment") {
@@ -218,12 +232,35 @@ func trainOne(opts Options, cl *cluster.Cluster, cfg tune.Config, gpus, workers 
 	if err != nil {
 		return 0, err
 	}
-	last, err := tr.Fit(train, val, opts.Epochs, func(s raysgd.EpochStats) bool {
-		if report == nil {
-			return true
+
+	var cbs []train.Callback
+	if report != nil {
+		cbs = append(cbs, train.ReportFunc(func(st train.EpochStats) bool {
+			return report(st.Epoch, st.ValDice)
+		}))
+	}
+	ckptPath := ""
+	if trialDir != "" {
+		if err := os.MkdirAll(trialDir, 0o755); err != nil {
+			return 0, err
 		}
-		return report(s.Epoch, s.ValDice)
-	})
+		ckptPath = filepath.Join(trialDir, "session.ckpt")
+		cbs = append(cbs, &train.PeriodicCheckpoint{Path: ckptPath, Every: 1})
+	}
+	sess, err := tr.NewSession(opts.Epochs, cbs...)
+	if err != nil {
+		return 0, err
+	}
+	if ckptPath != "" {
+		var replay func(train.EpochStats) bool
+		if report != nil {
+			replay = func(st train.EpochStats) bool { return report(st.Epoch, st.ValDice) }
+		}
+		if _, err := sess.ResumeFromFile(ckptPath, replay); err != nil {
+			return 0, err
+		}
+	}
+	last, err := sess.Fit(trainSet, val)
 	if err != nil {
 		return 0, err
 	}
@@ -235,8 +272,12 @@ func runDataParallel(opts Options, cl *cluster.Cluster, configs []tune.Config,
 	train, val []*volume.Sample) ([]TrialResult, error) {
 
 	out := make([]TrialResult, 0, len(configs))
-	for _, cfg := range configs {
-		dice, err := trainOne(opts, cl, cfg, opts.GPUs, opts.Workers, train, val, nil)
+	for i, cfg := range configs {
+		trialDir := ""
+		if opts.CheckpointDir != "" {
+			trialDir = tune.TrialDir(opts.CheckpointDir, i)
+		}
+		dice, err := trainOne(opts, cl, cfg, opts.GPUs, opts.Workers, trialDir, train, val, nil)
 		res := TrialResult{Config: cfg, Dice: dice, Status: "TERMINATED", Err: err}
 		if err != nil {
 			res.Status = "ERRORED"
@@ -255,6 +296,7 @@ func runExperimentParallel(opts Options, cl *cluster.Cluster, configs []tune.Con
 	if err != nil {
 		return nil, err
 	}
+	runner.CheckpointDir = opts.CheckpointDir
 	// The runner schedules one single-GPU trial per cluster GPU (rounded up
 	// to whole nodes, so possibly more than opts.GPUs) but never more than
 	// there are configs; divide the budget by the real concurrency so the
@@ -292,7 +334,11 @@ func runExperimentParallel(opts Options, cl *cluster.Cluster, configs []tune.Con
 				slotMu.Unlock()
 			}()
 		}
-		_, err := trainOne(opts, cl, ctx.Trial.Config, 1, perTrial, train, val,
+		trialDir, err := ctx.Dir()
+		if err != nil {
+			return err
+		}
+		_, err = trainOne(opts, cl, ctx.Trial.Config, 1, perTrial, trialDir, train, val,
 			func(epoch int, dice float64) bool {
 				return ctx.Report(epoch, map[string]float64{"dice": dice})
 			})

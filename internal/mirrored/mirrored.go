@@ -108,6 +108,60 @@ func (t *Trainer) SetLR(lr float64) {
 // Model returns replica 0's network (all replicas are identical).
 func (t *Trainer) Model() *unet.UNet { return t.replicas[0].model }
 
+// Models returns every replica's network (cache hooks touch them all).
+func (t *Trainer) Models() []*unet.UNet {
+	out := make([]*unet.UNet, len(t.replicas))
+	for i, r := range t.replicas {
+		out[i] = r.model
+	}
+	return out
+}
+
+// ExportOptimState returns replica 0's optimizer state for checkpointing.
+// Synchronous SGD keeps the replicas bitwise identical, so one replica's
+// state describes them all.
+func (t *Trainer) ExportOptimState() (map[string][]float64, error) {
+	st, ok := t.replicas[0].opt.(optim.Stater)
+	if !ok {
+		return nil, fmt.Errorf("mirrored: optimizer %q does not support state export", t.replicas[0].opt.Name())
+	}
+	return st.ExportState(t.replicas[0].model.Params())
+}
+
+// ImportOptimState restores checkpointed optimizer state into every
+// replica, re-establishing the bitwise synchronization invariant.
+func (t *Trainer) ImportOptimState(state map[string][]float64) error {
+	for _, rep := range t.replicas {
+		st, ok := rep.opt.(optim.Stater)
+		if !ok {
+			return fmt.Errorf("mirrored: optimizer %q does not support state import", rep.opt.Name())
+		}
+		if err := st.ImportState(rep.model.Params(), state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BroadcastParams copies replica 0's parameter values and auxiliary state
+// (batch-norm running statistics) bitwise into every other replica. A
+// checkpoint loader writes into replica 0 (the Model()) and then broadcasts
+// so all replicas resume in sync.
+func (t *Trainer) BroadcastParams() {
+	ref := t.replicas[0].model
+	refParams := ref.Params()
+	refAux := ref.AuxState()
+	for _, rep := range t.replicas[1:] {
+		ps := rep.model.Params()
+		for i, p := range refParams {
+			copy(ps[i].Value.Data(), p.Value.Data())
+		}
+		for k, v := range rep.model.AuxState() {
+			copy(v, refAux[k])
+		}
+	}
+}
+
 // Step runs one synchronous data-parallel step on a global batch
 // ([N, C, D, H, W] inputs, [N, 1, D, H, W] masks). N must be divisible by
 // the replica count. It returns the mean replica loss.

@@ -97,6 +97,19 @@ func (c *Conv3D) SetTraining(training bool) {
 	}
 }
 
+// DropCaches implements CacheDropper: the persistent backward patch cache
+// returns to the scratch pool (it is the layer's dominant retained buffer,
+// IC·K³ × D·H·W floats per sample of the largest training batch seen) and
+// the retained input reference is dropped. The next training forward
+// re-claims the cache from the pool; a Backward without an intervening
+// Forward is invalid after this call, as it is before any Forward.
+func (c *Conv3D) DropCaches() {
+	tensor.PutScratch(c.patchCache)
+	c.patchCache = nil
+	c.patchCacheOf = nil
+	c.input = nil
+}
+
 // Forward computes the convolution of x ([N, IC, D, H, W]) and caches x
 // for Backward, dispatching to the layer's engine (GEMM by default).
 func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {

@@ -52,6 +52,11 @@ func NewConvTranspose3D(name string, inC, outC, kernel int, rng *rand.Rand) *Con
 // Params returns the kernel and bias parameters.
 func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }
 
+// DropCaches implements CacheDropper: the retained input reference (one
+// full activation tensor) is dropped. Backward requires a fresh Forward
+// afterwards.
+func (c *ConvTranspose3D) DropCaches() { c.input = nil }
+
 // Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W],
 // dispatching to the layer's engine (GEMM by default).
 func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {

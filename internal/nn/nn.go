@@ -137,6 +137,28 @@ func (s *Sequential) AuxState() map[string][]float64 {
 	return out
 }
 
+// CacheDropper is implemented by layers that retain buffers between steps —
+// the Conv3D backward patch cache (pool-claimed and kept for the life of the
+// layer) and cached activation references. DropCaches releases them: pooled
+// buffers go back to the scratch pool, references are dropped for the GC.
+// Calling it between an optimizer step and the next forward is always safe
+// (the next training forward rebuilds what it needs from the pool); calling
+// it between Forward and Backward is not.
+type CacheDropper interface {
+	DropCaches()
+}
+
+// DropCaches releases the retained caches of every cache-holding layer —
+// the memory-pressure hook long-lived trainers fire between the training
+// and evaluation phases of an epoch.
+func (s *Sequential) DropCaches() {
+	for _, l := range s.Layers {
+		if c, ok := l.(CacheDropper); ok {
+			c.DropCaches()
+		}
+	}
+}
+
 // SetConvEngine forwards the convolution-engine choice to every layer with
 // switchable kernels.
 func (s *Sequential) SetConvEngine(e ConvEngine) {

@@ -131,6 +131,144 @@ func (a *Adam) Step(params []*nn.Param) {
 	}
 }
 
+// Stater is implemented by optimizers whose internal state must survive a
+// checkpoint/resume cycle for training to continue bit-identically. State is
+// exchanged as named float64 slices: float32 internals are widened (exactly)
+// so the checkpoint layer can store them as float64 bit patterns, and narrow
+// back without loss on import.
+type Stater interface {
+	Optimizer
+	// ExportState returns the optimizer's state keyed by slot name. The
+	// params slice fixes naming and ordering; parameters the optimizer has
+	// not yet touched export zero slots, so export is total.
+	ExportState(params []*nn.Param) (map[string][]float64, error)
+	// ImportState restores previously exported state. Keys the optimizer
+	// does not own are ignored (checkpoints carry other namespaces);
+	// missing or mis-sized slots are errors naming the parameter.
+	ImportState(params []*nn.Param, state map[string][]float64) error
+}
+
+// widen copies a float32 slice to float64 (every float32 is exactly
+// representable as float64, so this is bit-information preserving).
+func widen(src []float32) []float64 {
+	out := make([]float64, len(src))
+	for i, v := range src {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// narrow writes a float64 slice (produced by widen) back to float32.
+func narrow(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// slotImport fetches state[key] and narrows it into a moment slice for p,
+// with mismatch errors naming the parameter.
+func slotImport(state map[string][]float64, key string, p *nn.Param, dst map[*nn.Param][]float32) error {
+	vals, ok := state[key]
+	if !ok {
+		return fmt.Errorf("optim: state has no slot %q for parameter %q", key, p.Name)
+	}
+	if len(vals) != p.Value.Size() {
+		return fmt.Errorf("optim: slot %q holds %d values, parameter %q needs %d",
+			key, len(vals), p.Name, p.Value.Size())
+	}
+	buf, ok := dst[p]
+	if !ok {
+		buf = make([]float32, p.Value.Size())
+		dst[p] = buf
+	}
+	narrow(buf, vals)
+	return nil
+}
+
+// ExportState implements Stater: per-parameter velocity slots plus the
+// current learning rate ("sgd.lr", exact as float64).
+func (s *SGD) ExportState(params []*nn.Param) (map[string][]float64, error) {
+	out := map[string][]float64{"sgd.lr": {s.lr}}
+	for _, p := range params {
+		if p.Name == "" {
+			return nil, fmt.Errorf("optim: cannot export state for unnamed parameter")
+		}
+		vel, ok := s.velocity[p]
+		if !ok {
+			vel = make([]float32, p.Value.Size())
+		}
+		out["sgd.v:"+p.Name] = widen(vel)
+	}
+	return out, nil
+}
+
+// ImportState implements Stater.
+func (s *SGD) ImportState(params []*nn.Param, state map[string][]float64) error {
+	lr, ok := state["sgd.lr"]
+	if !ok || len(lr) != 1 {
+		return fmt.Errorf("optim: state has no sgd learning rate (was the checkpoint written by a different optimizer?)")
+	}
+	for _, p := range params {
+		if err := slotImport(state, "sgd.v:"+p.Name, p, s.velocity); err != nil {
+			return err
+		}
+	}
+	s.lr = lr[0]
+	return nil
+}
+
+// ExportState implements Stater: first/second moment slots per parameter
+// plus the shared step counter and learning rate.
+func (a *Adam) ExportState(params []*nn.Param) (map[string][]float64, error) {
+	out := map[string][]float64{
+		"adam.t":  {float64(a.t)},
+		"adam.lr": {a.lr},
+	}
+	for _, p := range params {
+		if p.Name == "" {
+			return nil, fmt.Errorf("optim: cannot export state for unnamed parameter")
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float32, p.Value.Size())
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float32, p.Value.Size())
+		}
+		out["adam.m:"+p.Name] = widen(m)
+		out["adam.v:"+p.Name] = widen(v)
+	}
+	return out, nil
+}
+
+// ImportState implements Stater.
+func (a *Adam) ImportState(params []*nn.Param, state map[string][]float64) error {
+	tv, ok := state["adam.t"]
+	if !ok || len(tv) != 1 {
+		return fmt.Errorf("optim: state has no adam step counter (was the checkpoint written by a different optimizer?)")
+	}
+	t := int(tv[0])
+	if float64(t) != tv[0] || t < 0 {
+		return fmt.Errorf("optim: adam step counter %v is not a non-negative integer", tv[0])
+	}
+	lr, ok := state["adam.lr"]
+	if !ok || len(lr) != 1 {
+		return fmt.Errorf("optim: state has no adam learning rate")
+	}
+	for _, p := range params {
+		if err := slotImport(state, "adam.m:"+p.Name, p, a.m); err != nil {
+			return err
+		}
+		if err := slotImport(state, "adam.v:"+p.Name, p, a.v); err != nil {
+			return err
+		}
+	}
+	a.t = t
+	a.lr = lr[0]
+	return nil
+}
+
 // ByName constructs an optimizer ("adam" or "sgd") with the given base
 // learning rate; the hyper-parameter layer uses it to realize trial configs.
 func ByName(name string, lr float64) (Optimizer, error) {

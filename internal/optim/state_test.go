@@ -1,0 +1,158 @@
+package optim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// stepBoth drives two optimizers over two independent copies of the same
+// quadratic problem and returns whether the parameter trajectories stay
+// bitwise identical for the given number of steps.
+func stepBoth(t *testing.T, a, b Optimizer, pa, pb *nn.Param, target *tensor.Tensor, steps int) {
+	t.Helper()
+	for s := 0; s < steps; s++ {
+		setQuadGrad(pa, target)
+		setQuadGrad(pb, target)
+		a.Step([]*nn.Param{pa})
+		b.Step([]*nn.Param{pb})
+		for i, v := range pa.Value.Data() {
+			if v != pb.Value.Data()[i] {
+				t.Fatalf("step %d: trajectories diverge at element %d: %v vs %v", s, i, v, pb.Value.Data()[i])
+			}
+		}
+	}
+}
+
+func clone(p *nn.Param) *nn.Param {
+	c := nn.NewParam(p.Name, tensor.New(p.Value.Shape()...))
+	copy(c.Value.Data(), p.Value.Data())
+	return c
+}
+
+// TestStateRoundTripContinuesBitIdentical: an optimizer warmed for k steps,
+// exported, and imported into a fresh instance must continue exactly like
+// the original — the property session resume depends on.
+func TestStateRoundTripContinuesBitIdentical(t *testing.T) {
+	for _, mk := range []func() Stater{
+		func() Stater { return NewAdam(0.05) },
+		func() Stater { return NewSGD(0.05, 0.9) },
+	} {
+		orig := mk()
+		p, target := quadParam(16, 7)
+		params := []*nn.Param{p}
+		for s := 0; s < 5; s++ {
+			setQuadGrad(p, target)
+			orig.Step(params)
+		}
+		state, err := orig.ExportState(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := mk()
+		pCopy := clone(p)
+		if err := fresh.ImportState([]*nn.Param{pCopy}, state); err != nil {
+			t.Fatal(err)
+		}
+		if fresh.LR() != orig.LR() {
+			t.Fatalf("%s: restored LR %v, want %v", orig.Name(), fresh.LR(), orig.LR())
+		}
+		stepBoth(t, orig, fresh, p, pCopy, target, 10)
+	}
+}
+
+// TestExportBeforeAnyStepIsTotal: untouched parameters export zero slots,
+// so a checkpoint taken before the first optimizer step still restores.
+func TestExportBeforeAnyStepIsTotal(t *testing.T) {
+	a := NewAdam(0.01)
+	p, _ := quadParam(4, 3)
+	state, err := a.ExportState([]*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"adam.t", "adam.lr", "adam.m:p", "adam.v:p"} {
+		if _, ok := state[key]; !ok {
+			t.Fatalf("missing slot %q in %v", key, state)
+		}
+	}
+	b := NewAdam(0.01)
+	if err := b.ImportState([]*nn.Param{p}, state); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportErrorsNameTheParameter: the shape-mismatch contract.
+func TestImportErrorsNameTheParameter(t *testing.T) {
+	a := NewAdam(0.01)
+	p, target := quadParam(4, 3)
+	setQuadGrad(p, target)
+	a.Step([]*nn.Param{p})
+	state, err := a.ExportState([]*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mis-sized slot.
+	state["adam.m:p"] = state["adam.m:p"][:2]
+	err = NewAdam(0.01).ImportState([]*nn.Param{p}, state)
+	if err == nil || !strings.Contains(err.Error(), `"p"`) {
+		t.Fatalf("mis-sized slot error must name the parameter, got %v", err)
+	}
+
+	// Missing slot.
+	delete(state, "adam.m:p")
+	err = NewAdam(0.01).ImportState([]*nn.Param{p}, state)
+	if err == nil || !strings.Contains(err.Error(), `"p"`) {
+		t.Fatalf("missing slot error must name the parameter, got %v", err)
+	}
+
+	// Wrong optimizer family.
+	if err := NewSGD(0.01, 0.9).ImportState([]*nn.Param{p}, state); err == nil {
+		t.Fatal("adam state into sgd must error")
+	}
+}
+
+// TestImportIgnoresForeignNamespaces: checkpoints bundle session history in
+// the same float64 namespace; importers must skip keys they do not own.
+func TestImportIgnoresForeignNamespaces(t *testing.T) {
+	a := NewAdam(0.01)
+	p, _ := quadParam(4, 3)
+	state, err := a.ExportState([]*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state["something.else"] = []float64{1, 2, 3}
+	if err := NewAdam(0.01).ImportState([]*nn.Param{p}, state); err != nil {
+		t.Fatalf("foreign key must be ignored, got %v", err)
+	}
+}
+
+// TestAdamStepCounterSurvives: the bias-correction step counter is part of
+// the state; a restored Adam must not restart its warm-up.
+func TestAdamStepCounterSurvives(t *testing.T) {
+	a := NewAdam(0.01)
+	p, target := quadParam(4, 3)
+	for i := 0; i < 7; i++ {
+		setQuadGrad(p, target)
+		a.Step([]*nn.Param{p})
+	}
+	state, err := a.ExportState([]*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := state["adam.t"]; len(got) != 1 || got[0] != 7 {
+		t.Fatalf("adam.t = %v, want [7]", got)
+	}
+	bad := map[string][]float64{"adam.t": {2.5}}
+	for k, v := range state {
+		if k != "adam.t" {
+			bad[k] = v
+		}
+	}
+	if err := NewAdam(0.01).ImportState([]*nn.Param{p}, bad); err == nil {
+		t.Fatal("fractional step counter must be rejected")
+	}
+}

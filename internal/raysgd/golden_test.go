@@ -1,0 +1,113 @@
+package raysgd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/unet"
+)
+
+// fingerprintModel hashes every parameter value and every auxiliary state
+// entry (batch-norm running statistics) bit-for-bit, in deterministic order.
+// Two models fingerprint equal iff their evaluation behaviour is identical.
+func fingerprintModel(m *unet.UNet) uint64 {
+	h := fnv.New64a()
+	var b4 [4]byte
+	var b8 [8]byte
+	for _, p := range m.Params() {
+		for _, v := range p.Value.Data() {
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(v))
+			h.Write(b4[:])
+		}
+	}
+	aux := m.AuxState()
+	keys := make([]string, 0, len(aux))
+	for k := range aux {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		for _, v := range aux[k] {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+			h.Write(b8[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// TestGoldenFitBitIdentical pins the exact numerical outcome of Fit for
+// fixed seeds, captured from the pre-train.Session implementation (the
+// bespoke epoch loop this package used before the unified orchestration
+// API). The refactored adapter must reproduce every bit: final model
+// fingerprint, mean loss and validation Dice. Values are engine-specific
+// (the two conv engines round differently) and worker-count invariant.
+func TestGoldenFitBitIdentical(t *testing.T) {
+	type golden struct {
+		params     uint64
+		loss, dice uint64
+	}
+	want := map[string]golden{
+		"gemm/seq-sgd":         {params: 0x1224183a161fb8ed, loss: 0x3febeeebd91fe0c8, dice: 0x3fb587f45d834805},
+		"gemm/mirrored-adam":   {params: 0x3f636175adb1415f, loss: 0x3febda3f3de12598, dice: 0x3fb706012b66b48a},
+		"direct/seq-sgd":       {params: 0x893ef7dcdc0af864, loss: 0x3febeeebd9ee2a58, dice: 0x3fb587f45d834805},
+		"direct/mirrored-adam": {params: 0xe8614fe17048a09, loss: 0x3febda3f3dc84743, dice: 0x3fb706012b66b48a},
+	}
+
+	print := os.Getenv("REPRO_GOLDEN_PRINT") != ""
+	engines := map[string]nn.ConvEngine{"gemm": nn.EngineGEMM, "direct": nn.EngineDirect}
+	for _, ename := range []string{"gemm", "direct"} {
+		engine := engines[ename]
+		for _, variant := range []string{"seq-sgd", "mirrored-adam"} {
+			key := ename + "/" + variant
+			t.Run(key, func(t *testing.T) {
+				var cfg Config
+				switch variant {
+				case "seq-sgd":
+					cfg = testConfig(t, 1)
+				case "mirrored-adam":
+					cfg = testConfig(t, 2)
+					cfg.Optimizer = "adam"
+					cfg.BaseLR = 0.002
+					cfg.CyclicLR = optim.NewCyclicLR(0.001, 0.009, 2)
+					aug, err := augment.ByName("flip", cfg.Seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Augment = aug
+				}
+				cfg.Net.Engine = engine
+				tr, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				last, err := tr.Fit(samples(t, 8), samples(t, 2), 2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := golden{
+					params: fingerprintModel(tr.Model()),
+					loss:   math.Float64bits(last.MeanLoss),
+					dice:   math.Float64bits(last.ValDice),
+				}
+				if print {
+					fmt.Printf("GOLDEN %q: {params: %#x, loss: %#x, dice: %#x},\n", key, got.params, got.loss, got.dice)
+					return
+				}
+				w := want[key]
+				if got != w {
+					t.Fatalf("golden mismatch for %s:\n got  {params: %#x, loss: %#x, dice: %#x}\n want {params: %#x, loss: %#x, dice: %#x}",
+						key, got.params, got.loss, got.dice, w.params, w.loss, w.dice)
+				}
+			})
+		}
+	}
+}

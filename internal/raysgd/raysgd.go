@@ -1,11 +1,12 @@
 // Package raysgd is the multi-node data-parallel orchestration layer, the
 // analogue of Ray.SGD over Distributed TensorFlow: it selects the paper's
 // three parallelism cases from the GPU count (§III-B.2) — sequential on one
-// GPU, MirroredStrategy within a node, Ray cluster across nodes — builds the
-// matching trainer (plugging the hierarchical intra-node/inter-node
-// all-reduce in the multi-node case) and drives the epoch loop over the
-// preprocessed dataset with shuffling, batching, validation and optional
-// cyclic learning rates.
+// GPU, MirroredStrategy within a node, Ray cluster across nodes — and builds
+// the matching train.Strategy (single model, mirrored replicas with flat
+// ring all-reduce, or mirrored replicas with the hierarchical intra-node/
+// inter-node reducer). The epoch loop itself lives in train.Session; Fit is
+// a thin adapter that wires the trainer's cyclic learning-rate schedule and
+// reporting hook into the session's callback chain.
 package raysgd
 
 import (
@@ -17,8 +18,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mirrored"
 	"repro/internal/optim"
-	"repro/internal/pipeline"
 	"repro/internal/tensor"
+	"repro/internal/train"
 	"repro/internal/unet"
 	"repro/internal/volume"
 )
@@ -73,7 +74,7 @@ type Config struct {
 	Seed            int64
 
 	// Workers is the total compute-worker budget shared by all replicas
-	// (0 = all cores); forwarded to the mirrored layer.
+	// (0 = all cores); forwarded to the strategy.
 	Workers int
 
 	// CyclicLR optionally applies the paper's cyclic learning-rate
@@ -85,15 +86,16 @@ type Config struct {
 	Augment *augment.Pipeline
 }
 
-// Trainer is a distributed data-parallel trainer.
+// Trainer is a distributed data-parallel trainer: a mode-selected
+// train.Strategy plus the session wiring to drive it.
 type Trainer struct {
-	cfg  Config
-	mode Mode
-	mt   *mirrored.Trainer
-	step int
+	cfg   Config
+	mode  Mode
+	strat train.Strategy
+	step  int // global optimizer step, continuous across Fit calls
 }
 
-// New validates the config and builds the trainer for the selected mode.
+// New validates the config and builds the strategy for the selected mode.
 func New(cfg Config) (*Trainer, error) {
 	if cfg.Cluster == nil {
 		return nil, fmt.Errorf("raysgd: nil cluster")
@@ -106,42 +108,61 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	mode := ModeFor(cfg.GPUs, cfg.Cluster.GPUsPerNode)
 
-	mcfg := mirrored.Config{
-		Replicas:  cfg.GPUs,
-		Net:       cfg.Net,
-		Loss:      cfg.Loss,
-		Optimizer: cfg.Optimizer,
-		BaseLR:    cfg.BaseLR,
-		ScaleLR:   true,
-		Workers:   cfg.Workers,
-	}
-	if mode == RayCluster {
-		group := cfg.Cluster.GPUsPerNode
-		mcfg.Reducer = func(bufs [][]float32) error {
-			return allreduce.HierarchicalAverage(bufs, group)
+	var strat train.Strategy
+	var err error
+	if mode == Sequential {
+		// One replica: the linear LR scaling rule is the identity and no
+		// gradient reduction is needed — train.Single skips both without
+		// changing a bit of the arithmetic.
+		strat, err = train.NewSingle(train.SingleConfig{
+			Net:       cfg.Net,
+			Loss:      cfg.Loss,
+			Optimizer: cfg.Optimizer,
+			LR:        cfg.BaseLR,
+			Workers:   cfg.Workers,
+		})
+	} else {
+		mcfg := mirrored.Config{
+			Replicas:  cfg.GPUs,
+			Net:       cfg.Net,
+			Loss:      cfg.Loss,
+			Optimizer: cfg.Optimizer,
+			BaseLR:    cfg.BaseLR,
+			ScaleLR:   true,
+			Workers:   cfg.Workers,
 		}
+		if mode == RayCluster {
+			group := cfg.Cluster.GPUsPerNode
+			mcfg.Reducer = func(bufs [][]float32) error {
+				return allreduce.HierarchicalAverage(bufs, group)
+			}
+		}
+		strat, err = mirrored.New(mcfg)
 	}
-	mt, err := mirrored.New(mcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Trainer{cfg: cfg, mode: mode, mt: mt}, nil
+	return &Trainer{cfg: cfg, mode: mode, strat: strat}, nil
 }
 
 // Mode returns the selected parallelism case.
 func (t *Trainer) Mode() Mode { return t.mode }
 
+// Strategy returns the mode-selected train.Strategy, for callers that build
+// their own train.Session over it.
+func (t *Trainer) Strategy() train.Strategy { return t.strat }
+
 // GlobalBatch returns BatchPerReplica × GPUs, the paper's scaling rule.
 func (t *Trainer) GlobalBatch() int { return t.cfg.BatchPerReplica * t.cfg.GPUs }
 
 // EffectiveLR returns the scaled learning rate in use.
-func (t *Trainer) EffectiveLR() float64 { return t.mt.LR() }
+func (t *Trainer) EffectiveLR() float64 { return t.strat.LR() }
 
 // Model returns the (synchronized) model.
-func (t *Trainer) Model() *unet.UNet { return t.mt.Model() }
+func (t *Trainer) Model() *unet.UNet { return t.strat.Model() }
 
 // InSync reports whether all replicas agree bitwise.
-func (t *Trainer) InSync() bool { return t.mt.InSync() }
+func (t *Trainer) InSync() bool { return t.strat.InSync() }
 
 // EpochStats summarizes one training epoch.
 type EpochStats struct {
@@ -151,65 +172,51 @@ type EpochStats struct {
 	Steps    int
 }
 
+// NewSession builds a train.Session over the trainer's strategy with the
+// trainer's batch, seed, augmentation and learning-rate schedule plus the
+// given extra callbacks. The session's step counter continues from the
+// trainer's, so cyclic schedules stay continuous across sessions.
+func (t *Trainer) NewSession(epochs int, callbacks ...train.Callback) (*train.Session, error) {
+	var cbs []train.Callback
+	if t.cfg.CyclicLR != nil {
+		cbs = append(cbs, &train.LRSchedule{Schedule: t.cfg.CyclicLR})
+	}
+	cbs = append(cbs, callbacks...)
+	return train.NewSession(train.Config{
+		Strategy:    t.strat,
+		Epochs:      epochs,
+		GlobalBatch: t.GlobalBatch(),
+		Seed:        t.cfg.Seed,
+		Augment:     t.cfg.Augment,
+		Callbacks:   cbs,
+		InitialStep: t.step,
+	})
+}
+
 // Fit trains for the given number of epochs over the training samples,
 // evaluating on the validation samples after each epoch. The report
 // callback, when non-nil, receives per-epoch statistics; returning false
-// stops training early (the hook the experiment-parallel layer uses).
-func (t *Trainer) Fit(train, val []*volume.Sample, epochs int, report func(EpochStats) bool) (*EpochStats, error) {
-	if len(train) == 0 {
-		return nil, fmt.Errorf("raysgd: empty training set")
+// stops training early (the hook the experiment-parallel layer uses). Fit
+// is an adapter over train.Session — callers needing checkpoints, early
+// stopping or cache hooks use NewSession and compose callbacks directly.
+func (t *Trainer) Fit(trainSet, val []*volume.Sample, epochs int, report func(EpochStats) bool) (*EpochStats, error) {
+	var cbs []train.Callback
+	if report != nil {
+		cbs = append(cbs, train.ReportFunc(func(st train.EpochStats) bool {
+			return report(EpochStats(st))
+		}))
 	}
-	global := t.GlobalBatch()
-	var last EpochStats
-	for epoch := 0; epoch < epochs; epoch++ {
-		epochSamples := train
-		if t.cfg.Augment != nil {
-			epochSamples = t.cfg.Augment.ApplyAll(train, epoch)
-		}
-		ds := pipeline.FromSlice(epochSamples)
-		ds = pipeline.Shuffle(ds, len(epochSamples), t.cfg.Seed+int64(epoch))
-		batches := pipeline.Batch(ds, global, true)
-
-		var lossSum float64
-		steps := 0
-		it := batches.Iterate()
-		for {
-			batch, ok := it.Next()
-			if !ok {
-				break
-			}
-			inputs, masks, err := volume.Batch(batch)
-			if err != nil {
-				it.Close()
-				return nil, err
-			}
-			if t.cfg.CyclicLR != nil {
-				t.mt.SetLR(t.cfg.CyclicLR.At(t.step))
-			}
-			l, err := t.mt.Step(inputs, masks)
-			if err != nil {
-				it.Close()
-				return nil, err
-			}
-			lossSum += l
-			steps++
-			t.step++
-		}
-		it.Close()
-		if steps == 0 {
-			return nil, fmt.Errorf("raysgd: global batch %d larger than training set %d", global, len(train))
-		}
-
-		stats := EpochStats{Epoch: epoch, MeanLoss: lossSum / float64(steps), Steps: steps}
-		if len(val) > 0 {
-			stats.ValDice = t.evaluate(val)
-		}
-		last = stats
-		if report != nil && !report(stats) {
-			break
-		}
+	sess, err := t.NewSession(epochs, cbs...)
+	if err != nil {
+		return nil, err
 	}
-	return &last, nil
+	last, err := sess.Fit(trainSet, val)
+	if err != nil {
+		return nil, err
+	}
+	t.step = sess.Step()
+	out := EpochStats(*last)
+	return &out, nil
 }
 
 // Predict runs full-volume inference on one sample in evaluation mode and
@@ -243,18 +250,4 @@ func (t *Trainer) EvaluateSet(samples []*volume.Sample) (float64, error) {
 		sum += metrics.DiceScore(pred, s.Mask)
 	}
 	return sum / float64(len(samples)), nil
-}
-
-// evaluate computes the mean Dice over the validation samples, one at a
-// time (full-volume inference as in the paper).
-func (t *Trainer) evaluate(val []*volume.Sample) float64 {
-	var sum float64
-	for _, s := range val {
-		in, mask, err := volume.Batch([]*volume.Sample{s})
-		if err != nil {
-			continue
-		}
-		sum += t.mt.Evaluate(in, mask)
-	}
-	return sum / float64(len(val))
 }

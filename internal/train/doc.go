@@ -1,0 +1,33 @@
+// Package train is the unified training-orchestration layer: one canonical
+// epoch/step loop (Session) driving a pluggable distribution Strategy and an
+// ordered Callback chain, with full session-state checkpointing.
+//
+// Before this package the repository had four disjoint loop APIs — core's
+// inline per-trial loop, raysgd.Trainer.Fit, mirrored.Trainer.Step driven by
+// hand, and tune.Runner's trial execution — none of which shared callbacks,
+// checkpointing or memory-pressure hooks. They are now thin adapters over
+// Session:
+//
+//   - Strategy abstracts the per-step optimization update: Single (one
+//     model, no reduction — the paper's sequential case) and
+//     mirrored.Trainer (synchronous data parallelism, flat or hierarchical
+//     all-reduce) both satisfy it. raysgd selects among them from the GPU
+//     count, exactly the paper's three-case mode selection (§III-B.2).
+//   - Callback is the ordered hook chain (OnTrainBegin, OnEpochBegin,
+//     OnStepBegin/End, OnEvalBegin, OnEpochEnd, OnCheckpoint, OnTrainEnd).
+//     Built-ins cover metric history, learning-rate schedules, early
+//     stopping, periodic checkpointing, per-epoch reporting (the Ray.Tune
+//     protocol) and cache release between the train and eval phases.
+//   - Checkpoints persist the complete session state — model parameters,
+//     batch-norm running statistics, optimizer moments and step counter,
+//     and the epoch/step cursor — bit-exactly, so a session resumed from
+//     epoch k continues parameter-for-parameter identically to one that
+//     never stopped (TestResumeBitIdentical). The input pipeline is seeded
+//     per epoch (shuffle by Seed+epoch, augmentation by epoch and sample
+//     index), so the epoch cursor is the only RNG state a checkpoint needs.
+//
+// The experiment layer builds on the same mechanism: tune.Runner records
+// terminal trial outcomes under a campaign directory and core resumes
+// in-flight trials from their session checkpoints, so an interrupted
+// hyper-parameter search picks up where it stopped.
+package train

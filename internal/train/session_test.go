@@ -1,0 +1,298 @@
+package train
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/mirrored"
+	"repro/internal/msd"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/unet"
+	"repro/internal/volume"
+)
+
+func tinyNet(engine nn.ConvEngine) unet.Config {
+	return unet.Config{
+		InChannels:  4,
+		OutChannels: 1,
+		BaseFilters: 2,
+		Steps:       2,
+		Kernel:      3,
+		UpKernel:    2,
+		Seed:        5,
+		Engine:      engine,
+	}
+}
+
+func samples(t *testing.T, n int) []*volume.Sample {
+	t.Helper()
+	cfg := msd.Config{Cases: n, D: 8, H: 8, W: 8, Seed: 9}
+	out := make([]*volume.Sample, n)
+	for i := 0; i < n; i++ {
+		s, err := volume.Preprocess(msd.GenerateCase(cfg, i), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func singleStrategy(t *testing.T, engine nn.ConvEngine, optimizer string, workers int) Strategy {
+	t.Helper()
+	cfg := tinyNet(engine)
+	strat, err := NewSingle(SingleConfig{Net: cfg, Loss: "dice", Optimizer: optimizer, LR: 0.01, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strat
+}
+
+func mirroredStrategy(t *testing.T, engine nn.ConvEngine, optimizer string, workers int) Strategy {
+	t.Helper()
+	strat, err := mirrored.New(mirrored.Config{
+		Replicas:  2,
+		Net:       tinyNet(engine),
+		Loss:      "dice",
+		Optimizer: optimizer,
+		BaseLR:    0.005,
+		ScaleLR:   true,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strat
+}
+
+// fingerprint hashes parameters and auxiliary state bit-for-bit.
+func fingerprint(m *unet.UNet) uint64 {
+	h := fnv.New64a()
+	var b4 [4]byte
+	var b8 [8]byte
+	for _, p := range m.Params() {
+		for _, v := range p.Value.Data() {
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(v))
+			h.Write(b4[:])
+		}
+	}
+	aux := m.AuxState()
+	keys := make([]string, 0, len(aux))
+	for k := range aux {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		for _, v := range aux[k] {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+			h.Write(b8[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(Config{Strategy: nil, Epochs: 1, GlobalBatch: 2}); err == nil {
+		t.Fatal("nil strategy must error")
+	}
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	if _, err := NewSession(Config{Strategy: strat, Epochs: -1, GlobalBatch: 2}); err == nil {
+		t.Fatal("negative epochs must error")
+	}
+	if _, err := NewSession(Config{Strategy: strat, Epochs: 1, GlobalBatch: 0}); err == nil {
+		t.Fatal("zero batch must error")
+	}
+	if _, err := NewSession(Config{Strategy: strat, Epochs: 1, GlobalBatch: 2, InitialStep: -1}); err == nil {
+		t.Fatal("negative initial step must error")
+	}
+}
+
+func TestSessionFitRecordsHistory(t *testing.T) {
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	hist := &History{}
+	sess, err := NewSession(Config{Strategy: strat, Epochs: 3, GlobalBatch: 2, Seed: 1, Callbacks: []Callback{hist}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := sess.Fit(samples(t, 6), samples(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Epoch != 2 || last.Steps != 3 {
+		t.Fatalf("last = %+v, want epoch 2 with 3 steps", last)
+	}
+	if sess.Epoch() != 3 || sess.Step() != 9 {
+		t.Fatalf("cursor epoch=%d step=%d, want 3/9", sess.Epoch(), sess.Step())
+	}
+	if len(sess.History()) != 3 || len(hist.Epochs) != 3 || len(hist.LRs) != 3 {
+		t.Fatalf("history %d, callback %d/%d, want 3", len(sess.History()), len(hist.Epochs), len(hist.LRs))
+	}
+	if best, ok := hist.Best(); !ok || best < 0 || best > 1 {
+		t.Fatalf("best dice %v ok=%v", best, ok)
+	}
+}
+
+func TestSessionCallbackOrderAndPhases(t *testing.T) {
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	var events []string
+	rec := &recorder{events: &events}
+	sess, err := NewSession(Config{Strategy: strat, Epochs: 1, GlobalBatch: 4, Seed: 1, Callbacks: []Callback{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Fit(samples(t, 4), samples(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"train-begin", "epoch-begin:0", "step-begin:0", "step-end:0", "eval-begin:0", "epoch-end:0", "train-end"}
+	if len(events) != len(want) {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, events[i], want[i], events)
+		}
+	}
+}
+
+type recorder struct {
+	NopCallback
+	events *[]string
+}
+
+func (r *recorder) OnTrainBegin(*Session) error {
+	*r.events = append(*r.events, "train-begin")
+	return nil
+}
+func (r *recorder) OnEpochBegin(_ *Session, e int) error {
+	*r.events = append(*r.events, "epoch-begin:"+strconv.Itoa(e))
+	return nil
+}
+func (r *recorder) OnStepBegin(_ *Session, s int) error {
+	*r.events = append(*r.events, "step-begin:"+strconv.Itoa(s))
+	return nil
+}
+func (r *recorder) OnStepEnd(_ *Session, s int, _ float64) error {
+	*r.events = append(*r.events, "step-end:"+strconv.Itoa(s))
+	return nil
+}
+func (r *recorder) OnEvalBegin(_ *Session, e int) error {
+	*r.events = append(*r.events, "eval-begin:"+strconv.Itoa(e))
+	return nil
+}
+func (r *recorder) OnEpochEnd(_ *Session, st EpochStats) error {
+	*r.events = append(*r.events, "epoch-end:"+strconv.Itoa(st.Epoch))
+	return nil
+}
+func (r *recorder) OnTrainEnd(*Session) error { *r.events = append(*r.events, "train-end"); return nil }
+
+func TestEarlyStoppingStops(t *testing.T) {
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	// Patience 0 and an unreachable MinDelta force a stop after epoch 2
+	// (epoch 0 seeds best, epoch 1 fails to improve by 1.0).
+	es := &EarlyStopping{Patience: 0, MinDelta: 1.0}
+	sess, err := NewSession(Config{Strategy: strat, Epochs: 10, GlobalBatch: 2, Seed: 1, Callbacks: []Callback{es}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Fit(samples(t, 4), samples(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if stopped, why := sess.Stopped(); !stopped || why != "early-stopping" {
+		t.Fatalf("stopped=%v why=%q", stopped, why)
+	}
+	if sess.Epoch() != 2 {
+		t.Fatalf("ran %d epochs, want 2", sess.Epoch())
+	}
+}
+
+func TestLRScheduleFollowsCyclic(t *testing.T) {
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	sched := optim.NewCyclicLR(0.001, 0.009, 2)
+	sess, err := NewSession(Config{
+		Strategy: strat, Epochs: 2, GlobalBatch: 2, Seed: 1,
+		Callbacks: []Callback{&LRSchedule{Schedule: sched}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Fit(samples(t, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	// 4 steps ran; the last OnStepBegin applied At(3).
+	if got, want := strat.LR(), sched.At(3); got != want {
+		t.Fatalf("LR %v, want %v", got, want)
+	}
+}
+
+func TestReportFuncStopsSession(t *testing.T) {
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	count := 0
+	sess, err := NewSession(Config{
+		Strategy: strat, Epochs: 10, GlobalBatch: 2, Seed: 1,
+		Callbacks: []Callback{ReportFunc(func(EpochStats) bool {
+			count++
+			return count < 2
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Fit(samples(t, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || sess.Epoch() != 2 {
+		t.Fatalf("reports=%d epochs=%d, want 2/2", count, sess.Epoch())
+	}
+}
+
+// TestCacheReleaseBitNeutral verifies the memory-pressure hook: dropping
+// every retained cache between the train and eval phases must not change a
+// single bit of the training trajectory, for either strategy.
+func TestCacheReleaseBitNeutral(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func(*testing.T) Strategy
+	}{
+		{"single", func(t *testing.T) Strategy { return singleStrategy(t, nn.EngineGEMM, "adam", 1) }},
+		{"mirrored", func(t *testing.T) Strategy { return mirroredStrategy(t, nn.EngineGEMM, "adam", 2) }},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			run := func(cbs ...Callback) uint64 {
+				strat := build.mk(t)
+				sess, err := NewSession(Config{Strategy: strat, Epochs: 2, GlobalBatch: 2, Seed: 3, Callbacks: cbs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sess.Fit(samples(t, 4), samples(t, 2)); err != nil {
+					t.Fatal(err)
+				}
+				return fingerprint(strat.Model())
+			}
+			plain := run()
+			released := run(CacheRelease{})
+			if plain != released {
+				t.Fatalf("CacheRelease changed the training trajectory: %#x vs %#x", plain, released)
+			}
+		})
+	}
+}
+
+func TestSessionEmptyTrainErrors(t *testing.T) {
+	strat := singleStrategy(t, nn.EngineGEMM, "sgd", 1)
+	sess, err := NewSession(Config{Strategy: strat, Epochs: 1, GlobalBatch: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Fit(nil, nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if _, err := sess.Fit(samples(t, 1), nil); err == nil {
+		t.Fatal("global batch larger than the dataset must error")
+	}
+}

@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// trialRecord is the on-disk terminal outcome of one trial, written under
+// the runner's CheckpointDir so a re-run of the same campaign can restore
+// finished trials instead of re-training them. Reports round-trip through
+// JSON exactly (Go prints float64 with round-trip precision).
+type trialRecord struct {
+	ID      int      `json:"id"`
+	Config  string   `json:"config"` // rendered deterministically, the match key
+	Status  string   `json:"status"`
+	Error   string   `json:"error,omitempty"`
+	Reports []Report `json:"reports"`
+}
+
+// trialRecordPath returns the record file for trial id under dir.
+func trialRecordPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("trial-%04d.json", id))
+}
+
+// TrialDir returns the per-trial checkpoint directory under a campaign
+// directory — where core places each trial's session checkpoint. Both the
+// data-parallel and the experiment-parallel strategy use this layout, so a
+// campaign interrupted under one naming convention resumes under the same.
+func TrialDir(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("trial-%04d", id))
+}
+
+// writeTrialRecord persists a trial's terminal outcome atomically.
+func writeTrialRecord(dir string, t *Trial) error {
+	rec := trialRecord{
+		ID:      t.ID,
+		Config:  renderConfig(t.Config),
+		Status:  t.Status().String(),
+		Reports: t.Reports(),
+	}
+	if err := t.Err(); err != nil {
+		rec.Error = err.Error()
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	path := trialRecordPath(dir, t.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tune: %w", err)
+	}
+	return nil
+}
+
+// restoreTrial loads a prior terminal outcome for the trial, returning true
+// when the trial was restored and needs no re-execution. Only successful
+// terminal states restore: TERMINATED and STOPPED trials carry their full
+// report history; ERRORED (and absent, mismatched or RUNNING) records leave
+// the trial pending so the re-run retries it — resuming from its session
+// checkpoint when the trainable wrote one.
+func restoreTrial(dir string, t *Trial) bool {
+	data, err := os.ReadFile(trialRecordPath(dir, t.ID))
+	if err != nil {
+		return false
+	}
+	var rec trialRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return false
+	}
+	if rec.ID != t.ID || rec.Config != renderConfig(t.Config) {
+		return false
+	}
+	var status Status
+	switch rec.Status {
+	case Terminated.String():
+		status = Terminated
+	case Stopped.String():
+		status = Stopped
+	default:
+		return false
+	}
+	t.restore(status, rec.Reports)
+	return true
+}

@@ -2,6 +2,7 @@ package tune
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/cluster"
@@ -35,6 +36,22 @@ func (c *TrialContext) Report(step int, metrics map[string]float64) bool {
 // Stopped reports whether the scheduler has requested an early stop.
 func (c *TrialContext) Stopped() bool { return c.stop }
 
+// Dir returns the trial's private checkpoint directory (creating it on
+// first call) when the runner has a CheckpointDir, or "" when the campaign
+// is not resumable. Trainables put their session checkpoints here; a re-run
+// of an interrupted campaign hands the re-executed trial the same
+// directory, so it can resume from its last checkpoint.
+func (c *TrialContext) Dir() (string, error) {
+	if c.runner.CheckpointDir == "" {
+		return "", nil
+	}
+	dir := TrialDir(c.runner.CheckpointDir, c.Trial.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("tune: %w", err)
+	}
+	return dir, nil
+}
+
 // Trainable is the user's training function, the analogue of the "training
 // function to be called from Ray, having a dictionary containing the
 // hyperparameters as argument".
@@ -46,6 +63,14 @@ type Runner struct {
 	Placement cluster.PlacementPolicy
 	Metric    string
 	Mode      string // "max" (default) or "min"
+
+	// CheckpointDir, when non-empty, makes the campaign resumable: every
+	// trial's terminal outcome is recorded under it, a re-run with the same
+	// (deterministically ordered) configs restores finished trials instead
+	// of re-training them, and each trainable gets a private per-trial
+	// directory (TrialContext.Dir) for its own session checkpoints, so
+	// in-flight trials resume from their last checkpoint.
+	CheckpointDir string
 
 	scheduler Scheduler
 	trials    []*Trial
@@ -84,6 +109,30 @@ func (r *Runner) Run(configs []Config, trainable Trainable) (*Analysis, error) {
 		r.trials[i] = NewTrial(i, cfg)
 	}
 
+	// Campaign resume: restore terminal trials recorded by a previous run
+	// of the same campaign; everything else is (re)scheduled.
+	restored := make([]bool, len(r.trials))
+	if r.CheckpointDir != "" {
+		if err := os.MkdirAll(r.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("tune: %w", err)
+		}
+		for i, trial := range r.trials {
+			restored[i] = restoreTrial(r.CheckpointDir, trial)
+		}
+		// Replay restored reports into the scheduler (in deterministic
+		// trial order) so stateful schedulers — ASHA's rung populations —
+		// hold the same observations as in an uninterrupted run. The
+		// verdicts are discarded: restored trials are already terminal.
+		for i, trial := range r.trials {
+			if !restored[i] {
+				continue
+			}
+			for _, rep := range trial.Reports() {
+				r.scheduler.OnReport(trial, rep, r.trials)
+			}
+		}
+	}
+
 	alloc := r.Cluster.NewAlloc(r.Placement)
 	var mu sync.Mutex
 	next := 0
@@ -100,6 +149,9 @@ func (r *Runner) Run(configs []Config, trainable Trainable) (*Analysis, error) {
 			defer wg.Done()
 			for {
 				mu.Lock()
+				for next < len(r.trials) && restored[next] {
+					next++
+				}
 				if next >= len(r.trials) {
 					mu.Unlock()
 					return
@@ -124,6 +176,11 @@ func (r *Runner) Run(configs []Config, trainable Trainable) (*Analysis, error) {
 					trial.setStatus(Stopped)
 				default:
 					trial.setStatus(Terminated)
+				}
+				if r.CheckpointDir != "" {
+					if werr := writeTrialRecord(r.CheckpointDir, trial); werr != nil && trial.Err() == nil {
+						trial.setErr(werr)
+					}
 				}
 				mu.Lock()
 				alloc.Release(gpu)

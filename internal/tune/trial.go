@@ -142,6 +142,15 @@ func (t *Trial) setErr(err error) {
 	t.status = Errored
 }
 
+// restore re-establishes a terminal state recorded by a previous campaign
+// run (status and full report history) without executing the trainable.
+func (t *Trial) restore(s Status, reports []Report) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status = s
+	t.reports = append(t.reports[:0], reports...)
+}
+
 func (t *Trial) addReport(r Report) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -273,6 +273,31 @@ func (u *UNet) SetTraining(training bool) {
 // ZeroGrads clears all parameter gradients.
 func (u *UNet) ZeroGrads() { nn.ZeroGrads(u.params) }
 
+// DropCaches releases every retained inter-step buffer: the convolutions'
+// pooled backward patch caches go back to the scratch pool, cached
+// input/skip activation references are dropped. This is the ROADMAP's
+// memory-pressure hook — long-lived trainers call it between the training
+// and evaluation phases (train.CacheRelease does) so validation volumes
+// never coexist with K³×-activation training caches. The next training
+// step rebuilds everything from the pool; calling it between Forward and
+// Backward is invalid, as for nn.CacheDropper.
+func (u *UNet) DropCaches() {
+	for _, e := range u.enc {
+		e.convA.DropCaches()
+		e.convB.DropCaches()
+	}
+	for _, d := range u.dec {
+		d.up.DropCaches()
+		d.convA.DropCaches()
+		d.convB.DropCaches()
+	}
+	u.head.DropCaches()
+	for i := range u.skips {
+		u.skips[i] = nil
+	}
+	u.skips = u.skips[:0]
+}
+
 // AuxState merges the batch-norm running statistics of every normalization
 // layer — the trained non-parameter state a checkpoint must capture for
 // evaluation-mode forwards to reproduce. The slices alias the live state.
