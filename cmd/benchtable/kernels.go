@@ -15,11 +15,15 @@ import (
 )
 
 // Kernel-level benchmark tables: wall-clock per convolution layer
-// invocation, direct vs gemm engine, across the U-Net's characteristic
-// shapes and worker counts. This is the bench-over-time companion to the
-// `go test -bench` kernels — a plain binary that can run anywhere (CI
-// smoke jobs, multi-core validation boxes) and whose output is recorded in
-// BENCH.md.
+// invocation for every registered conv backend (direct, gemm, generated,
+// and whatever else the binary links in — the tables iterate
+// nn.ConvEngines()), across the U-Net's characteristic shapes and worker
+// counts. This is the bench-over-time companion to the `go test -bench`
+// kernels — a plain binary that can run anywhere (CI smoke jobs,
+// multi-core validation boxes) and whose output is recorded in BENCH.md.
+//
+// All four benchmarked shapes are paper-table shapes, so the "generated"
+// rows run the shape-specialized kernels, not their fallback.
 
 // kernelShape is one benchmarked layer configuration.
 type kernelShape struct {
@@ -86,11 +90,11 @@ func timeKernel(sh kernelShape, engine nn.ConvEngine, workers, reps int) (fwd, b
 	return fwd, bwd
 }
 
-// kernelSpeedups measures the workers=1 gemm-over-direct speedup of one
+// kernelSpeedups measures the workers=1 engine-over-direct speedup of one
 // shape, forward and backward.
-func kernelSpeedups(sh kernelShape, reps int) (fwd, bwd float64) {
+func kernelSpeedups(sh kernelShape, engine nn.ConvEngine, reps int) (fwd, bwd float64) {
 	dFwd, dBwd := timeKernel(sh, nn.EngineDirect, 1, reps)
-	gFwd, gBwd := timeKernel(sh, nn.EngineGEMM, 1, reps)
+	gFwd, gBwd := timeKernel(sh, engine, 1, reps)
 	return float64(dFwd) / float64(gFwd), float64(dBwd) / float64(gBwd)
 }
 
@@ -142,23 +146,27 @@ func timeTrainStep(engine nn.ConvEngine, workers, reps int) time.Duration {
 	return best
 }
 
-// trainStepSpeedup measures the workers=1 gemm-over-direct speedup of the
+// trainStepSpeedup measures the workers=1 engine-over-direct speedup of the
 // full training step.
-func trainStepSpeedup(reps int) float64 {
+func trainStepSpeedup(engine nn.ConvEngine, reps int) float64 {
 	d := timeTrainStep(nn.EngineDirect, 1, reps)
-	g := timeTrainStep(nn.EngineGEMM, 1, reps)
+	g := timeTrainStep(engine, 1, reps)
 	return float64(d) / float64(g)
 }
 
 // speedupFloor is one line of the checked-in floors file: the minimum
-// workers=1 gemm speedup a shape must sustain.
+// workers=1 engine-over-direct speedup a (backend, shape) cell must
+// sustain.
 type speedupFloor struct {
-	name     string
-	fwd, bwd float64
+	engine nn.ConvEngine
+	name   string
+	fwd    float64
+	bwd    float64
 }
 
-// loadFloors parses a floors file: per line `fwdFloor bwdFloor shape name`,
-// '#' comments and blank lines ignored.
+// loadFloors parses a floors file: per line
+// `fwdFloor bwdFloor engine shape name`, '#' comments and blank lines
+// ignored. The engine must name a backend registered in this binary.
 func loadFloors(path string) ([]speedupFloor, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -171,15 +179,25 @@ func loadFloors(path string) ([]speedupFloor, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < 3 {
-			return nil, fmt.Errorf("%s:%d: want `fwdFloor bwdFloor shape name`, got %q", path, ln+1, line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%s:%d: want `fwdFloor bwdFloor engine shape name`, got %q", path, ln+1, line)
 		}
 		fwd, err1 := strconv.ParseFloat(fields[0], 64)
 		bwd, err2 := strconv.ParseFloat(fields[1], 64)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("%s:%d: bad floor values in %q", path, ln+1, line)
 		}
-		out = append(out, speedupFloor{name: strings.Join(fields[2:], " "), fwd: fwd, bwd: bwd})
+		engine, ok := nn.LookupConvEngine(fields[2])
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: unknown engine %q (registered: %s)",
+				path, ln+1, fields[2], strings.Join(nn.ConvEngines(), ", "))
+		}
+		out = append(out, speedupFloor{
+			engine: engine,
+			name:   strings.Join(fields[3:], " "),
+			fwd:    fwd,
+			bwd:    bwd,
+		})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: no floors", path)
@@ -187,11 +205,11 @@ func loadFloors(path string) ([]speedupFloor, error) {
 	return out, nil
 }
 
-// checkKernelFloors is the bench regression gate: every floored shape is
-// measured at workers=1 and must beat its checked-in speedup floor. A cell
-// that misses is re-measured once — only a floor missed twice in a row
-// fails the gate, so a single scheduling hiccup on a noisy CI runner does
-// not block the build.
+// checkKernelFloors is the bench regression gate: every floored
+// (backend, shape) cell is measured at workers=1 and must beat its
+// checked-in engine-over-direct speedup floor. A cell that misses is
+// re-measured once — only a floor missed twice in a row fails the gate, so
+// a single scheduling hiccup on a noisy CI runner does not block the build.
 func checkKernelFloors(floorsPath string, reps int) error {
 	floors, err := loadFloors(floorsPath)
 	if err != nil {
@@ -201,48 +219,49 @@ func checkKernelFloors(floorsPath string, reps int) error {
 	for _, sh := range kernelShapes() {
 		shapes[sh.name] = sh
 	}
-	fmt.Printf("KERNEL REGRESSION GATE: gemm-over-direct speedup floors, workers=1, best of %d\n\n", reps)
+	fmt.Printf("KERNEL REGRESSION GATE: engine-over-direct speedup floors, workers=1, best of %d\n\n", reps)
 	var failures []string
 	for _, fl := range floors {
+		label := fl.engine.String() + " " + fl.name
 		if fl.name == trainStepShapeName {
 			// Whole-network training step: one speedup number, gated
 			// against the line's first (fwd) floor.
-			step := trainStepSpeedup(reps)
+			step := trainStepSpeedup(fl.engine, reps)
 			status := "ok"
 			if step < fl.fwd {
-				fmt.Printf("  %-28s step %.2fx (floor %.2f) — MISS, re-measuring\n", fl.name, step, fl.fwd)
-				step = trainStepSpeedup(reps)
+				fmt.Printf("  %-32s step %.2fx (floor %.2f) — MISS, re-measuring\n", label, step, fl.fwd)
+				step = trainStepSpeedup(fl.engine, reps)
 				if step < fl.fwd {
 					status = "FAIL (missed twice in a row)"
-					failures = append(failures, fmt.Sprintf("%s: step %.2fx (floor %.2f)", fl.name, step, fl.fwd))
+					failures = append(failures, fmt.Sprintf("%s: step %.2fx (floor %.2f)", label, step, fl.fwd))
 				} else {
 					status = "ok on retry"
 				}
 			}
-			fmt.Printf("  %-28s step %5.2fx (floor %.2f)   %s\n", fl.name, step, fl.fwd, status)
+			fmt.Printf("  %-32s step %5.2fx (floor %.2f)   %s\n", label, step, fl.fwd, status)
 			continue
 		}
 		sh, ok := shapes[fl.name]
 		if !ok {
 			return fmt.Errorf("floors file names unknown shape %q", fl.name)
 		}
-		fwd, bwd := kernelSpeedups(sh, reps)
+		fwd, bwd := kernelSpeedups(sh, fl.engine, reps)
 		miss := func(got, floor float64) bool { return got < floor }
 		status := "ok"
 		if miss(fwd, fl.fwd) || miss(bwd, fl.bwd) {
-			fmt.Printf("  %-24s fwd %.2fx (floor %.2f) bwd %.2fx (floor %.2f) — MISS, re-measuring\n",
-				fl.name, fwd, fl.fwd, bwd, fl.bwd)
-			fwd, bwd = kernelSpeedups(sh, reps)
+			fmt.Printf("  %-32s fwd %.2fx (floor %.2f) bwd %.2fx (floor %.2f) — MISS, re-measuring\n",
+				label, fwd, fl.fwd, bwd, fl.bwd)
+			fwd, bwd = kernelSpeedups(sh, fl.engine, reps)
 			if miss(fwd, fl.fwd) || miss(bwd, fl.bwd) {
 				status = "FAIL (missed twice in a row)"
 				failures = append(failures, fmt.Sprintf(
-					"%s: fwd %.2fx (floor %.2f), bwd %.2fx (floor %.2f)", fl.name, fwd, fl.fwd, bwd, fl.bwd))
+					"%s: fwd %.2fx (floor %.2f), bwd %.2fx (floor %.2f)", label, fwd, fl.fwd, bwd, fl.bwd))
 			} else {
 				status = "ok on retry"
 			}
 		}
-		fmt.Printf("  %-24s fwd %6.2fx (floor %.2f)   bwd %6.2fx (floor %.2f)   %s\n",
-			fl.name, fwd, fl.fwd, bwd, fl.bwd, status)
+		fmt.Printf("  %-32s fwd %6.2fx (floor %.2f)   bwd %6.2fx (floor %.2f)   %s\n",
+			label, fwd, fl.fwd, bwd, fl.bwd, status)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("speedup floors missed twice in a row:\n  %s", strings.Join(failures, "\n  "))
@@ -250,26 +269,33 @@ func checkKernelFloors(floorsPath string, reps int) error {
 	return nil
 }
 
-// printKernelTables renders one table per shape: rows are worker counts,
-// columns are direct/gemm forward/backward times plus the gemm speedup.
+// printKernelTables renders one table per shape: a row per registered
+// backend and worker count, with the per-row speedup over the direct
+// reference at the same budget.
 func printKernelTables(reps int) {
 	if reps < 1 {
 		reps = 1
 	}
-	fmt.Printf("KERNEL BENCHMARKS: convolution engines, best of %d (GOMAXPROCS=%d, NumCPU=%d)\n\n",
-		reps, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	engines := nn.ConvEngines()
+	fmt.Printf("KERNEL BENCHMARKS: conv backends %s, best of %d (GOMAXPROCS=%d, NumCPU=%d)\n\n",
+		strings.Join(engines, "/"), reps, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	for _, sh := range kernelShapes() {
 		fmt.Printf("%s\n", sh.name)
-		fmt.Printf("  %-8s %12s %12s %8s %12s %12s %8s\n",
-			"workers", "direct fwd", "gemm fwd", "speedup", "direct bwd", "gemm bwd", "speedup")
+		fmt.Printf("  %-8s %-12s %12s %10s %12s %10s\n",
+			"workers", "engine", "fwd", "vs direct", "bwd", "vs direct")
 		for _, w := range kernelWorkerCounts() {
 			dFwd, dBwd := timeKernel(sh, nn.EngineDirect, w, reps)
-			gFwd, gBwd := timeKernel(sh, nn.EngineGEMM, w, reps)
-			fmt.Printf("  %-8d %12s %12s %7.2fx %12s %12s %7.2fx\n",
-				w, dFwd.Round(time.Microsecond), gFwd.Round(time.Microsecond),
-				float64(dFwd)/float64(gFwd),
-				dBwd.Round(time.Microsecond), gBwd.Round(time.Microsecond),
-				float64(dBwd)/float64(gBwd))
+			for _, name := range engines {
+				engine, _ := nn.LookupConvEngine(name)
+				eFwd, eBwd := dFwd, dBwd
+				if engine != nn.EngineDirect {
+					eFwd, eBwd = timeKernel(sh, engine, w, reps)
+				}
+				fmt.Printf("  %-8d %-12s %12s %9.2fx %12s %9.2fx\n",
+					w, name,
+					eFwd.Round(time.Microsecond), float64(dFwd)/float64(eFwd),
+					eBwd.Round(time.Microsecond), float64(dBwd)/float64(eBwd))
+			}
 		}
 		fmt.Println()
 	}

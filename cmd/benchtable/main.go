@@ -1,11 +1,11 @@
 // Command benchtable regenerates the paper's evaluation artifacts from the
 // cluster simulation: Table I (-table1), Figure 4a (-fig4a) and Figure 4b
 // (-fig4b). With no selection flags it prints all three. -kernels instead
-// prints kernel-level convolution tables (direct vs gemm engine, per shape
-// and worker count), the bench-over-time companion to BENCH.md.
+// prints kernel-level convolution tables (every registered conv backend,
+// per shape and worker count), the bench-over-time companion to BENCH.md.
 //
 // With -floors it instead runs the kernel regression gate: the workers=1
-// gemm-over-direct speedups are measured and checked against the floors
+// engine-over-direct speedups are measured and checked against the floors
 // file (ci/bench-floors.txt in CI); a floor missed twice in a row exits
 // non-zero.
 //
@@ -36,9 +36,9 @@ func main() {
 	trials := flag.Int("trials", 0, "override the number of experiments in the search (default: paper's 32)")
 	reps := flag.Int("reps", 0, "override the repetition count (default: paper's 3)")
 	seed := flag.Int64("seed", 0, "override the simulation seed")
-	kernels := flag.Bool("kernels", false, "print kernel-level convolution benchmarks (direct vs gemm engine) instead of the paper tables")
+	kernels := flag.Bool("kernels", false, "print kernel-level convolution benchmarks (every registered conv backend) instead of the paper tables")
 	kernelReps := flag.Int("kernelreps", 3, "repetitions per kernel measurement (best is reported)")
-	floors := flag.String("floors", "", "speedup-floors file: check the workers=1 gemm speedups against it and fail when a floor is missed twice in a row (implies -kernels)")
+	floors := flag.String("floors", "", "speedup-floors file: check the workers=1 engine-over-direct speedups against it and fail when a floor is missed twice in a row (implies -kernels)")
 	flag.Parse()
 
 	if *floors != "" {

@@ -8,7 +8,7 @@
 //
 //	distmis [-strategy data|experiment] [-gpus N] [-epochs N] [-trials N]
 //	        [-cases N] [-dim N] [-scheduler fifo|median|asha] [-seed N]
-//	        [-workers N] [-engine gemm|direct|auto] [-lrpoints N]
+//	        [-workers N] [-engine NAME|auto] [-lrpoints N]
 //	        [-ckpt-dir DIR]
 //
 // With -ckpt-dir the search is a resumable campaign: every trial
@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/msd"
@@ -45,7 +46,8 @@ func main() {
 	scheduler := flag.String("scheduler", "fifo", "trial scheduler: fifo, median or asha")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "compute-worker budget shared across replicas/trials (0 = all cores)")
-	engine := flag.String("engine", "auto", "convolution engine: gemm, direct or auto (REPRO_CONV_ENGINE, gemm default)")
+	engine := flag.String("engine", "auto",
+		fmt.Sprintf("conv backend: %s, or auto (REPRO_CONV_ENGINE, gemm default)", strings.Join(nn.ConvEngines(), ", ")))
 	lrPoints := flag.Int("lrpoints", 2, "log-spaced learning-rate grid points for truncated searches (≥ 2)")
 	ckptDir := flag.String("ckpt-dir", "", "campaign checkpoint directory: re-running with the same flags skips completed trials and resumes the in-flight one")
 	flag.Parse()

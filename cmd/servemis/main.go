@@ -22,7 +22,7 @@
 //
 //	servemis [-addr :8377] [-ckpt model.ckpt] [-replicas N] [-maxbatch N]
 //	         [-linger D] [-queue N] [-patch N] [-stride N]
-//	         [-blend uniform|gaussian] [-workers N] [-engine gemm|direct]
+//	         [-blend uniform|gaussian] [-workers N] [-engine NAME|auto]
 //	         [-filters N] [-steps N] [-in N] [-out N] [-seed N]
 //	         [-bench] [-clients N] [-duration D] [-dim N] [-cases N]
 package main
@@ -66,7 +66,8 @@ func main() {
 	stride := flag.Int("stride", 0, "sliding-window stride (0 = patch edge, no overlap)")
 	blend := flag.String("blend", "uniform", "overlap blending: uniform or gaussian")
 	workers := flag.Int("workers", 0, "compute-worker budget shared across replicas (0 = all cores)")
-	engine := flag.String("engine", "auto", "convolution engine: gemm, direct or auto")
+	engine := flag.String("engine", "auto",
+		fmt.Sprintf("conv backend: %s, or auto (REPRO_CONV_ENGINE, gemm default)", strings.Join(nn.ConvEngines(), ", ")))
 
 	inC := flag.Int("in", 4, "U-Net input channels")
 	outC := flag.Int("out", 1, "U-Net output channels")

@@ -1,0 +1,41 @@
+package nn
+
+import "repro/internal/tensor"
+
+// gemmBackend lowers every conv path to im2col + blocked GEMM
+// (conv3d_gemm.go, convtranspose3d_gemm.go) — the default backend. Training
+// forwards materialize the batch's patch matrices into the layer's pooled
+// cache for the backward pass to reuse; evaluation forwards take the
+// fused-packing path and retain nothing. Outputs are bit-for-bit independent
+// of the worker budget and match the direct reference within the documented
+// ULP bounds. It supports every shape and is the first fallback for
+// shape-specialized backends.
+type gemmBackend struct{}
+
+func (gemmBackend) Name() string { return "gemm" }
+
+func (gemmBackend) Supports(ConvSpec) bool { return true }
+
+func (gemmBackend) ConvForward(c *Conv3D, x, out *tensor.Tensor, train bool) {
+	if train {
+		c.forwardGEMMTrain(x, out)
+		return
+	}
+	c.forwardGEMMInto(x, out)
+}
+
+func (gemmBackend) ConvBackwardWeights(c *Conv3D, gradOut *tensor.Tensor) {
+	c.weightGradGEMM(gradOut)
+}
+
+func (gemmBackend) ConvBackwardInput(c *Conv3D, gradOut, gradIn *tensor.Tensor) {
+	c.inputGradGEMM(gradOut, gradIn)
+}
+
+func (gemmBackend) TransposeForward(t *ConvTranspose3D, x, out *tensor.Tensor) {
+	t.forwardGEMMInto(x, out)
+}
+
+func (gemmBackend) TransposeBackward(t *ConvTranspose3D, gradOut, gradIn *tensor.Tensor) {
+	t.backwardGEMMInto(gradOut, gradIn)
+}

@@ -38,9 +38,19 @@ func budgets() []int {
 	return set
 }
 
-// benchEngines enumerates the per-engine benchmark variants; "serial" is the
-// retained single-threaded direct reference.
-var benchEngines = []ConvEngine{EngineDirect, EngineGEMM}
+// benchEngines enumerates the per-engine benchmark variants; "serial" is
+// the retained single-threaded direct reference. Every registered backend
+// is benchmarked — the shapes here are paper-table shapes, so "generated"
+// (linked in by generated_link_test.go) runs its specialized kernels, not
+// a fallback.
+func benchEngines() []ConvEngine {
+	var engines []ConvEngine
+	for _, name := range ConvEngines() {
+		e, _ := LookupConvEngine(name)
+		engines = append(engines, e)
+	}
+	return engines
+}
 
 func BenchmarkConv3DForward(b *testing.B) {
 	x := benchInput(1, benchIC)
@@ -51,7 +61,7 @@ func BenchmarkConv3DForward(b *testing.B) {
 			c.forwardSerial(x)
 		}
 	})
-	for _, e := range benchEngines {
+	for _, e := range benchEngines() {
 		for _, w := range budgets() {
 			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
 				c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
@@ -77,7 +87,7 @@ func BenchmarkConv3DBackward(b *testing.B) {
 			c.backwardSerial(g)
 		}
 	})
-	for _, e := range benchEngines {
+	for _, e := range benchEngines() {
 		for _, w := range budgets() {
 			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
 				c := NewConv3D("c", benchIC, benchOC, 3, rand.New(rand.NewSource(2)))
@@ -102,7 +112,7 @@ func BenchmarkConvTranspose3DForward(b *testing.B) {
 			c.forwardSerial(x)
 		}
 	})
-	for _, e := range benchEngines {
+	for _, e := range benchEngines() {
 		for _, w := range budgets() {
 			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
 				c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
@@ -133,7 +143,7 @@ func BenchmarkConvTranspose3DBackward(b *testing.B) {
 			c.backwardSerial(g)
 		}
 	})
-	for _, e := range benchEngines {
+	for _, e := range benchEngines() {
 		for _, w := range budgets() {
 			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
 				c := NewConvTranspose3D("c", benchIC, benchOC, 2, rand.New(rand.NewSource(2)))
@@ -190,8 +200,7 @@ func BenchmarkConv3DBackwardInput(b *testing.B) {
 			c.Forward(x)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				c.backwardInputGEMM(g.Data(), gid.Data(), c.W.Value.Data(),
-					benchN, benchIC, benchDim, benchDim, benchDim, 3, 1, w)
+				c.inputGradGEMM(g, gid)
 			}
 		})
 	}
@@ -221,7 +230,7 @@ func BenchmarkConv3DInfer(b *testing.B) {
 // batch-size workers; the GEMM engine splits its column blocks regardless.
 func BenchmarkConv3DHeadForward(b *testing.B) {
 	x := benchInput(1, benchIC)
-	for _, e := range benchEngines {
+	for _, e := range benchEngines() {
 		for _, w := range budgets() {
 			b.Run(fmt.Sprintf("engine=%s/workers=%d", e, w), func(b *testing.B) {
 				c := NewConv3D("c", benchIC, 1, 1, rand.New(rand.NewSource(2)))

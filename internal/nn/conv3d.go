@@ -13,17 +13,19 @@ import (
 // building block of the paper's 3D U-Net (3x3x3 body convolutions and the
 // 1x1x1 sigmoid head).
 //
-// Two engines implement the kernels (see ConvEngine): the default GEMM
-// engine lowers the convolution to im2col + a blocked matrix multiply
-// (conv3d_gemm.go), and the direct engine runs the original loop kernels on
-// the parallel worker pool — the forward pass partitioned over
-// (sample × output-channel × z-plane) slabs, the backward pass split into
-// three disjoint-output passes (bias over output channels, kernel gradient
-// over (output × input)-channel blocks, input gradient over
-// (sample × input-channel) slabs). In the direct engine every float is
-// accumulated in exactly the order of the serial reference, so results are
-// bit-for-bit identical to the serial kernels for any worker budget — see
-// TestConv3DParallelMatchesSerial.
+// The compute kernels live in the conv-backend registry (see backend.go):
+// Forward, Backward and Infer resolve the layer's shape through
+// ResolveBackend and dispatch to the registered backend — gemm (im2col +
+// blocked matrix multiply, conv3d_gemm.go) by default, the direct loop
+// kernels in this file as the bit-exact reference, plus any backend linked
+// into the binary (the generated shape-specialized kernels). The direct
+// kernels partition the forward pass over (sample × output-channel ×
+// z-plane) slabs and split the backward pass into three disjoint-output
+// passes (bias over output channels, kernel gradient over (output ×
+// input)-channel blocks, input gradient over (sample × input-channel)
+// slabs). Every float is accumulated in exactly the order of the serial
+// reference, so direct results are bit-for-bit identical to the serial
+// kernels for any worker budget — see TestConv3DParallelMatchesSerial.
 type Conv3D struct {
 	workerBudget
 	engineChoice
@@ -45,10 +47,10 @@ type Conv3D struct {
 	training bool
 
 	// patchCache holds the im2col patch matrices of the whole batch from
-	// the last GEMM-engine training forward ([N × IC·K³ × D·H·W], claimed
+	// the last GEMM-backend training forward ([N × IC·K³ × D·H·W], claimed
 	// from the scratch pool and retained), so backward-weights reuses them
 	// instead of recomputing im2col. patchCacheOf is the input tensor the
-	// cache describes — the staleness token consulted by backwardGEMM.
+	// cache describes — the staleness token consulted by weightGradGEMM.
 	patchCache   []float32
 	patchCacheOf *tensor.Tensor
 
@@ -110,31 +112,22 @@ func (c *Conv3D) DropCaches() {
 	c.input = nil
 }
 
-// Forward computes the convolution of x ([N, IC, D, H, W]) and caches x
-// for Backward, dispatching to the layer's engine (GEMM by default).
+// Forward computes the convolution of x ([N, IC, D, H, W]) and caches x for
+// Backward, dispatching through the backend registry (gemm by default).
 func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if ResolveConvEngine(c.engine) == EngineGEMM {
-		return c.forwardGEMM(x)
-	}
-	return c.forwardDirect(x)
-}
-
-// forwardDirect is the direct-engine forward kernel. The work is divided
-// over (sample × output-channel × z-plane) slabs — z-planes are included so
-// low-channel layers like the 1×1×1 sigmoid head (OC=1) still scale past
-// batch-size workers — and each output element is written by exactly one
-// worker, in the serial reference's accumulation order.
-func (c *Conv3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
 	n, _, d, h, w := check5D("Conv3D", x)
 	c.input = x
 	out := tensor.New(n, c.OutChannels, d, h, w)
-	c.forwardDirectInto(x, out)
+	ResolveBackend(c.engine, c.Spec()).ConvForward(c, x, out, c.training)
 	return out
 }
 
 // forwardDirectInto runs the direct forward kernel into a caller-provided
-// output tensor (every element is written), retaining nothing — the shared
-// body of the training forward and the inference fast path.
+// output tensor (every element is written), retaining nothing. The work is
+// divided over (sample × output-channel × z-plane) slabs — z-planes are
+// included so low-channel layers like the 1×1×1 sigmoid head (OC=1) still
+// scale past batch-size workers — and each output element is written by
+// exactly one worker, in the serial reference's accumulation order.
 func (c *Conv3D) forwardDirectInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
@@ -194,42 +187,38 @@ func (c *Conv3D) forwardDirectInto(x, out *tensor.Tensor) {
 	})
 }
 
-// Backward accumulates kernel/bias gradients and returns dL/d(input),
-// dispatching to the layer's engine (GEMM by default).
+// Backward accumulates kernel/bias gradients and returns dL/d(input). The
+// engine-invariant bias pass runs first (biasGradPass, shared by every
+// backend); the kernel- and input-gradient passes dispatch through the
+// backend registry.
 func (c *Conv3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if ResolveConvEngine(c.engine) == EngineGEMM {
-		return c.backwardGEMM(gradOut)
-	}
-	return c.backwardDirect(gradOut)
-}
-
-// backwardDirect is the direct-engine backward kernel.
-//
-// Three passes with disjoint outputs replace the fused serial loop: bias
-// gradients are owned per output channel, kernel gradients per
-// (output, input)-channel block, and input gradients per (sample,
-// input-channel) slab. Within each owned element the contributions are
-// summed in the serial reference's order, so no atomics, no per-worker
-// scratch buffers and no result drift.
-func (c *Conv3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: Conv3D.Backward called before Forward")
 	}
-	if parallel.Resolve(c.workers) == 1 {
-		// One worker gains nothing from the pass split; the fused serial
-		// kernel traverses gradOut once and is bit-for-bit identical.
-		return c.backwardSerial(gradOut)
-	}
+	x := c.input
+	n, _, d, h, w := check5D("Conv3D.Backward", x)
+	gradIn := tensor.New(x.Shape()...)
+
+	b := ResolveBackend(c.engine, c.Spec())
+	c.biasGradPass(gradOut.Data(), n, d*h*w, c.workers)
+	b.ConvBackwardWeights(c, gradOut)
+	b.ConvBackwardInput(c, gradOut, gradIn)
+	return gradIn
+}
+
+// weightGradDirect is the direct kernel-gradient pass, one owner per
+// (output, input)-channel block of W. For a fixed block the accumulation
+// order is samples ascending, then output voxels in scan order — exactly the
+// serial reference's order for that block, so the result is bit-for-bit
+// identical to the fused serial kernel at any worker budget.
+func (c *Conv3D) weightGradDirect(gradOut *tensor.Tensor) {
 	x := c.input
 	n, ic, d, h, w := check5D("Conv3D.Backward", x)
 	k := c.Kernel
 	p := k / 2
-	gradIn := tensor.New(x.Shape()...)
 
 	xd := x.Data()
-	gid := gradIn.Data()
 	god := gradOut.Data()
-	wd := c.W.Value.Data()
 	gwd := c.W.Grad.Data()
 
 	chStride := d * h * w
@@ -240,44 +229,93 @@ func (c *Conv3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor {
 	kk := k * k * k
 	wOCStride := c.InChannels * kk
 	oc := c.OutChannels
-	workers := c.workers
 
-	// Pass 1 — bias gradient (biasGradPass), one owner per output channel.
-	// Matches the serial reference: a float32 sub-total per
-	// (sample, channel), samples added in ascending order.
-	biasPass := func() { c.biasGradPass(god, n, chStride, workers) }
+	parallel.ForWorkers(c.workers, oc*ic, 1, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			oci, icI := blk/ic, blk%ic
+			oBaseC := oci * chStride
+			wcBase := oci*wOCStride + icI*kk
+			for ni := 0; ni < n; ni++ {
+				inBase := ni*sampleStrideIn + icI*chStride
+				oBase := ni*sampleStrideOut + oBaseC
+				for z := 0; z < d; z++ {
+					kz0, kz1 := kernelRange(z, p, k, d)
+					for y := 0; y < h; y++ {
+						ky0, ky1 := kernelRange(y, p, k, h)
+						for xx := 0; xx < w; xx++ {
+							g := god[oBase+z*planeStride+y*rowStride+xx]
+							if g == 0 {
+								continue
+							}
+							kx0, kx1 := kernelRange(xx, p, k, w)
+							for kz := kz0; kz < kz1; kz++ {
+								iz := z + kz - p
+								for ky := ky0; ky < ky1; ky++ {
+									iy := y + ky - p
+									iRow := inBase + iz*planeStride + iy*rowStride
+									wRow := wcBase + kz*k*k + ky*k
+									for kx := kx0; kx < kx1; kx++ {
+										gwd[wRow+kx] += xd[iRow+xx+kx-p] * g
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
 
-	// Pass 2 — kernel gradient, one owner per (output, input)-channel
-	// block of W. For a fixed block the serial order is samples ascending,
-	// then output voxels in scan order.
-	weightPass := func() {
-		parallel.ForWorkers(workers, oc*ic, 1, func(lo, hi int) {
-			for blk := lo; blk < hi; blk++ {
-				oci, icI := blk/ic, blk%ic
-				oBaseC := oci * chStride
+// inputGradDirect is the direct input-gradient pass, one owner per
+// (sample, input-channel) slab of gradIn. For a fixed input element the
+// accumulation order is output channels ascending, then output voxels in
+// scan order — the serial reference's order, so the result is bit-for-bit
+// identical at any worker budget.
+func (c *Conv3D) inputGradDirect(gradOut, gradIn *tensor.Tensor) {
+	x := c.input
+	n, ic, d, h, w := check5D("Conv3D.Backward", x)
+	k := c.Kernel
+	p := k / 2
+
+	gid := gradIn.Data()
+	god := gradOut.Data()
+	wd := c.W.Value.Data()
+
+	chStride := d * h * w
+	rowStride := w
+	planeStride := h * w
+	sampleStrideIn := ic * chStride
+	sampleStrideOut := c.OutChannels * chStride
+	kk := k * k * k
+	wOCStride := c.InChannels * kk
+	oc := c.OutChannels
+
+	parallel.ForWorkers(c.workers, n*ic, 1, func(lo, hi int) {
+		for slab := lo; slab < hi; slab++ {
+			ni, icI := slab/ic, slab%ic
+			iBase := ni*sampleStrideIn + icI*chStride
+			for oci := 0; oci < oc; oci++ {
+				oBase := ni*sampleStrideOut + oci*chStride
 				wcBase := oci*wOCStride + icI*kk
-				for ni := 0; ni < n; ni++ {
-					inBase := ni*sampleStrideIn + icI*chStride
-					oBase := ni*sampleStrideOut + oBaseC
-					for z := 0; z < d; z++ {
-						kz0, kz1 := kernelRange(z, p, k, d)
-						for y := 0; y < h; y++ {
-							ky0, ky1 := kernelRange(y, p, k, h)
-							for xx := 0; xx < w; xx++ {
-								g := god[oBase+z*planeStride+y*rowStride+xx]
-								if g == 0 {
-									continue
-								}
-								kx0, kx1 := kernelRange(xx, p, k, w)
-								for kz := kz0; kz < kz1; kz++ {
-									iz := z + kz - p
-									for ky := ky0; ky < ky1; ky++ {
-										iy := y + ky - p
-										iRow := inBase + iz*planeStride + iy*rowStride
-										wRow := wcBase + kz*k*k + ky*k
-										for kx := kx0; kx < kx1; kx++ {
-											gwd[wRow+kx] += xd[iRow+xx+kx-p] * g
-										}
+				for z := 0; z < d; z++ {
+					kz0, kz1 := kernelRange(z, p, k, d)
+					for y := 0; y < h; y++ {
+						ky0, ky1 := kernelRange(y, p, k, h)
+						for xx := 0; xx < w; xx++ {
+							g := god[oBase+z*planeStride+y*rowStride+xx]
+							if g == 0 {
+								continue
+							}
+							kx0, kx1 := kernelRange(xx, p, k, w)
+							for kz := kz0; kz < kz1; kz++ {
+								iz := z + kz - p
+								for ky := ky0; ky < ky1; ky++ {
+									iy := y + ky - p
+									iRow := iBase + iz*planeStride + iy*rowStride
+									wRow := wcBase + kz*k*k + ky*k
+									for kx := kx0; kx < kx1; kx++ {
+										gid[iRow+xx+kx-p] += wd[wRow+kx] * g
 									}
 								}
 							}
@@ -285,55 +323,8 @@ func (c *Conv3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor {
 					}
 				}
 			}
-		})
-	}
-
-	// Pass 3 — input gradient, one owner per (sample, input-channel) slab.
-	// For a fixed input element the serial order is output channels
-	// ascending, then output voxels in scan order.
-	inputPass := func() {
-		parallel.ForWorkers(workers, n*ic, 1, func(lo, hi int) {
-			for slab := lo; slab < hi; slab++ {
-				ni, icI := slab/ic, slab%ic
-				iBase := ni*sampleStrideIn + icI*chStride
-				for oci := 0; oci < oc; oci++ {
-					oBase := ni*sampleStrideOut + oci*chStride
-					wcBase := oci*wOCStride + icI*kk
-					for z := 0; z < d; z++ {
-						kz0, kz1 := kernelRange(z, p, k, d)
-						for y := 0; y < h; y++ {
-							ky0, ky1 := kernelRange(y, p, k, h)
-							for xx := 0; xx < w; xx++ {
-								g := god[oBase+z*planeStride+y*rowStride+xx]
-								if g == 0 {
-									continue
-								}
-								kx0, kx1 := kernelRange(xx, p, k, w)
-								for kz := kz0; kz < kz1; kz++ {
-									iz := z + kz - p
-									for ky := ky0; ky < ky1; ky++ {
-										iy := y + ky - p
-										iRow := iBase + iz*planeStride + iy*rowStride
-										wRow := wcBase + kz*k*k + ky*k
-										for kx := kx0; kx < kx1; kx++ {
-											gid[iRow+xx+kx-p] += wd[wRow+kx] * g
-										}
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		})
-	}
-
-	// Each pass is internally parallel under the layer budget; running them
-	// back-to-back keeps concurrency at exactly that budget.
-	biasPass()
-	weightPass()
-	inputPass()
-	return gradIn
+		}
+	})
 }
 
 // forwardSerial is the original single-threaded kernel, kept as the golden
@@ -472,9 +463,9 @@ func (c *Conv3D) backwardSerial(gradOut *tensor.Tensor) *tensor.Tensor {
 
 // biasGradPass accumulates the bias gradient — the sum of gradOut per
 // output channel — with one owner per channel and samples added in
-// ascending order, exactly as the serial reference does. Both engines share
-// it: the per-(sample, channel) float32 sub-totals make it bit-for-bit
-// equal to the serial kernel at any worker budget.
+// ascending order, exactly as the serial reference does. Every backend
+// shares it: the per-(sample, channel) float32 sub-totals make it
+// bit-for-bit equal to the serial kernel at any worker budget.
 func (c *Conv3D) biasGradPass(god []float32, n, chStride, workers int) {
 	oc := c.OutChannels
 	gbd := c.B.Grad.Data()

@@ -8,7 +8,7 @@ import (
 	"repro/internal/tensor"
 )
 
-// GEMM engine for Conv3D: the convolution is lowered to matrix multiplies
+// GEMM backend for Conv3D: the convolution is lowered to matrix multiplies
 // against the im2col patch matrix P ([IC·K³, D·H·W]) of each sample,
 //
 //	forward:          Out[n]  = W·P + b         (W as [OC, IC·K³])
@@ -23,11 +23,11 @@ import (
 //     of once per pass. The cache costs IC·K³ × D·H·W floats per sample
 //     (K³× the input activation) and lives until the layer sees a larger
 //     input or is collected.
-//   - The inference fast path (forwardGEMMInto, under Infer) fuses im2col
-//     into the GEMM's B-panel packer (im2colPackB): patches stream directly
-//     into the packed panels and no patch matrix is ever materialized.
-//     The packed panels are identical either way, so both paths produce
-//     bit-for-bit identical outputs.
+//   - The inference fast path (forwardGEMMInto, under Infer and evaluation
+//     forwards) fuses im2col into the GEMM's B-panel packer (im2colPackB):
+//     patches stream directly into the packed panels and no patch matrix is
+//     ever materialized. The packed panels are identical either way, so both
+//     paths produce bit-for-bit identical outputs.
 //
 // Backward-weights runs as per-sample partial products (gemm.GemmBatch,
 // parallel over sample × column block) reduced onto gW in ascending sample
@@ -40,25 +40,14 @@ import (
 // so a steady-state training step performs no allocations here. A 1×1×1
 // convolution needs no patch matrix at all — the input slab already is P.
 
-// forwardGEMM computes the convolution of x as im2col + GEMM, materializing
-// the batch's patch matrices into the per-layer cache for backward to reuse.
-func (c *Conv3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+// forwardGEMMTrain is the training forward: im2col + GEMM into the
+// caller-provided output, materializing the batch's patch matrices into the
+// per-layer cache for the backward pass to reuse.
+func (c *Conv3D) forwardGEMMTrain(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("Conv3D", x)
 	if ic != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ic))
 	}
-	c.input = x
-	out := tensor.New(n, c.OutChannels, d, h, w)
-	if !c.training {
-		// Evaluation: no Backward will read a patch cache, so take the
-		// fused-packing path — bit-for-bit the same values, no
-		// K³×-activation cache filled or grown by validation volumes.
-		// (Backward after an eval forward still works: backwardGEMM
-		// rebuilds a stale cache from the retained input.)
-		c.forwardGEMMInto(x, out)
-		return out
-	}
-
 	k := c.Kernel
 	p := k / 2
 	oc := c.OutChannels
@@ -79,7 +68,6 @@ func (c *Conv3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 		c.seedBias(oSlab, oc, cols)
 		gemm.Gemm(false, false, oc, cols, kdim, wd, kdim, pm, cols, true, oSlab, cols, workers)
 	}
-	return out
 }
 
 // fillPatchCache sizes the persistent patch cache for an n-sample batch and
@@ -164,45 +152,31 @@ func (c *Conv3D) forwardGEMMInto(x, out *tensor.Tensor) {
 	}
 }
 
-// backwardGEMM accumulates kernel/bias gradients and returns dL/d(input)
-// using the GEMM formulation, reusing the forward's patch cache.
-func (c *Conv3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
-	if c.input == nil {
-		panic("nn: Conv3D.Backward called before Forward")
-	}
+// weightGradGEMM is the GEMM kernel-gradient pass. The patch matrices are
+// normally the cache filled by forwardGEMMTrain; a stale cache (the backend
+// was switched after the forward, an eval forward preceded Backward, or a
+// delegating backend ran its own forward kernels) is rebuilt from the
+// retained input first.
+func (c *Conv3D) weightGradGEMM(gradOut *tensor.Tensor) {
 	x := c.input
 	n, ic, d, h, w := check5D("Conv3D.Backward", x)
 	k := c.Kernel
 	p := k / 2
-	gradIn := tensor.New(x.Shape()...)
-
-	xd := x.Data()
-	gid := gradIn.Data()
-	god := gradOut.Data()
-	wd := c.W.Value.Data()
-
 	cols := d * h * w
 	kdim := ic * k * k * k
 	workers := c.workers
+	xd := x.Data()
 
-	c.biasGradPass(god, n, cols, workers)
-
-	// Patch matrices: normally the cache filled by forwardGEMM; rebuilt
-	// into the same cache if it is stale (e.g. the engine was switched to
-	// GEMM after a direct-engine forward).
 	if k > 1 && (c.patchCacheOf != x || len(c.patchCache) != n*kdim*cols) {
 		c.fillPatchCache(xd, x, n, ic, d, h, w, k, p, workers)
 	}
-
-	c.backwardWeightsGEMM(god, xd, n, ic, cols, kdim, workers)
-	c.backwardInputGEMM(god, gid, wd, n, ic, d, h, w, k, p, workers)
-	return gradIn
+	c.backwardWeightsGEMM(gradOut.Data(), xd, n, ic, cols, kdim, workers)
 }
 
 // backwardWeightsGEMM is the isolated kernel-gradient pass: per-sample
 // partials gOut[n]·Pᵀ in parallel over (sample × column block), then
 // gW += partials in ascending sample order per element. The patch cache
-// must be current (backwardGEMM guarantees it). Split out so the pass can
+// must be current (weightGradGEMM guarantees it). Split out so the pass can
 // be benchmarked on its own — its parallel degree is the batch-scaling
 // claim of the fused training path.
 func (c *Conv3D) backwardWeightsGEMM(god, xd []float32, n, ic, cols, kdim, workers int) {
@@ -219,13 +193,23 @@ func (c *Conv3D) backwardWeightsGEMM(god, xd []float32, n, ic, cols, kdim, worke
 	reduceWeightPartials(gwd, partials, n, oc*kdim, workers)
 }
 
-// backwardInputGEMM is the isolated input-gradient pass: per sample,
-// gP = Wᵀ·gOut[n] followed by the col2im scatter-add (the identity at
-// 1×1×1, where gP is written straight into the input-gradient slab).
-func (c *Conv3D) backwardInputGEMM(god, gid, wd []float32, n, ic, d, h, w, k, p, workers int) {
+// inputGradGEMM is the GEMM input-gradient pass: per sample, gP = Wᵀ·gOut[n]
+// followed by the col2im scatter-add (the identity at 1×1×1, where gP is
+// written straight into the input-gradient slab).
+func (c *Conv3D) inputGradGEMM(gradOut, gradIn *tensor.Tensor) {
+	x := c.input
+	n, ic, d, h, w := check5D("Conv3D.Backward", x)
+	k := c.Kernel
+	p := k / 2
 	oc := c.OutChannels
 	cols := d * h * w
 	kdim := ic * k * k * k
+	workers := c.workers
+
+	god := gradOut.Data()
+	gid := gradIn.Data()
+	wd := c.W.Value.Data()
+
 	var gradP []float32
 	if k > 1 {
 		gradP = tensor.GetScratch(kdim * cols)

@@ -14,12 +14,13 @@ import (
 // spatial extent. Because the stride equals the kernel size, output windows
 // do not overlap.
 //
-// Like Conv3D, two engines implement the kernels (see ConvEngine): the
-// default GEMM engine runs the mirrored col2im/im2col formulation
-// (convtranspose3d_gemm.go), and the direct engine runs the original loop
-// kernels on the parallel worker pool with disjoint output partitions
-// chosen so that every accumulation happens in the serial reference's
-// order — direct results are bit-for-bit independent of the budget.
+// Like Conv3D, the compute kernels dispatch through the conv-backend
+// registry (see backend.go): the default gemm backend runs the mirrored
+// col2im/im2col formulation (convtranspose3d_gemm.go), and the direct
+// backend runs the original loop kernels in this file on the parallel
+// worker pool with disjoint output partitions chosen so that every
+// accumulation happens in the serial reference's order — direct results are
+// bit-for-bit independent of the budget.
 type ConvTranspose3D struct {
 	workerBudget
 	engineChoice
@@ -57,32 +58,23 @@ func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }
 // afterwards.
 func (c *ConvTranspose3D) DropCaches() { c.input = nil }
 
-// Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W],
-// dispatching to the layer's engine (GEMM by default).
+// Forward upsamples x from [N, IC, D, H, W] to [N, OC, K·D, K·H, K·W] and
+// caches x for Backward, dispatching through the backend registry (gemm by
+// default).
 func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if ResolveConvEngine(c.engine) == EngineGEMM {
-		return c.forwardGEMM(x)
-	}
-	return c.forwardDirect(x)
-}
-
-// forwardDirect is the direct-engine forward kernel. Work is partitioned
-// over (sample × output-channel) slabs; each slab owner initializes its
-// bias plane and accumulates input channels in ascending order, exactly as
-// the serial reference does.
-func (c *ConvTranspose3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
 	n, _, d, h, w := check5D("ConvTranspose3D", x)
 	c.input = x
 	k := c.Kernel
 	out := tensor.New(n, c.OutChannels, d*k, h*k, w*k)
-	c.forwardDirectInto(x, out)
+	ResolveBackend(c.engine, c.Spec()).TransposeForward(c, x, out)
 	return out
 }
 
 // forwardDirectInto runs the direct forward kernel into a caller-provided
 // output tensor (every element is written: bias seed, then accumulation),
-// retaining nothing — the shared body of the training forward and the
-// inference fast path.
+// retaining nothing. Work is partitioned over (sample × output-channel)
+// slabs; each slab owner initializes its bias plane and accumulates input
+// channels in ascending order, exactly as the serial reference does.
 func (c *ConvTranspose3D) forwardDirectInto(x, out *tensor.Tensor) {
 	n, ic, d, h, w := check5D("ConvTranspose3D", x)
 	if ic != c.InChannels {
@@ -140,38 +132,37 @@ func (c *ConvTranspose3D) forwardDirectInto(x, out *tensor.Tensor) {
 	})
 }
 
-// Backward accumulates parameter gradients and returns dL/d(input),
-// dispatching to the layer's engine (GEMM by default).
+// Backward accumulates parameter gradients and returns dL/d(input). The
+// engine-invariant bias pass runs first (biasGradPass, shared by every
+// backend); the fused kernel- and input-gradient pass dispatches through
+// the backend registry.
 func (c *ConvTranspose3D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if ResolveConvEngine(c.engine) == EngineGEMM {
-		return c.backwardGEMM(gradOut)
-	}
-	return c.backwardDirect(gradOut)
-}
-
-// backwardDirect is the direct-engine backward kernel.
-//
-// Two disjoint-output passes: bias per output channel, then a fused kernel-
-// and input-gradient pass owned per input channel — an input channel owns
-// both its W gradient block [icI, :, :] and its input-gradient slabs across
-// all samples, so the fused traversal of gradOut (the serial kernel's main
-// cost saver) survives parallelization. Samples are visited in ascending
-// order inside each owner, keeping every accumulation in the serial
-// reference's order.
-func (c *ConvTranspose3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.input == nil {
 		panic("nn: ConvTranspose3D.Backward called before Forward")
 	}
-	if parallel.Resolve(c.workers) == 1 {
-		// One worker gains nothing from the pass split; the fused serial
-		// kernel is bit-for-bit identical and slightly cheaper.
-		return c.backwardSerial(gradOut)
-	}
+	x := c.input
+	n, _, d, h, w := check5D("ConvTranspose3D.Backward", x)
+	k := c.Kernel
+	gradIn := tensor.New(x.Shape()...)
+
+	b := ResolveBackend(c.engine, c.Spec())
+	c.biasGradPass(gradOut.Data(), n, d*k*h*k*w*k, c.workers)
+	b.TransposeBackward(c, gradOut, gradIn)
+	return gradIn
+}
+
+// backwardDirectInto is the direct fused kernel- and input-gradient pass,
+// one owner per input channel — an input channel owns both its W gradient
+// block [icI, :, :] and its input-gradient slabs across all samples, so the
+// fused traversal of gradOut (the serial kernel's main cost saver) survives
+// parallelization. Samples are visited in ascending order inside each
+// owner, keeping every accumulation in the serial reference's order —
+// results are bit-for-bit identical at any worker budget.
+func (c *ConvTranspose3D) backwardDirectInto(gradOut, gradIn *tensor.Tensor) {
 	x := c.input
 	n, ic, d, h, w := check5D("ConvTranspose3D.Backward", x)
 	k := c.Kernel
 	od, oh, ow := d*k, h*k, w*k
-	gradIn := tensor.New(x.Shape()...)
 
 	xd := x.Data()
 	gid := gradIn.Data()
@@ -183,14 +174,8 @@ func (c *ConvTranspose3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor 
 	outCh := od * oh * ow
 	kk := k * k * k
 	oc := c.OutChannels
-	workers := c.workers
 
-	// Pass 1 — bias gradient (biasGradPass): sum of gradOut per output
-	// channel, samples in ascending order as in the serial reference.
-	c.biasGradPass(god, n, outCh, workers)
-
-	// Pass 2 — fused kernel and input gradients, one owner per input channel.
-	parallel.ForWorkers(workers, ic, 1, func(lo, hi int) {
+	parallel.ForWorkers(c.workers, ic, 1, func(lo, hi int) {
 		for icI := lo; icI < hi; icI++ {
 			for ni := 0; ni < n; ni++ {
 				iBase := (ni*ic + icI) * inCh
@@ -224,7 +209,6 @@ func (c *ConvTranspose3D) backwardDirect(gradOut *tensor.Tensor) *tensor.Tensor 
 			}
 		}
 	})
-	return gradIn
 }
 
 // forwardSerial is the original single-threaded kernel, kept as the golden

@@ -8,7 +8,7 @@ import (
 	"repro/internal/tensor"
 )
 
-// GEMM engine for ConvTranspose3D: because the kernel edge equals the
+// GEMM backend for ConvTranspose3D: because the kernel edge equals the
 // stride, output windows never overlap, so the transposed convolution is
 // exactly the mirrored im2col formulation of Conv3D with the roles of the
 // patch matrix swapped to the output side. With W as the [IC, OC·K³]
@@ -22,16 +22,6 @@ import (
 // scatter and gather are pure copies (each output voxel belongs to exactly
 // one window), parallelized over single-owner output-channel / row
 // partitions.
-
-// forwardGEMM upsamples x via the transposed-GEMM formulation.
-func (c *ConvTranspose3D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
-	n, _, d, h, w := check5D("ConvTranspose3D", x)
-	c.input = x
-	k := c.Kernel
-	out := tensor.New(n, c.OutChannels, d*k, h*k, w*k)
-	c.forwardGEMMInto(x, out)
-	return out
-}
 
 // forwardGEMMInto runs the GEMM forward kernel into a caller-provided output
 // tensor (every element is written exactly once by the non-overlapping
@@ -89,18 +79,17 @@ func (c *ConvTranspose3D) forwardGEMMInto(x, out *tensor.Tensor) {
 	}
 }
 
-// backwardGEMM accumulates parameter gradients and returns dL/d(input)
-// using the transposed-GEMM formulation.
-func (c *ConvTranspose3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
-	if c.input == nil {
-		panic("nn: ConvTranspose3D.Backward called before Forward")
-	}
+// backwardGEMMInto is the fused GEMM kernel- and input-gradient pass (the
+// bias pass is engine-invariant and runs in the layer before dispatch): the
+// output gradient is gathered into column form once and feeds both the
+// batched kernel-gradient product and the per-sample input-gradient GEMMs,
+// so the two paths stay fused on one gather.
+func (c *ConvTranspose3D) backwardGEMMInto(gradOut, gradIn *tensor.Tensor) {
 	x := c.input
 	n, ic, d, h, w := check5D("ConvTranspose3D.Backward", x)
 	k := c.Kernel
 	od, oh, ow := d*k, h*k, w*k
 	oc := c.OutChannels
-	gradIn := tensor.New(x.Shape()...)
 
 	xd := x.Data()
 	gid := gradIn.Data()
@@ -113,8 +102,6 @@ func (c *ConvTranspose3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
 	kk := k * k * k
 	rows := oc * kk
 	workers := c.workers
-
-	c.biasGradPass(god, n, outCh, workers)
 
 	// Gather the whole batch's output gradients into column form (inverse
 	// of the forward scatter), one owner per (sample, oc, tap) row, so the
@@ -162,12 +149,11 @@ func (c *ConvTranspose3D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
 			wd, rows, gradCols[ni*rows*inCols:(ni+1)*rows*inCols], inCols,
 			false, gid[ni*ic*inCols:(ni+1)*ic*inCols], inCols, workers)
 	}
-	return gradIn
 }
 
 // biasGradPass accumulates the bias gradient — the sum of gradOut per
 // output channel, samples in ascending order as in the serial reference —
-// with one owner per channel; shared by both engines.
+// with one owner per channel; shared by every backend.
 func (c *ConvTranspose3D) biasGradPass(god []float32, n, outCh, workers int) {
 	oc := c.OutChannels
 	gbd := c.B.Grad.Data()

@@ -6,9 +6,12 @@ import (
 	"testing"
 )
 
-// Engine-parity tests: the GEMM engine must reproduce the serial direct
-// reference within a small float32 reassociation tolerance at every worker
-// budget, and the direct engine must stay bit-for-bit.
+// Engine-parity tests: every registered backend must reproduce the serial
+// direct reference within a small float32 reassociation tolerance at every
+// worker budget, and the direct engine must stay bit-for-bit. The tests
+// iterate ConvEngines(), so backends linked into the test binary — including
+// "generated", pulled in by generated_link_test.go — are covered without
+// edits here.
 //
 // The tolerance is expressed in ULPs (units in the last place): the GEMM
 // sums the same products as the serial kernel but groups them into register
@@ -68,9 +71,28 @@ func assertWithinULP(t *testing.T, what string, workers int, want, got []float32
 
 var engineParityBudgets = []int{1, 2, 7, 16}
 
-// TestConvEngineParity compares the GEMM engine against the serial direct
-// reference across kernel sizes {1,3,5}, odd volume shapes and worker
-// budgets, and re-checks that the direct engine stays bit-for-bit.
+// parityEngines resolves every registered backend name to its engine id.
+func parityEngines(t *testing.T) map[string]ConvEngine {
+	t.Helper()
+	engines := map[string]ConvEngine{}
+	for _, name := range ConvEngines() {
+		e, ok := LookupConvEngine(name)
+		if !ok {
+			t.Fatalf("ConvEngines lists %q but LookupConvEngine does not resolve it", name)
+		}
+		engines[name] = e
+	}
+	if len(engines) < 2 {
+		t.Fatalf("expected at least gemm and direct registered, got %v", ConvEngines())
+	}
+	return engines
+}
+
+// TestConvEngineParity compares every registered backend against the serial
+// direct reference across kernel sizes {1,3,5}, odd volume shapes and worker
+// budgets, and re-checks that the direct engine stays bit-for-bit. Shapes a
+// backend does not support exercise its fallback chain (e.g. "generated" on
+// a kernel-5 layer runs gemm) — the numbers must hold either way.
 func TestConvEngineParity(t *testing.T) {
 	cases := []struct {
 		name         string
@@ -85,6 +107,15 @@ func TestConvEngineParity(t *testing.T) {
 		// Spatial dims smaller than the kernel half-width: some taps have
 		// an empty valid range (regression test for an im2col slice panic).
 		{"kernel5narrow", 1, 2, 5, 1, 4, 4, 1},
+		// Paper-table shapes (unet.PaperConfig().ConvShapes()) — the ones
+		// the "generated" backend specializes, at odd volumes so its
+		// boundary slow paths run alongside the unrolled interior.
+		{"paperbody4to8", 4, 8, 3, 2, 5, 6, 7},
+		{"paperbody8to8", 8, 8, 3, 1, 3, 7, 5},
+		{"paperskip24to8", 24, 8, 3, 1, 3, 4, 5},
+		{"paperhead8to1", 8, 1, 1, 2, 3, 5, 7},
+		// Degenerate volumes: every plane/row is boundary.
+		{"paperbody4to8tiny", 4, 8, 3, 1, 2, 1, 3},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -96,8 +127,8 @@ func TestConvEngineParity(t *testing.T) {
 			refOut := ref.forwardSerial(x)
 			refIn := ref.backwardSerial(gradOut)
 
-			for _, workers := range engineParityBudgets {
-				for _, engine := range []ConvEngine{EngineDirect, EngineGEMM} {
+			for name, engine := range parityEngines(t) {
+				for _, workers := range engineParityBudgets {
 					c := NewConv3D("c", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(8)))
 					c.SetConvEngine(engine)
 					c.SetWorkers(workers)
@@ -110,27 +141,29 @@ func TestConvEngineParity(t *testing.T) {
 						assertBitEqual(t, "direct bias grad", workers, ref.B.Grad.Data(), c.B.Grad.Data())
 						continue
 					}
-					assertWithinULP(t, "gemm forward", workers, refOut.Data(), out.Data(), forwardMaxULP)
-					assertWithinULP(t, "gemm input grad", workers, refIn.Data(), in.Data(), backwardMaxULP)
-					assertWithinULP(t, "gemm kernel grad", workers, ref.W.Grad.Data(), c.W.Grad.Data(), backwardMaxULP)
-					assertWithinULP(t, "gemm bias grad", workers, ref.B.Grad.Data(), c.B.Grad.Data(), backwardMaxULP)
+					assertWithinULP(t, name+" forward", workers, refOut.Data(), out.Data(), forwardMaxULP)
+					assertWithinULP(t, name+" input grad", workers, refIn.Data(), in.Data(), backwardMaxULP)
+					assertWithinULP(t, name+" kernel grad", workers, ref.W.Grad.Data(), c.W.Grad.Data(), backwardMaxULP)
+					assertWithinULP(t, name+" bias grad", workers, ref.B.Grad.Data(), c.B.Grad.Data(), backwardMaxULP)
 				}
 			}
 
-			// The GEMM engine must additionally be bit-for-bit invariant
+			// Every backend must additionally be bit-for-bit invariant
 			// across worker budgets (what keeps mirrored replicas in sync).
-			base := NewConv3D("base", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(8)))
-			base.SetConvEngine(EngineGEMM)
-			base.SetWorkers(1)
-			baseOut := base.Forward(x)
-			baseIn := base.Backward(gradOut)
-			for _, workers := range engineParityBudgets[1:] {
-				c := NewConv3D("c", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(8)))
-				c.SetConvEngine(EngineGEMM)
-				c.SetWorkers(workers)
-				assertBitEqual(t, "gemm forward invariance", workers, baseOut.Data(), c.Forward(x).Data())
-				assertBitEqual(t, "gemm input grad invariance", workers, baseIn.Data(), c.Backward(gradOut).Data())
-				assertBitEqual(t, "gemm kernel grad invariance", workers, base.W.Grad.Data(), c.W.Grad.Data())
+			for name, engine := range parityEngines(t) {
+				base := NewConv3D("base", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(8)))
+				base.SetConvEngine(engine)
+				base.SetWorkers(1)
+				baseOut := base.Forward(x)
+				baseIn := base.Backward(gradOut)
+				for _, workers := range engineParityBudgets[1:] {
+					c := NewConv3D("c", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(8)))
+					c.SetConvEngine(engine)
+					c.SetWorkers(workers)
+					assertBitEqual(t, name+" forward invariance", workers, baseOut.Data(), c.Forward(x).Data())
+					assertBitEqual(t, name+" input grad invariance", workers, baseIn.Data(), c.Backward(gradOut).Data())
+					assertBitEqual(t, name+" kernel grad invariance", workers, base.W.Grad.Data(), c.W.Grad.Data())
+				}
 			}
 		})
 	}
@@ -146,6 +179,8 @@ func TestConvTransposeEngineParity(t *testing.T) {
 		{"up2x2x2", 6, 3, 2, 2, 3, 4, 5},
 		{"narrow", 1, 2, 2, 1, 3, 1, 5},
 		{"wide3", 4, 4, 3, 2, 3, 3, 3},
+		// Paper-table up-convolution shape, specialized by "generated".
+		{"paperup16to16", 16, 16, 2, 2, 3, 2, 5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -157,16 +192,25 @@ func TestConvTransposeEngineParity(t *testing.T) {
 			refOut := ref.forwardSerial(x)
 			refIn := ref.backwardSerial(gradOut)
 
-			for _, workers := range engineParityBudgets {
-				c := NewConvTranspose3D("c", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(9)))
-				c.SetConvEngine(EngineGEMM)
-				c.SetWorkers(workers)
-				out := c.Forward(x)
-				in := c.Backward(gradOut)
-				assertWithinULP(t, "gemm forward", workers, refOut.Data(), out.Data(), forwardMaxULP)
-				assertWithinULP(t, "gemm input grad", workers, refIn.Data(), in.Data(), backwardMaxULP)
-				assertWithinULP(t, "gemm kernel grad", workers, ref.W.Grad.Data(), c.W.Grad.Data(), backwardMaxULP)
-				assertWithinULP(t, "gemm bias grad", workers, ref.B.Grad.Data(), c.B.Grad.Data(), backwardMaxULP)
+			for name, engine := range parityEngines(t) {
+				for _, workers := range engineParityBudgets {
+					c := NewConvTranspose3D("c", tc.inC, tc.outC, tc.k, rand.New(rand.NewSource(9)))
+					c.SetConvEngine(engine)
+					c.SetWorkers(workers)
+					out := c.Forward(x)
+					in := c.Backward(gradOut)
+					if engine == EngineDirect {
+						assertBitEqual(t, "direct forward", workers, refOut.Data(), out.Data())
+						assertBitEqual(t, "direct input grad", workers, refIn.Data(), in.Data())
+						assertBitEqual(t, "direct kernel grad", workers, ref.W.Grad.Data(), c.W.Grad.Data())
+						assertBitEqual(t, "direct bias grad", workers, ref.B.Grad.Data(), c.B.Grad.Data())
+						continue
+					}
+					assertWithinULP(t, name+" forward", workers, refOut.Data(), out.Data(), forwardMaxULP)
+					assertWithinULP(t, name+" input grad", workers, refIn.Data(), in.Data(), backwardMaxULP)
+					assertWithinULP(t, name+" kernel grad", workers, ref.W.Grad.Data(), c.W.Grad.Data(), backwardMaxULP)
+					assertWithinULP(t, name+" bias grad", workers, ref.B.Grad.Data(), c.B.Grad.Data(), backwardMaxULP)
+				}
 			}
 		})
 	}
@@ -192,6 +236,14 @@ func TestConvEngineEnvDefault(t *testing.T) {
 	for s, want := range map[string]ConvEngine{"gemm": EngineGEMM, "direct": EngineDirect, "": EngineAuto} {
 		if got, err := ParseConvEngine(s); err != nil || got != want {
 			t.Fatalf("ParseConvEngine(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	// Every registered backend name parses to its registry id — including
+	// backends linked in by other files (e.g. "generated").
+	for _, name := range ConvEngines() {
+		e, _ := LookupConvEngine(name)
+		if got, err := ParseConvEngine(name); err != nil || got != e {
+			t.Fatalf("ParseConvEngine(%q) = %v, %v; want %v", name, got, err, e)
 		}
 	}
 }

@@ -1,0 +1,10 @@
+package nn_test
+
+// The nn package cannot import its own generated backend (the backend
+// imports nn), so this external test file links it into the test binary.
+// With the import in place, every table-driven test that iterates
+// nn.ConvEngines() — parity, worker-count invariance, fallback routing —
+// exercises the "generated" backend alongside the built-ins.
+import (
+	_ "repro/internal/nn/generated"
+)

@@ -35,15 +35,12 @@ type InferLayer interface {
 }
 
 // Infer computes the convolution of x without caching it for Backward; the
-// result is pool-backed and bit-for-bit identical to Forward's.
+// result is pool-backed and bit-for-bit identical to Forward's. The backend
+// runs its evaluation forward (train=false): nothing is retained.
 func (c *Conv3D) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n, _, d, h, w := check5D("Conv3D", x)
 	out := tensor.NewScratch(n, c.OutChannels, d, h, w)
-	if ResolveConvEngine(c.engine) == EngineGEMM {
-		c.forwardGEMMInto(x, out)
-	} else {
-		c.forwardDirectInto(x, out)
-	}
+	ResolveBackend(c.engine, c.Spec()).ConvForward(c, x, out, false)
 	return out
 }
 
@@ -53,11 +50,7 @@ func (c *ConvTranspose3D) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n, _, d, h, w := check5D("ConvTranspose3D", x)
 	k := c.Kernel
 	out := tensor.NewScratch(n, c.OutChannels, d*k, h*k, w*k)
-	if ResolveConvEngine(c.engine) == EngineGEMM {
-		c.forwardGEMMInto(x, out)
-	} else {
-		c.forwardDirectInto(x, out)
-	}
+	ResolveBackend(c.engine, c.Spec()).TransposeForward(c, x, out)
 	return out
 }
 

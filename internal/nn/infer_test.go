@@ -30,8 +30,9 @@ func inferNet(engine ConvEngine) *Sequential {
 // bit-for-bit identical to an evaluation-mode Forward under both engines —
 // the property the serving layer's batched-vs-reference equality rests on.
 func TestSequentialInferMatchesForward(t *testing.T) {
-	for _, engine := range []ConvEngine{EngineGEMM, EngineDirect} {
-		t.Run(engine.String(), func(t *testing.T) {
+	for _, name := range ConvEngines() {
+		engine, _ := LookupConvEngine(name)
+		t.Run(name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(3))
 			x := tensor.Randn(rng, 0, 1, 2, 2, 4, 4, 4)
 

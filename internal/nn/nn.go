@@ -6,6 +6,13 @@
 // matching the paper's "Channels First" data format. Layers cache whatever
 // they need during Forward so that Backward can be called immediately after
 // with the gradient of the loss w.r.t. the layer output.
+//
+// The convolution layers compute through the conv-backend registry (see
+// backend.go): backends register under a name (Register), dispatch is per
+// layer shape with a guaranteed requested → gemm → direct fallback chain,
+// and the ConvEngine type, ParseConvEngine and REPRO_CONV_ENGINE are thin
+// views over the registry. internal/nn/generated registers the
+// shape-specialized kernels emitted by cmd/kernelgen.
 package nn
 
 import (
@@ -64,6 +71,11 @@ type workerBudget struct {
 
 // SetWorkers sets the layer's worker budget; 0 restores the global default.
 func (w *workerBudget) SetWorkers(workers int) { w.workers = workers }
+
+// Workers returns the layer's raw worker budget (0 = global default) —
+// external conv backends pass it to parallel.ForWorkers exactly as the
+// built-in kernels do.
+func (w *workerBudget) Workers() int { return w.workers }
 
 // Sequential chains layers.
 type Sequential struct {

@@ -166,8 +166,9 @@ func TestUNetWorkerCountInvariant(t *testing.T) {
 		}
 		return append([]float32(nil), out.Data()...), grads
 	}
-	for _, engine := range []ConvEngine{EngineDirect, EngineGEMM} {
-		t.Run(engine.String(), func(t *testing.T) {
+	for _, name := range ConvEngines() {
+		engine, _ := LookupConvEngine(name)
+		t.Run(name, func(t *testing.T) {
 			refOut, refGrads := build(1, engine)
 			for _, workers := range []int{2, 5} {
 				out, grads := build(workers, engine)

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRegistryContents pins the registration-order invariants external
+// consumers rely on: the built-ins come first (their historical engine ids 1
+// and 2 appear in serialized training-session configs), names round-trip
+// through lookup and String, and BackendByName returns backends that agree
+// with their registered name.
+func TestRegistryContents(t *testing.T) {
+	names := ConvEngines()
+	if len(names) < 2 || names[0] != "gemm" || names[1] != "direct" {
+		t.Fatalf("ConvEngines() = %v, want gemm, direct first", names)
+	}
+	if EngineGEMM != 1 || EngineDirect != 2 {
+		t.Fatalf("built-in engine ids moved: gemm=%d direct=%d", EngineGEMM, EngineDirect)
+	}
+	for _, name := range names {
+		e, ok := LookupConvEngine(name)
+		if !ok {
+			t.Fatalf("LookupConvEngine(%q) failed for a listed engine", name)
+		}
+		if e.String() != name {
+			t.Fatalf("engine %d String() = %q, want %q", e, e.String(), name)
+		}
+		b, ok := BackendByName(name)
+		if !ok || b.Name() != name {
+			t.Fatalf("BackendByName(%q) = %v, %v", name, b, ok)
+		}
+	}
+	if _, ok := LookupConvEngine("no-such-backend"); ok {
+		t.Fatal("LookupConvEngine resolved an unregistered name")
+	}
+}
+
+// TestRegisterRejectsInvalidNames checks the reserved and duplicate name
+// guards.
+func TestRegisterRejectsInvalidNames(t *testing.T) {
+	for _, name := range []string{"", "auto", "gemm"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", name)
+				}
+			}()
+			Register(name, directBackend{})
+		}()
+	}
+}
+
+// TestResolveBackendFallback exercises the resolution chain requested →
+// gemm → direct on the "generated" backend (linked into this test binary by
+// generated_link_test.go): a paper-table shape runs the specialized kernel,
+// any other shape must route to gemm — and produce gemm's bits exactly.
+func TestResolveBackendFallback(t *testing.T) {
+	gen, ok := LookupConvEngine("generated")
+	if !ok {
+		t.Fatal("generated backend not linked into the test binary")
+	}
+
+	paperShape := ConvSpec{Kernel: 3, Stride: 1, InC: 4, OutC: 8}
+	if b := ResolveBackend(gen, paperShape); b.Name() != "generated" {
+		t.Fatalf("ResolveBackend(generated, %v) = %q, want generated", paperShape, b.Name())
+	}
+	offShape := ConvSpec{Kernel: 5, Stride: 1, InC: 2, OutC: 3}
+	if b := ResolveBackend(gen, offShape); b.Name() != "gemm" {
+		t.Fatalf("ResolveBackend(generated, %v) = %q, want gemm fallback", offShape, b.Name())
+	}
+
+	// Engine ids no backend in this binary owns fall back to gemm too
+	// (a config serialized by a binary with more backends linked in).
+	if b := ResolveBackend(ConvEngine(97), offShape); b.Name() != "gemm" {
+		t.Fatalf("ResolveBackend(97, %v) = %q, want gemm fallback", offShape, b.Name())
+	}
+
+	// The fallback is not just the same backend by name — an off-shape
+	// layer on the generated engine must produce gemm's output bits.
+	rng := rand.New(rand.NewSource(5))
+	x := randTensor(rng, 1, 2, 4, 5, 6)
+	mk := func(e ConvEngine) *Conv3D {
+		c := NewConv3D("c", 2, 3, 5, rand.New(rand.NewSource(6)))
+		c.SetConvEngine(e)
+		return c
+	}
+	want := mk(EngineGEMM).Forward(x)
+	got := mk(gen).Forward(x)
+	assertBitEqual(t, "generated->gemm fallback forward", 0, want.Data(), got.Data())
+}

@@ -12,7 +12,8 @@ import (
 // between two training steps must not change the arithmetic of the second
 // step, under either conv engine.
 func TestDropCachesBitNeutralAcrossSteps(t *testing.T) {
-	for _, engine := range []nn.ConvEngine{nn.EngineGEMM, nn.EngineDirect} {
+	for _, name := range nn.ConvEngines() {
+		engine, _ := nn.LookupConvEngine(name)
 		cfg := Config{InChannels: 2, OutChannels: 1, BaseFilters: 2, Steps: 2,
 			Kernel: 3, UpKernel: 2, Seed: 4, Engine: engine}
 		rng := rand.New(rand.NewSource(8))

@@ -25,8 +25,9 @@ func inferTestConfig(engine nn.ConvEngine) Config {
 // TestInferMatchesEvalForward asserts the inference fast path produces
 // bit-for-bit the evaluation-mode Forward output under both conv engines.
 func TestInferMatchesEvalForward(t *testing.T) {
-	for _, engine := range []nn.ConvEngine{nn.EngineGEMM, nn.EngineDirect} {
-		t.Run(engine.String(), func(t *testing.T) {
+	for _, name := range nn.ConvEngines() {
+		engine, _ := nn.LookupConvEngine(name)
+		t.Run(name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(2))
 			x := tensor.Randn(rng, 0, 1, 2, 2, 8, 8, 8)
 

@@ -18,6 +18,11 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+
+	// Register the "generated" conv backend: importing unet is how every
+	// binary that builds the paper network gets the shape-specialized
+	// kernels emitted by cmd/kernelgen into nn's backend registry.
+	_ "repro/internal/nn/generated"
 	"repro/internal/tensor"
 )
 
@@ -87,6 +92,41 @@ func (c Config) MinVolume() int {
 		v *= c.UpKernel
 	}
 	return v
+}
+
+// ConvShapes returns the distinct convolution-layer shapes of the network in
+// wiring order: the encoder body convolutions, the decoder up-convolutions
+// and reductions, and the head. This is the fixed shape table cmd/kernelgen
+// generates specialized kernels from — the paper's premise is that the
+// workload's layer shapes are known at build time.
+func (c Config) ConvShapes() []nn.ConvSpec {
+	var specs []nn.ConvSpec
+	seen := map[nn.ConvSpec]bool{}
+	add := func(s nn.ConvSpec) {
+		if !seen[s] {
+			seen[s] = true
+			specs = append(specs, s)
+		}
+	}
+	conv := func(inC, outC, k int) {
+		add(nn.ConvSpec{Kernel: k, Stride: 1, InC: inC, OutC: outC})
+	}
+	in := c.InChannels
+	for s := 1; s <= c.Steps; s++ {
+		f := c.Filters(s)
+		conv(in, f, c.Kernel)
+		conv(f, f, c.Kernel)
+		in = f
+	}
+	for s := c.Steps - 1; s >= 1; s-- {
+		fBelow := c.Filters(s + 1)
+		f := c.Filters(s)
+		add(nn.ConvSpec{Transposed: true, Kernel: c.UpKernel, Stride: c.UpKernel, InC: fBelow, OutC: fBelow})
+		conv(fBelow+f, f, c.Kernel)
+		conv(f, f, c.Kernel)
+	}
+	conv(c.BaseFilters, c.OutChannels, 1)
+	return specs
 }
 
 // encStep is one encoder resolution step.
