@@ -15,16 +15,35 @@
 // checkpoints its training session there each epoch and the runner records
 // finished trials, so re-running the same command after an interrupt skips
 // completed trials and resumes the in-flight one bit-identically.
+//
+// Two further modes run fault-tolerant multi-process data-parallel
+// training over TCP:
+//
+//	distmis -mode coordinator [-width N] [-epochs N] [-cases N] [-dim N]
+//	        [-batch N] [-lr F] [-loss NAME] [-optimizer NAME] [-ckpt FILE]
+//	        [-ckpt-every N] [-group-size N] [-kill-rank R -kill-step S]
+//
+// spawns N worker processes (re-executing this binary in -mode worker),
+// trains the single configuration data-parallel over a socket ring, and
+// prints final-params-hash=... on completion. Workers checkpoint every
+// -ckpt-every steps; a worker that dies is respawned and the membership
+// re-forms from the last checkpoint, so the final parameters are
+// bit-for-bit those of an undisturbed run. -kill-rank/-kill-step make the
+// designated rank exit abruptly mid-training (first generation only) — the
+// self-test used by the CI dist-smoke job.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/exec"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/msd"
 	"repro/internal/nn"
 	"repro/internal/tune"
@@ -35,6 +54,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("distmis: ")
 
+	mode := flag.String("mode", "search", "search (the paper's HPO), coordinator or worker (fault-tolerant multi-process training)")
 	strategy := flag.String("strategy", "experiment", "distribution strategy: data or experiment")
 	gpus := flag.Int("gpus", 4, "GPUs to use (4 per simulated node)")
 	epochs := flag.Int("epochs", 3, "training epochs per experiment")
@@ -50,6 +70,20 @@ func main() {
 		fmt.Sprintf("conv backend: %s, or auto (REPRO_CONV_ENGINE, gemm default)", strings.Join(nn.ConvEngines(), ", ")))
 	lrPoints := flag.Int("lrpoints", 2, "log-spaced learning-rate grid points for truncated searches (≥ 2)")
 	ckptDir := flag.String("ckpt-dir", "", "campaign checkpoint directory: re-running with the same flags skips completed trials and resumes the in-flight one")
+
+	// Coordinator/worker-mode flags.
+	width := flag.Int("width", 3, "coordinator: data-parallel width (worker processes)")
+	batch := flag.Int("batch", 0, "coordinator: global batch size (0 = width)")
+	lr := flag.Float64("lr", 1e-2, "coordinator: base learning rate (scaled linearly by width)")
+	lossName := flag.String("loss", "dice", "coordinator: loss function")
+	optName := flag.String("optimizer", "adam", "coordinator: optimizer")
+	ckptFile := flag.String("ckpt", "", "coordinator: shared session checkpoint file (\"\" = a fresh temp file)")
+	ckptEvery := flag.Int("ckpt-every", 1, "coordinator: checkpoint every N optimizer steps")
+	groupSize := flag.Int("group-size", 0, "coordinator: hierarchical ring group size (0 = flat ring)")
+	opTimeoutMS := flag.Int("op-timeout-ms", 0, "coordinator: per-collective deadline in ms (0 = 10s)")
+	killRank := flag.Int("kill-rank", -1, "coordinator: rank to kill abruptly in generation 1 (-1 = none)")
+	killStep := flag.Int("kill-step", 1, "coordinator: optimizer step after which -kill-rank dies")
+	joinAddr := flag.String("join", "", "worker: coordinator control address to join")
 	flag.Parse()
 
 	convEngine, err := nn.ParseConvEngine(*engine)
@@ -58,6 +92,26 @@ func main() {
 	}
 	if *lrPoints < 2 {
 		log.Fatalf("-lrpoints must be ≥ 2, got %d", *lrPoints)
+	}
+
+	switch *mode {
+	case "worker":
+		runWorkerMode(*joinAddr, *workers, *killRank, *killStep)
+		return
+	case "coordinator":
+		runCoordinatorMode(coordSpec{
+			width: *width, epochs: *epochs, cases: *cases, dim: *dim,
+			steps: *steps, filters: *filters, seed: *seed, workers: *workers,
+			engine: *engine, batch: *batch, lr: *lr, loss: *lossName,
+			optimizer: *optName, ckpt: *ckptFile, ckptEvery: *ckptEvery,
+			groupSize: *groupSize, opTimeoutMS: *opTimeoutMS,
+			killRank: *killRank, killStep: *killStep,
+		})
+		return
+	case "search":
+		// The paper's hyper-parameter search, below.
+	default:
+		log.Fatalf("unknown mode %q (want search, coordinator or worker)", *mode)
 	}
 
 	opts := core.DefaultOptions()
@@ -139,4 +193,122 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// coordSpec carries the coordinator-mode flags.
+type coordSpec struct {
+	width, epochs, cases, dim, steps, filters int
+	seed                                      int64
+	workers                                   int
+	engine                                    string
+	batch                                     int
+	lr                                        float64
+	loss, optimizer, ckpt                     string
+	ckptEvery, groupSize, opTimeoutMS         int
+	killRank, killStep                        int
+}
+
+// runCoordinatorMode trains one configuration data-parallel over a TCP
+// ring, spawning (and respawning) worker processes by re-executing this
+// binary. It prints the final parameter hash — the quantity the CI smoke
+// job compares between a clean and a kill-injected run.
+func runCoordinatorMode(s coordSpec) {
+	if s.batch <= 0 {
+		s.batch = s.width
+	}
+	if s.ckpt == "" {
+		dir, err := os.MkdirTemp("", "distmis-ckpt-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		s.ckpt = dir + "/session.ckpt"
+	}
+	spec := dist.TrainSpec{
+		Cases: s.cases, Dim: s.dim, DataSeed: s.seed,
+		BaseFilters: s.filters, NetSteps: s.steps, Kernel: 3, UpKernel: 2, NetSeed: s.seed,
+		Engine: s.engine,
+		Loss:   s.loss, Optimizer: s.optimizer, BaseLR: s.lr, ScaleLR: true,
+		Epochs: s.epochs, GlobalBatch: s.batch, ShuffleSeed: s.seed,
+		GroupSize: s.groupSize,
+		CkptPath:  s.ckpt, CkptEverySteps: s.ckptEvery,
+		OpTimeoutMS: s.opTimeoutMS,
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Width: s.width,
+		Spec:  spec,
+		Logf:  log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spawn := func() error {
+		args := []string{
+			"-mode", "worker",
+			"-join", coord.Addr(),
+			"-workers", fmt.Sprint(s.workers),
+		}
+		if s.killRank >= 0 {
+			args = append(args, "-kill-rank", fmt.Sprint(s.killRank), "-kill-step", fmt.Sprint(s.killStep))
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		go cmd.Wait() // reap; the coordinator notices death via the control link
+		return nil
+	}
+
+	fmt.Printf("distmis coordinator: width=%d batch=%d epochs=%d volume=%d^3 ckpt=%s\n",
+		s.width, s.batch, s.epochs, s.dim, s.ckpt)
+	res, err := runCoordinator(coord, spawn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final-params-hash=%s gens=%d reforms=%d steps=%d width=%d\n",
+		res.Hash, res.Gens, res.Reforms, res.Steps, res.Width)
+}
+
+// runCoordinator wires the spawner in (NewCoordinator needs the bound
+// address first) and runs the generation loop.
+func runCoordinator(c *dist.Coordinator, spawn func() error) (*dist.Result, error) {
+	c.SetSpawn(spawn)
+	return c.Run()
+}
+
+// runWorkerMode joins a coordinator and serves training generations until
+// told to stop. With -kill-rank matching its assigned rank, the process
+// exits abruptly after -kill-step in the first generation — a real
+// SIGKILL-grade death for the fault-tolerance smoke test; generations
+// after the first never re-trigger it, so the respawned worker survives.
+func runWorkerMode(join string, workers, killRank, killStep int) {
+	if join == "" {
+		log.Fatal("-mode worker requires -join ADDRESS")
+	}
+	var hooks *dist.Hooks
+	if killRank >= 0 {
+		hooks = &dist.Hooks{
+			AfterStep: func(gen uint32, rank, step int) error {
+				if gen == 1 && rank == killRank && step == killStep {
+					log.Printf("worker rank %d: injected kill after step %d", rank, step)
+					os.Exit(3)
+				}
+				return nil
+			},
+		}
+	}
+	if err := dist.RunWorker(dist.WorkerConfig{
+		CoordAddr: join,
+		Workers:   workers,
+		Hooks:     hooks,
+	}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -18,10 +18,18 @@
 // layer — one Session loop over pluggable strategies with an ordered
 // callback chain and bit-exact checkpoint/resume (train, ckpt) — the
 // distribution layer selecting and driving those strategies with resumable
-// hyper-parameter campaigns (allreduce, mirrored, raysgd, tune, cluster),
-// the MareNostrum performance model and discrete-event simulator
-// regenerating the paper's Table I and Figure 4 (gpusim, netsim, perfmodel,
-// simsched, experiments), and the DistMIS facade (core).
+// hyper-parameter campaigns (allreduce, mirrored, raysgd, tune, cluster)
+// — allreduce runs its ring and hierarchical reductions both in-process
+// over shared buffers and multi-process over a TCP transport with the
+// identical bitwise accumulation order, and dist adds the fault-tolerant
+// coordinator/worker layer on top: elastic membership with heartbeats and
+// generations, step-granular session checkpoints, and recovery that
+// resumes survivors (or a rejoined worker) from the last checkpoint with
+// bit-for-bit the uninterrupted run's final parameters — the MareNostrum
+// performance model and discrete-event simulator regenerating the paper's
+// Table I and Figure 4 plus deterministic network-fault injection for the
+// TCP transport (gpusim, netsim, perfmodel, simsched, experiments), and
+// the DistMIS facade (core).
 //
 // See README.md for a tour and PAPER.md for the source-paper summary.
 // Executables live in cmd/ and runnable examples in examples/.

@@ -1,0 +1,652 @@
+package allreduce
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// This file runs the package's collectives over real sockets. A Topology is
+// one worker's view of the wired ring: its intra-group ring link and — for
+// group leaders — the leader ring link. With a single group it is the flat
+// ring; with groupSize < width it is the paper's hierarchical layout
+// (NVLink ring per node, InfiniBand ring across nodes). Every reduction
+// runs in the same order as the in-process Ring/Hierarchical functions, so
+// multi-process results are bitwise identical to the mirrored in-process
+// trainer.
+
+// Named transport errors.
+var (
+	// ErrRingBroken wraps every collective failure: a peer died, timed out
+	// or spoke the wrong protocol. Use Suspect to recover the likely
+	// culprit's rank.
+	ErrRingBroken = errors.New("allreduce: ring broken")
+	// ErrFormTimeout reports that the membership could not be wired within
+	// the formation budget.
+	ErrFormTimeout = errors.New("allreduce: topology formation timed out")
+)
+
+// PeerError attributes a collective failure to a ring neighbour.
+type PeerError struct {
+	Rank int // global rank of the suspected peer
+	Err  error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("%v: peer rank %d: %v", ErrRingBroken, e.Rank, e.Err)
+}
+
+// Unwrap lets errors.Is(err, ErrRingBroken) and deadline checks see through.
+func (e *PeerError) Unwrap() []error { return []error{ErrRingBroken, e.Err} }
+
+// Suspect extracts the suspected peer rank from a collective error.
+func Suspect(err error) (int, bool) {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe.Rank, true
+	}
+	return -1, false
+}
+
+// NetConfig tunes topology formation and the collectives' deadlines.
+type NetConfig struct {
+	Gen         uint32        // membership generation stamped on every frame
+	OpTimeout   time.Duration // per-collective deadline (0 = none)
+	FormTimeout time.Duration // formation budget (default 10s)
+	MaxPayload  int           // frame payload bound (≤ 0: DefaultMaxPayload)
+	// Wrap, when non-nil, wraps every established link after the handshake —
+	// the fault-injection hook (netsim.FaultConn). self and peer are global
+	// ranks; the wrapped conn carries frames self→peer or peer→self
+	// depending on link direction.
+	Wrap func(self, peer int, c Conn) Conn
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	if c.FormTimeout <= 0 {
+		c.FormTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// ringLink is one directed ring: send to next, receive from prev.
+type ringLink struct {
+	rank, n            int  // local index and ring width
+	next, prev         Conn // nil when n == 1
+	nextRank, prevRank int  // global ranks, for blame
+}
+
+// Topology is one worker's wired view of the membership.
+type Topology struct {
+	rank, n   int
+	groupSize int
+	cfg       NetConfig
+	op        uint32
+
+	intra  *ringLink // ring within the group (nil when the group has 1 member)
+	leader *ringLink // ring across group leaders (nil unless leader of >1 groups)
+
+	groupLo, groupN int
+	numGroups       int
+	conns           []Conn
+}
+
+// Rank returns this worker's global rank.
+func (t *Topology) Rank() int { return t.rank }
+
+// Width returns the membership size.
+func (t *Topology) Width() int { return t.n }
+
+// SetOpTimeout adjusts the per-collective deadline (evaluation-phase
+// collectives wait on slower full-volume inference and need a longer one).
+func (t *Topology) SetOpTimeout(d time.Duration) { t.cfg.OpTimeout = d }
+
+// Close tears down every link.
+func (t *Topology) Close() {
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.conns = nil
+	t.intra, t.leader = nil, nil
+}
+
+// groupOf returns [lo, hi) of rank's group under groupSize, mirroring the
+// in-process Hierarchical's grouping.
+func groupOf(rank, n, groupSize int) (int, int) {
+	lo := (rank / groupSize) * groupSize
+	hi := lo + groupSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// FormTopology wires this worker into the membership: members[r] is rank
+// r's ring listen address, ln this worker's own listener (members[rank]
+// must route to it). groupSize ≤ 0 or ≥ len(members) forms the flat ring;
+// otherwise groups of groupSize form intra-group rings and their leaders
+// (ranks 0, groupSize, 2·groupSize, …) a leader ring, exactly like the
+// in-process Hierarchical. Outbound links dial with retry/backoff — peers
+// come up in arbitrary order — and both directions handshake with a
+// generation-stamped hello, so stale connections from an earlier
+// membership are rejected instead of corrupting the new ring.
+func FormTopology(ln net.Listener, members []string, rank, groupSize int, cfg NetConfig) (*Topology, error) {
+	cfg = cfg.withDefaults()
+	n := len(members)
+	if n == 0 || rank < 0 || rank >= n {
+		return nil, fmt.Errorf("allreduce: rank %d outside membership of %d", rank, n)
+	}
+	if groupSize <= 0 || groupSize > n {
+		groupSize = n
+	}
+	lo, hi := groupOf(rank, n, groupSize)
+	gn := hi - lo
+	local := rank - lo
+	numGroups := (n + groupSize - 1) / groupSize
+
+	t := &Topology{
+		rank: rank, n: n, groupSize: groupSize, cfg: cfg,
+		groupLo: lo, groupN: gn, numGroups: numGroups,
+	}
+	if n == 1 {
+		return t, nil
+	}
+
+	// The links this worker participates in: (role, peer-to-dial,
+	// peer-to-accept-from).
+	type want struct {
+		role               uint32
+		dialRank, fromRank int
+	}
+	var wants []want
+	if gn > 1 {
+		wants = append(wants, want{RoleIntra, lo + (local+1)%gn, lo + (local-1+gn)%gn})
+	}
+	isLeader := rank == lo
+	if isLeader && numGroups > 1 {
+		li := rank / groupSize
+		dial := ((li + 1) % numGroups) * groupSize
+		from := ((li - 1 + numGroups) % numGroups) * groupSize
+		wants = append(wants, want{RoleLeader, dial, from})
+	}
+	if len(wants) == 0 {
+		// Sole member of its group with a single group overall — unreachable
+		// given n > 1, but keep the invariant explicit.
+		return t, nil
+	}
+
+	deadline := time.Now().Add(cfg.FormTimeout)
+
+	// Outbound dials run concurrently: send hello, await the acceptor's
+	// hello-ack, retry the whole exchange on any failure.
+	type dialRes struct {
+		role uint32
+		peer int
+		conn Conn
+		err  error
+	}
+	dialCh := make(chan dialRes, len(wants))
+	for _, w := range wants {
+		go func(w want) {
+			conn, err := dialRing(members[w.dialRank], rank, w.dialRank, w.role, cfg, deadline)
+			dialCh <- dialRes{w.role, w.dialRank, conn, err}
+		}(w)
+	}
+
+	// Inbound accepts run here: route each hello to the matching expected
+	// link, reject everything else (stale generations, unexpected peers).
+	accepted := map[[2]uint32]Conn{} // {role, fromRank} → conn
+	acceptErr := make(chan error, 1)
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		need := map[[2]uint32]bool{}
+		for _, w := range wants {
+			need[[2]uint32{w.role, uint32(w.fromRank)}] = true
+		}
+		for len(need) > 0 {
+			if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+				d.SetDeadline(deadline)
+			}
+			raw, err := ln.Accept()
+			if err != nil {
+				acceptErr <- fmt.Errorf("%w: accept: %w", ErrFormTimeout, err)
+				return
+			}
+			conn := NewConn(raw, cfg.MaxPayload)
+			raw.SetDeadline(time.Now().Add(2 * time.Second))
+			hello, err := conn.Recv()
+			if err != nil || hello.Type != FrameHello || hello.Gen != cfg.Gen {
+				conn.Close()
+				continue
+			}
+			key := [2]uint32{hello.Seq, hello.Step}
+			if !need[key] {
+				conn.Close()
+				continue
+			}
+			// Acknowledge so the dialer knows the link is accepted.
+			if err := conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(rank), Seq: hello.Seq}); err != nil {
+				conn.Close()
+				continue
+			}
+			raw.SetDeadline(time.Time{})
+			accepted[key] = conn
+			delete(need, key)
+		}
+		acceptErr <- nil
+	}()
+
+	dialed := map[[2]uint32]Conn{} // {role, dialRank} → conn
+	fail := func(err error) (*Topology, error) {
+		for _, c := range dialed {
+			c.Close()
+		}
+		// Unblock the acceptor if it is still waiting.
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Now())
+		}
+		<-acceptDone
+		for _, c := range accepted {
+			c.Close()
+		}
+		return nil, err
+	}
+	for range wants {
+		r := <-dialCh
+		if r.err != nil {
+			return fail(r.err)
+		}
+		dialed[[2]uint32{r.role, uint32(r.peer)}] = r.conn
+	}
+	if err := <-acceptErr; err != nil {
+		return fail(err)
+	}
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Time{})
+	}
+
+	wrap := func(peer int, c Conn) Conn {
+		if cfg.Wrap != nil {
+			return cfg.Wrap(rank, peer, c)
+		}
+		return c
+	}
+	link := func(role uint32, localRank, width, dialRank, fromRank int) *ringLink {
+		next := wrap(dialRank, dialed[[2]uint32{role, uint32(dialRank)}])
+		prev := wrap(fromRank, accepted[[2]uint32{role, uint32(fromRank)}])
+		t.conns = append(t.conns, next, prev)
+		return &ringLink{rank: localRank, n: width, next: next, prev: prev, nextRank: dialRank, prevRank: fromRank}
+	}
+	for _, w := range wants {
+		switch w.role {
+		case RoleIntra:
+			t.intra = link(RoleIntra, local, gn, w.dialRank, w.fromRank)
+		case RoleLeader:
+			t.leader = link(RoleLeader, rank/groupSize, numGroups, w.dialRank, w.fromRank)
+		}
+	}
+	return t, nil
+}
+
+// dialRing establishes one outbound ring link: dial, hello, await ack.
+func dialRing(addr string, selfRank, peerRank int, role uint32, cfg NetConfig, deadline time.Time) (Conn, error) {
+	backoff := 20 * time.Millisecond
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := Dial(addr, DialOptions{
+			Timeout:    time.Until(deadline),
+			MaxPayload: cfg.MaxPayload,
+		})
+		if err != nil {
+			lastErr = err
+			break
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		err = conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(selfRank), Seq: role})
+		var ack *Frame
+		if err == nil {
+			ack, err = conn.Recv()
+		}
+		if err == nil && ack.Type == FrameHello && ack.Gen == cfg.Gen && int(ack.Step) == peerRank {
+			conn.SetDeadline(time.Time{})
+			return conn, nil
+		}
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("allreduce: hello to rank %d rejected", peerRank)
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrFormTimeout
+	}
+	return nil, fmt.Errorf("%w: ring link to rank %d: %w", ErrFormTimeout, peerRank, lastErr)
+}
+
+// armDeadline applies the per-op deadline to every link.
+func (t *Topology) armDeadline() {
+	var d time.Time
+	if t.cfg.OpTimeout > 0 {
+		d = time.Now().Add(t.cfg.OpTimeout)
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.SetDeadline(d)
+		}
+	}
+}
+
+func (t *Topology) clearDeadline() {
+	for _, c := range t.conns {
+		if c != nil {
+			c.SetDeadline(time.Time{})
+		}
+	}
+}
+
+// AllReduce sums buf elementwise across the membership, in place, with the
+// same reduction order as the in-process Ring (single group) or
+// Hierarchical (multiple groups): results are bitwise identical to those
+// functions over the same inputs.
+func (t *Topology) AllReduce(buf []float32) error {
+	if t.n == 1 {
+		return nil
+	}
+	t.op++
+	t.armDeadline()
+	defer t.clearDeadline()
+
+	// Phase 1: ring-reduce within the group.
+	if t.intra != nil {
+		if err := t.ringReduce(t.intra, buf, 1); err != nil {
+			return err
+		}
+	}
+	// Phase 2: ring-reduce across group leaders over the full buffer.
+	if t.leader != nil {
+		if err := t.ringReduce(t.leader, buf, 2); err != nil {
+			return err
+		}
+	}
+	// Phase 3: leaders broadcast the global sum within their group.
+	if t.numGroups > 1 && t.intra != nil {
+		if err := t.ringBroadcastF32(t.intra, 0, buf, 3); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllReduceAverage runs AllReduce and divides by the membership width, the
+// same final scaling as RingAverage/HierarchicalAverage.
+func (t *Topology) AllReduceAverage(buf []float32) error {
+	if err := t.AllReduce(buf); err != nil {
+		return err
+	}
+	inv := 1 / float32(t.n)
+	for i := range buf {
+		buf[i] *= inv
+	}
+	return nil
+}
+
+// GatherAll64 returns every member's float64 contribution ordered by global
+// rank — identical on every member, so rank-ordered scalar reductions
+// (mean loss across replicas) are deterministic and membership-wide.
+func (t *Topology) GatherAll64(v float64) ([]float64, error) {
+	if t.n == 1 {
+		return []float64{v}, nil
+	}
+	t.op++
+	t.armDeadline()
+	defer t.clearDeadline()
+
+	group := []float64{v}
+	if t.intra != nil {
+		lists, err := t.ringGatherLists(t.intra, []float64{v}, 1)
+		if err != nil {
+			return nil, err
+		}
+		group = group[:0]
+		for _, l := range lists {
+			group = append(group, l...)
+		}
+	}
+	if t.numGroups == 1 {
+		return group, nil
+	}
+	var full []float64
+	if t.leader != nil {
+		lists, err := t.ringGatherLists(t.leader, group, 2)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range lists {
+			full = append(full, l...)
+		}
+	}
+	if t.intra != nil {
+		got, err := t.ringBroadcastList(t.intra, 0, full, 3)
+		if err != nil {
+			return nil, err
+		}
+		full = got
+	}
+	return full, nil
+}
+
+// Broadcast64 distributes rank 0's value to every member.
+func (t *Topology) Broadcast64(v float64) (float64, error) {
+	if t.n == 1 {
+		return v, nil
+	}
+	t.op++
+	t.armDeadline()
+	defer t.clearDeadline()
+
+	if t.leader != nil {
+		got, err := t.ringBroadcastList(t.leader, 0, []float64{v}, 1)
+		if err != nil {
+			return 0, err
+		}
+		if len(got) == 1 {
+			v = got[0]
+		}
+	}
+	if t.intra != nil {
+		got, err := t.ringBroadcastList(t.intra, 0, []float64{v}, 2)
+		if err != nil {
+			return 0, err
+		}
+		if len(got) == 1 {
+			v = got[0]
+		}
+	}
+	return v, nil
+}
+
+// seqOf packs (phase, step) into a frame's Seq for protocol validation.
+func seqOf(phase uint32, s int) uint32 { return phase<<16 | uint32(s) }
+
+func (t *Topology) frameErr(peer int, err error) error {
+	return &PeerError{Rank: peer, Err: err}
+}
+
+// expect validates an incoming frame against the op's protocol position.
+func (t *Topology) expect(l *ringLink, f *Frame, typ FrameType, seq uint32) error {
+	if f.Type != typ || f.Gen != t.cfg.Gen || f.Step != t.op || f.Seq != seq {
+		return t.frameErr(l.prevRank, fmt.Errorf("protocol mismatch: got (type %d gen %d op %d seq %#x), want (type %d gen %d op %d seq %#x)",
+			f.Type, f.Gen, f.Step, f.Seq, typ, t.cfg.Gen, t.op, seq))
+	}
+	return nil
+}
+
+// sendAsync sends in a goroutine so a same-step send and recv cannot
+// deadlock on full socket buffers (every peer sends before receiving).
+func sendAsync(c Conn, f *Frame) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- c.Send(f) }()
+	return ch
+}
+
+// ringReduce is the bucketed ring all-reduce of the in-process Ring, over
+// sockets: n−1 scatter-reduce steps then n−1 all-gather steps, each moving
+// one chunk. Chunk bounds and accumulation order match Ring exactly.
+func (t *Topology) ringReduce(l *ringLink, buf []float32, phase uint32) error {
+	n := l.n
+	size := len(buf)
+	for s := 0; s < n-1; s++ {
+		sendChunk := (l.rank - s + n) % n
+		lo, hi := chunkBounds(size, n, sendChunk)
+		seq := seqOf(phase, s)
+		sent := sendAsync(l.next, &Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float32Bytes(buf[lo:hi])})
+		in, err := l.prev.Recv()
+		if err != nil {
+			return t.frameErr(l.prevRank, err)
+		}
+		if err := t.expect(l, in, FrameChunk, seq); err != nil {
+			return err
+		}
+		recvChunk := (l.rank - s - 1 + n) % n
+		rlo, rhi := chunkBounds(size, n, recvChunk)
+		vals, err := BytesFloat32(in.Payload)
+		if err != nil {
+			return t.frameErr(l.prevRank, err)
+		}
+		if len(vals) != rhi-rlo {
+			return t.frameErr(l.prevRank, fmt.Errorf("chunk size %d, want %d", len(vals), rhi-rlo))
+		}
+		for i, v := range vals {
+			buf[rlo+i] += v
+		}
+		if err := <-sent; err != nil {
+			return t.frameErr(l.nextRank, err)
+		}
+	}
+	for s := 0; s < n-1; s++ {
+		sendChunk := (l.rank + 1 - s + n) % n
+		lo, hi := chunkBounds(size, n, sendChunk)
+		seq := seqOf(phase, n-1+s)
+		sent := sendAsync(l.next, &Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float32Bytes(buf[lo:hi])})
+		in, err := l.prev.Recv()
+		if err != nil {
+			return t.frameErr(l.prevRank, err)
+		}
+		if err := t.expect(l, in, FrameChunk, seq); err != nil {
+			return err
+		}
+		recvChunk := (l.rank - s + n) % n
+		rlo, rhi := chunkBounds(size, n, recvChunk)
+		vals, err := BytesFloat32(in.Payload)
+		if err != nil {
+			return t.frameErr(l.prevRank, err)
+		}
+		if len(vals) != rhi-rlo {
+			return t.frameErr(l.prevRank, fmt.Errorf("chunk size %d, want %d", len(vals), rhi-rlo))
+		}
+		for i, v := range vals {
+			buf[rlo+i] = v
+		}
+		if err := <-sent; err != nil {
+			return t.frameErr(l.nextRank, err)
+		}
+	}
+	return nil
+}
+
+// ringBroadcastF32 circulates root's full buffer around the ring; every
+// non-root member overwrites its buffer with a bitwise copy.
+func (t *Topology) ringBroadcastF32(l *ringLink, root int, buf []float32, phase uint32) error {
+	seq := seqOf(phase, 0)
+	if l.rank == root {
+		if err := l.next.Send(&Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float32Bytes(buf)}); err != nil {
+			return t.frameErr(l.nextRank, err)
+		}
+		return nil
+	}
+	in, err := l.prev.Recv()
+	if err != nil {
+		return t.frameErr(l.prevRank, err)
+	}
+	if err := t.expect(l, in, FrameChunk, seq); err != nil {
+		return err
+	}
+	vals, err := BytesFloat32(in.Payload)
+	if err != nil {
+		return t.frameErr(l.prevRank, err)
+	}
+	if len(vals) != len(buf) {
+		return t.frameErr(l.prevRank, fmt.Errorf("broadcast size %d, want %d", len(vals), len(buf)))
+	}
+	copy(buf, vals)
+	if (l.rank+1)%l.n != root {
+		if err := l.next.Send(in); err != nil {
+			return t.frameErr(l.nextRank, err)
+		}
+	}
+	return nil
+}
+
+// ringGatherLists circulates every member's float64 list around the ring;
+// the result is indexed by local rank and identical on every member.
+func (t *Topology) ringGatherLists(l *ringLink, own []float64, phase uint32) ([][]float64, error) {
+	n := l.n
+	lists := make([][]float64, n)
+	lists[l.rank] = own
+	for s := 0; s < n-1; s++ {
+		sendIdx := (l.rank - s + n) % n
+		seq := seqOf(phase, s)
+		sent := sendAsync(l.next, &Frame{Type: FrameScalars, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float64Bytes(lists[sendIdx])})
+		in, err := l.prev.Recv()
+		if err != nil {
+			return nil, t.frameErr(l.prevRank, err)
+		}
+		if err := t.expect(l, in, FrameScalars, seq); err != nil {
+			return nil, err
+		}
+		vals, err := BytesFloat64(in.Payload)
+		if err != nil {
+			return nil, t.frameErr(l.prevRank, err)
+		}
+		lists[(l.rank-s-1+n)%n] = vals
+		if err := <-sent; err != nil {
+			return nil, t.frameErr(l.nextRank, err)
+		}
+	}
+	return lists, nil
+}
+
+// ringBroadcastList circulates root's float64 list around the ring.
+func (t *Topology) ringBroadcastList(l *ringLink, root int, vals []float64, phase uint32) ([]float64, error) {
+	seq := seqOf(phase, 0)
+	if l.rank == root {
+		if err := l.next.Send(&Frame{Type: FrameScalars, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float64Bytes(vals)}); err != nil {
+			return nil, t.frameErr(l.nextRank, err)
+		}
+		return vals, nil
+	}
+	in, err := l.prev.Recv()
+	if err != nil {
+		return nil, t.frameErr(l.prevRank, err)
+	}
+	if err := t.expect(l, in, FrameScalars, seq); err != nil {
+		return nil, err
+	}
+	got, err := BytesFloat64(in.Payload)
+	if err != nil {
+		return nil, t.frameErr(l.prevRank, err)
+	}
+	if (l.rank+1)%l.n != root {
+		if err := l.next.Send(in); err != nil {
+			return nil, t.frameErr(l.nextRank, err)
+		}
+	}
+	return got, nil
+}

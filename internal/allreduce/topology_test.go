@@ -1,0 +1,332 @@
+package allreduce
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// formAll wires an n-member topology over loopback listeners, one goroutine
+// per member, and returns the formed topologies indexed by rank.
+func formAll(t *testing.T, n, groupSize int, cfg NetConfig) []*Topology {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	members := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = ln.Addr().String()
+	}
+	tops := make([]*Topology, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tops[r], errs[r] = FormTopology(lns[r], members, r, groupSize, cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("form rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tp := range tops {
+			if tp != nil {
+				tp.Close()
+			}
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	})
+	return tops
+}
+
+func randNetBufs(n, size int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	bufs := make([][]float32, n)
+	for i := range bufs {
+		bufs[i] = make([]float32, size)
+		for j := range bufs[i] {
+			bufs[i][j] = rng.Float32()*2 - 1
+		}
+	}
+	return bufs
+}
+
+func cloneBufs(bufs [][]float32) [][]float32 {
+	out := make([][]float32, len(bufs))
+	for i, b := range bufs {
+		out[i] = append([]float32(nil), b...)
+	}
+	return out
+}
+
+// runAll executes fn concurrently on every topology and fails on any error.
+func runAll(t *testing.T, tops []*Topology, fn func(tp *Topology) error) {
+	t.Helper()
+	errs := make([]error, len(tops))
+	var wg sync.WaitGroup
+	for r, tp := range tops {
+		wg.Add(1)
+		go func(r int, tp *Topology) {
+			defer wg.Done()
+			errs[r] = fn(tp)
+		}(r, tp)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func assertBitEqual(t *testing.T, got, want [][]float32) {
+	t.Helper()
+	for r := range want {
+		for i := range want[r] {
+			if math.Float32bits(got[r][i]) != math.Float32bits(want[r][i]) {
+				t.Fatalf("rank %d elem %d: got %x want %x", r, i,
+					math.Float32bits(got[r][i]), math.Float32bits(want[r][i]))
+			}
+		}
+	}
+}
+
+func TestWireRingMatchesInProcess(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		for _, size := range []int{1, 7, 64} {
+			bufs := randNetBufs(n, size, int64(100*n+size))
+			want := cloneBufs(bufs)
+			if err := Ring(want); err != nil {
+				t.Fatal(err)
+			}
+			tops := formAll(t, n, 0, NetConfig{Gen: 1, OpTimeout: 5 * time.Second})
+			runAll(t, tops, func(tp *Topology) error { return tp.AllReduce(bufs[tp.Rank()]) })
+			assertBitEqual(t, bufs, want)
+		}
+	}
+}
+
+func TestWireHierarchicalMatchesInProcess(t *testing.T) {
+	cases := []struct{ n, gs int }{
+		{4, 2}, // two even groups
+		{5, 2}, // ragged final group
+		{6, 3}, // two groups of three
+		{4, 4}, // groupSize = width degenerates to the flat ring
+	}
+	for _, tc := range cases {
+		bufs := randNetBufs(tc.n, 33, int64(10*tc.n+tc.gs))
+		want := cloneBufs(bufs)
+		if err := Hierarchical(want, tc.gs); err != nil {
+			t.Fatal(err)
+		}
+		tops := formAll(t, tc.n, tc.gs, NetConfig{Gen: 2, OpTimeout: 5 * time.Second})
+		runAll(t, tops, func(tp *Topology) error { return tp.AllReduce(bufs[tp.Rank()]) })
+		assertBitEqual(t, bufs, want)
+	}
+}
+
+func TestWireAverageMatchesInProcess(t *testing.T) {
+	const n, size = 3, 29
+	bufs := randNetBufs(n, size, 7)
+	want := cloneBufs(bufs)
+	if err := RingAverage(want); err != nil {
+		t.Fatal(err)
+	}
+	tops := formAll(t, n, 0, NetConfig{Gen: 3, OpTimeout: 5 * time.Second})
+	runAll(t, tops, func(tp *Topology) error { return tp.AllReduceAverage(bufs[tp.Rank()]) })
+	assertBitEqual(t, bufs, want)
+}
+
+func TestGatherAll64Ordered(t *testing.T) {
+	for _, tc := range []struct{ n, gs int }{{3, 0}, {5, 2}} {
+		tops := formAll(t, tc.n, tc.gs, NetConfig{Gen: 4, OpTimeout: 5 * time.Second})
+		results := make([][]float64, tc.n)
+		runAll(t, tops, func(tp *Topology) error {
+			got, err := tp.GatherAll64(float64(tp.Rank())*1.25 + 0.5)
+			results[tp.Rank()] = got
+			return err
+		})
+		for r, got := range results {
+			if len(got) != tc.n {
+				t.Fatalf("n=%d gs=%d rank %d: got %d values, want %d", tc.n, tc.gs, r, len(got), tc.n)
+			}
+			for i, v := range got {
+				want := float64(i)*1.25 + 0.5
+				if math.Float64bits(v) != math.Float64bits(want) {
+					t.Fatalf("n=%d gs=%d rank %d idx %d: got %v want %v", tc.n, tc.gs, r, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcast64(t *testing.T) {
+	for _, tc := range []struct{ n, gs int }{{3, 0}, {5, 2}} {
+		tops := formAll(t, tc.n, tc.gs, NetConfig{Gen: 5, OpTimeout: 5 * time.Second})
+		const want = 42.125
+		runAll(t, tops, func(tp *Topology) error {
+			in := -1.0
+			if tp.Rank() == 0 {
+				in = want
+			}
+			got, err := tp.Broadcast64(in)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				t.Errorf("rank %d: got %v want %v", tp.Rank(), got, want)
+			}
+			return nil
+		})
+	}
+}
+
+// TestMultipleOpsOverOneTopology runs a sequence of mixed collectives,
+// checking the op counter keeps frames of consecutive ops apart.
+func TestMultipleOpsOverOneTopology(t *testing.T) {
+	const n = 3
+	tops := formAll(t, n, 0, NetConfig{Gen: 6, OpTimeout: 5 * time.Second})
+	for round := 0; round < 4; round++ {
+		bufs := randNetBufs(n, 17, int64(round))
+		want := cloneBufs(bufs)
+		if err := RingAverage(want); err != nil {
+			t.Fatal(err)
+		}
+		runAll(t, tops, func(tp *Topology) error {
+			if err := tp.AllReduceAverage(bufs[tp.Rank()]); err != nil {
+				return err
+			}
+			_, err := tp.GatherAll64(float64(tp.Rank()))
+			return err
+		})
+		assertBitEqual(t, bufs, want)
+	}
+}
+
+// TestDeadPeerTimesOut checks that a silent member trips the per-op
+// deadline on its neighbours with a classifiable, attributed error.
+func TestDeadPeerTimesOut(t *testing.T) {
+	const n = 3
+	tops := formAll(t, n, 0, NetConfig{Gen: 7, OpTimeout: 300 * time.Millisecond})
+	// Rank 1 never joins the collective.
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for _, r := range []int{0, 2} {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]float32, 8)
+			errs[r] = tops[r].AllReduce(buf)
+		}(r)
+	}
+	wg.Wait()
+	// Rank 2 receives from the silent rank 1 and must blame it.
+	if errs[2] == nil {
+		t.Fatal("rank 2: expected an error, got nil")
+	}
+	if !errors.Is(errs[2], ErrRingBroken) {
+		t.Fatalf("rank 2: error %v does not wrap ErrRingBroken", errs[2])
+	}
+	if !IsTimeout(errs[2]) {
+		t.Fatalf("rank 2: error %v is not a timeout", errs[2])
+	}
+	if s, ok := Suspect(errs[2]); !ok || s != 1 {
+		t.Fatalf("rank 2: suspect = %d, %v; want 1, true", s, ok)
+	}
+	// Rank 0 also cannot finish: its recv side stalls behind rank 2's abort.
+	if errs[0] == nil {
+		t.Fatal("rank 0: expected an error, got nil")
+	}
+	if !errors.Is(errs[0], ErrRingBroken) {
+		t.Fatalf("rank 0: error %v does not wrap ErrRingBroken", errs[0])
+	}
+}
+
+// TestFormTimeout checks that a member that never comes up fails formation
+// with the named error instead of hanging.
+func TestFormTimeout(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln0.Close()
+	// Reserve an address nobody listens on.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	members := []string{ln0.Addr().String(), deadAddr}
+	_, err = FormTopology(ln0, members, 0, 0, NetConfig{Gen: 8, FormTimeout: 400 * time.Millisecond})
+	if !errors.Is(err, ErrFormTimeout) {
+		t.Fatalf("got %v, want ErrFormTimeout", err)
+	}
+}
+
+// TestStaleGenerationRejected checks that a dialer from an old membership
+// generation cannot join a newer ring.
+func TestStaleGenerationRejected(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln0.Close()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	members := []string{ln0.Addr().String(), ln1.Addr().String()}
+
+	var wg sync.WaitGroup
+	var err0, err1, errStale error
+	var top0, top1 *Topology
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		top0, err0 = FormTopology(ln0, members, 0, 0, NetConfig{Gen: 9, FormTimeout: 3 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		top1, err1 = FormTopology(ln1, members, 1, 0, NetConfig{Gen: 9, FormTimeout: 3 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		// The stale dialer races the real one; the acceptor must reject it.
+		c, err := Dial(members[0], DialOptions{Timeout: time.Second})
+		if err != nil {
+			return
+		}
+		c.Send(&Frame{Type: FrameHello, Gen: 3, Step: 1, Seq: RoleIntra}) // wrong gen
+		c.SetDeadline(time.Now().Add(time.Second))
+		if _, err := c.Recv(); err == nil {
+			errStale = errors.New("stale hello was acknowledged")
+		}
+		c.Close()
+	}()
+	wg.Wait()
+	if err0 != nil || err1 != nil || errStale != nil {
+		t.Fatalf("formation with stale dialer present: %v / %v / %v", err0, err1, errStale)
+	}
+	if top0 != nil {
+		top0.Close()
+	}
+	if top1 != nil {
+		top1.Close()
+	}
+}

@@ -1,0 +1,112 @@
+package allreduce
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// Conn is one directed ring link: framed send/recv over a byte stream with
+// per-operation deadlines. The TCP implementation below is the production
+// transport; netsim wraps a Conn to inject faults deterministically.
+type Conn interface {
+	Send(f *Frame) error
+	Recv() (*Frame, error)
+	// SetDeadline bounds every pending and future Send/Recv; the zero time
+	// clears it. Collectives arm it once per op.
+	SetDeadline(t time.Time) error
+	Close() error
+}
+
+// tcpConn frames a net.Conn with buffered I/O.
+type tcpConn struct {
+	c          net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	maxPayload int
+}
+
+// NewConn wraps an established stream connection as a framed Conn.
+// maxPayload ≤ 0 means DefaultMaxPayload.
+func NewConn(c net.Conn, maxPayload int) Conn {
+	return &tcpConn{
+		c:          c,
+		br:         bufio.NewReaderSize(c, 64<<10),
+		bw:         bufio.NewWriterSize(c, 64<<10),
+		maxPayload: maxPayload,
+	}
+}
+
+func (t *tcpConn) Send(f *Frame) error {
+	if err := EncodeFrame(t.bw, f); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpConn) Recv() (*Frame, error) { return DecodeFrame(t.br, t.maxPayload) }
+
+func (t *tcpConn) SetDeadline(d time.Time) error { return t.c.SetDeadline(d) }
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// IsTimeout reports whether err is a deadline expiry (directly, as a net
+// timeout, or wrapped inside a frame decode error).
+func IsTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// DialOptions tunes Dial's retry loop.
+type DialOptions struct {
+	Timeout    time.Duration // overall budget (default 10s)
+	Backoff    time.Duration // first retry delay, doubling per attempt (default 20ms)
+	MaxBackoff time.Duration // backoff ceiling (default 500ms)
+	MaxPayload int           // frame payload bound (≤ 0: DefaultMaxPayload)
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 20 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Dial connects to a ring peer with retry and exponential backoff: during
+// membership formation peers come up in arbitrary order, so connection
+// refusals and resets are expected transients, not failures. The returned
+// error wraps the last attempt's cause once the budget is exhausted.
+func Dial(addr string, opts DialOptions) (Conn, error) {
+	opts = opts.withDefaults()
+	deadline := time.Now().Add(opts.Timeout)
+	backoff := opts.Backoff
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		c, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return NewConn(c, opts.MaxPayload), nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > opts.MaxBackoff {
+			backoff = opts.MaxBackoff
+		}
+	}
+	return nil, fmt.Errorf("allreduce: dial %s: %w", addr, lastErr)
+}

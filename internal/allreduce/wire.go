@@ -1,0 +1,190 @@
+package allreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire protocol of the multi-process collectives: every message is one
+// length-prefixed frame with a fixed 20-byte header followed by the payload.
+//
+//	offset  size  field
+//	0       2     magic 0x5244 ("RD", big-endian)
+//	2       1     version (1)
+//	3       1     frame type
+//	4       4     membership generation (little-endian uint32)
+//	8       4     collective op sequence number
+//	12      4     position within the op (phase step, chunk, role…)
+//	16      4     payload length in bytes
+//	20      n     payload
+//
+// The decoder validates the header before allocating anything, so garbage,
+// truncated or adversarial inputs produce a clean named error — never a
+// panic or an oversized allocation.
+
+// FrameType tags the role of a frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello opens a ring connection: Step carries the sender's global
+	// rank, Seq the link role (RoleIntra/RoleLeader). The acceptor answers
+	// with a FrameHello of its own as the acknowledgement.
+	FrameHello FrameType = 1
+	// FrameChunk carries a float32 slice of a reduce or broadcast phase.
+	FrameChunk FrameType = 2
+	// FrameScalars carries a float64 slice (loss/metric collectives).
+	FrameScalars FrameType = 3
+)
+
+// Link roles carried in a FrameHello's Seq field.
+const (
+	RoleIntra  = 1 // ring link within a node group
+	RoleLeader = 2 // ring link between group leaders
+)
+
+const (
+	frameMagic   = 0x5244
+	frameVersion = 1
+	headerSize   = 20
+)
+
+// DefaultMaxPayload bounds a frame payload (64 MiB — far above the paper
+// U-Net's ~1.4 MB of gradients) so a corrupt length field cannot force an
+// arbitrary allocation.
+const DefaultMaxPayload = 64 << 20
+
+// Wire protocol errors. Decode errors wrap ErrBadFrame so callers can
+// classify any malformed input with a single errors.Is.
+var (
+	ErrBadFrame   = errors.New("allreduce: malformed frame")
+	ErrBadMagic   = fmt.Errorf("%w: bad magic", ErrBadFrame)
+	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadFrame)
+	ErrBadType    = fmt.Errorf("%w: unknown frame type", ErrBadFrame)
+	ErrOversized  = fmt.Errorf("%w: payload length exceeds limit", ErrBadFrame)
+	ErrTruncated  = fmt.Errorf("%w: truncated", ErrBadFrame)
+)
+
+// Frame is one wire message.
+type Frame struct {
+	Type    FrameType
+	Gen     uint32 // membership generation the frame belongs to
+	Step    uint32 // collective op sequence number
+	Seq     uint32 // position within the op
+	Payload []byte
+}
+
+// EncodeFrame writes f to w.
+func EncodeFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > DefaultMaxPayload {
+		return ErrOversized
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = byte(f.Type)
+	binary.LittleEndian.PutUint32(hdr[4:8], f.Gen)
+	binary.LittleEndian.PutUint32(hdr[8:12], f.Step)
+	binary.LittleEndian.PutUint32(hdr[12:16], f.Seq)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeFrame reads one frame from r, rejecting payloads longer than
+// maxPayload (≤ 0 means DefaultMaxPayload) before allocating. I/O errors
+// mid-frame surface as ErrTruncated wrapping the underlying error, so
+// deadline expiry (os.ErrDeadlineExceeded) stays classifiable.
+func DecodeFrame(r io.Reader, maxPayload int) (*Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, err // clean close between frames
+		}
+		return nil, fmt.Errorf("%w: header: %w", ErrTruncated, err)
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != frameVersion {
+		return nil, fmt.Errorf("%w %d", ErrBadVersion, hdr[2])
+	}
+	typ := FrameType(hdr[3])
+	switch typ {
+	case FrameHello, FrameChunk, FrameScalars:
+	default:
+		return nil, fmt.Errorf("%w %d", ErrBadType, hdr[3])
+	}
+	n := binary.LittleEndian.Uint32(hdr[16:20])
+	if int64(n) > int64(maxPayload) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrOversized, n, maxPayload)
+	}
+	f := &Frame{
+		Type: typ,
+		Gen:  binary.LittleEndian.Uint32(hdr[4:8]),
+		Step: binary.LittleEndian.Uint32(hdr[8:12]),
+		Seq:  binary.LittleEndian.Uint32(hdr[12:16]),
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, fmt.Errorf("%w: payload: %w", ErrTruncated, err)
+		}
+	}
+	return f, nil
+}
+
+// Float32Bytes encodes a float32 slice little-endian for a frame payload.
+func Float32Bytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// BytesFloat32 decodes a little-endian float32 payload.
+func BytesFloat32(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("%w: float32 payload of %d bytes", ErrBadFrame, len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// Float64Bytes encodes a float64 slice little-endian for a frame payload.
+func Float64Bytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesFloat64 decodes a little-endian float64 payload.
+func BytesFloat64(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: float64 payload of %d bytes", ErrBadFrame, len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package allreduce
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hardens the wire decoder: arbitrary input must produce
+// either a valid frame or a clean error — never a panic and never an
+// allocation beyond the payload bound.
+func FuzzDecodeFrame(f *testing.F) {
+	valid := &Frame{Type: FrameChunk, Gen: 1, Step: 2, Seq: 3, Payload: []byte{0xde, 0xad, 0xbe, 0xef}}
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:10])                                  // truncated header
+	f.Add(buf.Bytes()[:22])                                  // truncated payload
+	f.Add([]byte{})                                          // empty
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: example\r\n\r\n")) // wrong protocol entirely
+	huge := append([]byte(nil), buf.Bytes()[:16]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF) // 4 GiB length field
+	f.Add(huge)
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > limit {
+			t.Fatalf("decoded payload of %d bytes exceeds the %d limit", len(fr.Payload), limit)
+		}
+		// A successfully decoded frame must re-encode to the bytes consumed.
+		var out bytes.Buffer
+		if err := EncodeFrame(&out, fr); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}

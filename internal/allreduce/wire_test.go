@@ -1,0 +1,119 @@
+package allreduce
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: FrameHello, Gen: 1, Step: 2, Seq: RoleIntra},
+		{Type: FrameChunk, Gen: 7, Step: 9, Seq: 0x30002, Payload: Float32Bytes([]float32{1.5, -2.25, 0, float32(math.Inf(1))})},
+		{Type: FrameScalars, Gen: 0, Step: 0, Seq: 0, Payload: Float64Bytes([]float64{0.125, -3})},
+		{Type: FrameChunk, Gen: 4294967295, Step: 1, Seq: 1}, // empty payload
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := EncodeFrame(&buf, f); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	for i, want := range frames {
+		got, err := DecodeFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Gen != want.Gen || got.Step != want.Step || got.Seq != want.Seq {
+			t.Fatalf("frame %d header mismatch: got %+v want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+	if _, err := DecodeFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("want io.EOF after last frame, got %v", err)
+	}
+}
+
+func encodeValid(t *testing.T, f *Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	valid := encodeValid(t, &Frame{Type: FrameChunk, Gen: 1, Step: 2, Seq: 3, Payload: []byte{1, 2, 3, 4}})
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 0xFF
+	badVersion := append([]byte(nil), valid...)
+	badVersion[2] = 9
+	badType := append([]byte(nil), valid...)
+	badType[3] = 200
+	oversized := append([]byte(nil), valid...)
+	oversized[16], oversized[17], oversized[18], oversized[19] = 0xFF, 0xFF, 0xFF, 0x7F
+
+	cases := []struct {
+		name string
+		in   []byte
+		max  int
+		want error
+	}{
+		{"bad magic", badMagic, 0, ErrBadMagic},
+		{"bad version", badVersion, 0, ErrBadVersion},
+		{"bad type", badType, 0, ErrBadType},
+		{"oversized", oversized, 0, ErrOversized},
+		{"over custom limit", valid, 2, ErrOversized},
+		{"truncated header", valid[:10], 0, ErrTruncated},
+		{"truncated payload", valid[:len(valid)-2], 0, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeFrame(bytes.NewReader(tc.in), tc.max)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("error %v does not wrap ErrBadFrame", err)
+			}
+		})
+	}
+	if _, err := DecodeFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty input: want io.EOF, got %v", err)
+	}
+}
+
+func TestFloatCodecs(t *testing.T) {
+	f32 := []float32{0, 1.5, -2.25, float32(math.NaN()), math.MaxFloat32}
+	got32, err := BytesFloat32(Float32Bytes(f32))
+	if err != nil {
+		t.Fatalf("BytesFloat32: %v", err)
+	}
+	for i := range f32 {
+		if math.Float32bits(got32[i]) != math.Float32bits(f32[i]) {
+			t.Fatalf("float32 %d: bits differ", i)
+		}
+	}
+	f64 := []float64{0, 0.1, -1e300, math.NaN()}
+	got64, err := BytesFloat64(Float64Bytes(f64))
+	if err != nil {
+		t.Fatalf("BytesFloat64: %v", err)
+	}
+	for i := range f64 {
+		if math.Float64bits(got64[i]) != math.Float64bits(f64[i]) {
+			t.Fatalf("float64 %d: bits differ", i)
+		}
+	}
+	if _, err := BytesFloat32([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("misaligned float32 payload: got %v", err)
+	}
+	if _, err := BytesFloat64([]byte{1, 2, 3, 4}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("misaligned float64 payload: got %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/allreduce"
+	"repro/internal/loss"
+	"repro/internal/metrics"
+	"repro/internal/mirrored"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/unet"
+)
+
+// NetStrategy is the multi-process analogue of the mirrored trainer: this
+// process owns one model replica (its rank's shard of every global batch)
+// and averages gradients over the wired topology. The flatten order, the
+// ring reduction order and the rank-ordered loss mean are exactly those of
+// mirrored.Trainer, so W processes produce bit-for-bit the parameters of a
+// W-replica in-process run on the same inputs.
+type NetStrategy struct {
+	topo  *allreduce.Topology
+	model *unet.UNet
+	loss  loss.Loss
+	opt   optim.Optimizer
+}
+
+// NewNetStrategy builds the rank-local replica over an established
+// topology. The learning rate follows the mirrored trainer's scaling rule:
+// BaseLR × width when ScaleLR is set.
+func NewNetStrategy(topo *allreduce.Topology, net unet.Config, lossName, optName string, baseLR float64, scaleLR bool) (*NetStrategy, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("dist: nil topology")
+	}
+	model, err := unet.New(net)
+	if err != nil {
+		return nil, err
+	}
+	l, err := loss.ByName(lossName)
+	if err != nil {
+		return nil, err
+	}
+	lr := baseLR
+	if scaleLR {
+		lr = optim.ScaleLRForReplicas(baseLR, topo.Width())
+	}
+	opt, err := optim.ByName(optName, lr)
+	if err != nil {
+		return nil, err
+	}
+	return &NetStrategy{topo: topo, model: model, loss: l, opt: opt}, nil
+}
+
+// Step implements train.Strategy: forward/backward on this rank's shard,
+// gradient average over the wire, identical optimizer update everywhere.
+// The returned loss is the rank-ordered mean over all shards — the same
+// value on every rank, and the same value mirrored.Trainer.Step reports.
+func (s *NetStrategy) Step(inputs, masks *tensor.Tensor) (float64, error) {
+	n := inputs.Dim(0)
+	w := s.topo.Width()
+	if n%w != 0 {
+		return 0, fmt.Errorf("dist: global batch %d not divisible by %d workers", n, w)
+	}
+	if masks.Dim(0) != n {
+		return 0, fmt.Errorf("dist: masks batch %d does not match inputs %d", masks.Dim(0), n)
+	}
+	shard := n / w
+	rank := s.topo.Rank()
+	in := inputs.Slice(rank*shard, (rank+1)*shard)
+	mask := masks.Slice(rank*shard, (rank+1)*shard)
+
+	s.model.ZeroGrads()
+	pred := s.model.Forward(in)
+	l, grad := s.loss.Eval(pred, mask)
+	s.model.Backward(grad)
+
+	flat := mirrored.FlattenGrads(s.model.Params())
+	if err := s.topo.AllReduceAverage(flat); err != nil {
+		return 0, err
+	}
+	mirrored.UnflattenGrads(s.model.Params(), flat)
+	s.opt.Step(s.model.Params())
+
+	losses, err := s.topo.GatherAll64(l)
+	if err != nil {
+		return 0, err
+	}
+	var mean float64
+	for _, v := range losses {
+		mean += v
+	}
+	return mean / float64(w), nil
+}
+
+// Evaluate implements train.Strategy. Every rank evaluates the full batch
+// locally: the replicas are bitwise identical, so local evaluation yields
+// the same score everywhere without an eval-phase collective — the wire
+// stays idle (and cannot fault) between epochs.
+func (s *NetStrategy) Evaluate(inputs, masks *tensor.Tensor) float64 {
+	m := s.model
+	m.SetTraining(false)
+	defer m.SetTraining(true)
+	pred := m.Forward(inputs)
+	return metrics.DiceScore(pred, masks)
+}
+
+// Model implements train.Strategy.
+func (s *NetStrategy) Model() *unet.UNet { return s.model }
+
+// Models implements train.Strategy.
+func (s *NetStrategy) Models() []*unet.UNet { return []*unet.UNet{s.model} }
+
+// Replicas implements train.Strategy: the data-parallel width is the
+// membership size.
+func (s *NetStrategy) Replicas() int { return s.topo.Width() }
+
+// LR implements train.Strategy.
+func (s *NetStrategy) LR() float64 { return s.opt.LR() }
+
+// SetLR implements train.Strategy.
+func (s *NetStrategy) SetLR(lr float64) { s.opt.SetLR(lr) }
+
+// ExportOptimState implements train.Strategy.
+func (s *NetStrategy) ExportOptimState() (map[string][]float64, error) {
+	st, ok := s.opt.(optim.Stater)
+	if !ok {
+		return nil, fmt.Errorf("dist: optimizer %q does not support state export", s.opt.Name())
+	}
+	return st.ExportState(s.model.Params())
+}
+
+// ImportOptimState implements train.Strategy.
+func (s *NetStrategy) ImportOptimState(state map[string][]float64) error {
+	st, ok := s.opt.(optim.Stater)
+	if !ok {
+		return fmt.Errorf("dist: optimizer %q does not support state import", s.opt.Name())
+	}
+	return st.ImportState(s.model.Params(), state)
+}
+
+// BroadcastParams implements train.Strategy as a no-op: the other replicas
+// live in other processes, and synchronization happens by every rank
+// loading the same checkpoint file at generation start rather than by an
+// in-memory copy.
+func (s *NetStrategy) BroadcastParams() {}
+
+// InSync implements train.Strategy: the ranks exchange parameter hashes
+// through the gather collective and compare. A broken ring reports false —
+// a membership that cannot agree is not in sync.
+func (s *NetStrategy) InSync() bool {
+	h := paramHash64(s.model)
+	hashes, err := s.topo.GatherAll64(math.Float64frombits(h))
+	if err != nil {
+		return false
+	}
+	for _, v := range hashes {
+		if math.Float64bits(v) != h {
+			return false
+		}
+	}
+	return true
+}
+
+// paramHash64 hashes the model parameters bit-for-bit. Auxiliary state
+// (batch-norm running statistics) is deliberately excluded: it evolves with
+// each rank's own shard, exactly as each in-process mirrored replica's
+// does, so only the parameters are membership-wide invariants.
+func paramHash64(m *unet.UNet) uint64 {
+	h := fnv.New64a()
+	var b4 [4]byte
+	for _, p := range m.Params() {
+		for _, v := range p.Value.Data() {
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(v))
+			h.Write(b4[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// ParamHash renders a model's parameter hash as the hex string exchanged in
+// done messages and printed by the command layer — the quantity the
+// kill-and-rejoin acceptance gate compares across runs.
+func ParamHash(m *unet.UNet) string {
+	return fmt.Sprintf("%016x", paramHash64(m))
+}

@@ -261,6 +261,16 @@ func shardTensor(t *tensor.Tensor, i, shard int) *tensor.Tensor {
 	return t.Slice(i*shard, (i+1)*shard)
 }
 
+// FlattenGrads concatenates all parameter gradients into one buffer — the
+// unit of the all-reduce. Exported for the multi-process data-parallel
+// path, which reduces one process's gradients over the wire in exactly the
+// order the in-process trainer reduces its replicas'.
+func FlattenGrads(params []*nn.Param) []float32 { return flattenGrads(params) }
+
+// UnflattenGrads writes a reduced flat buffer back into parameter
+// gradients — the inverse of FlattenGrads.
+func UnflattenGrads(params []*nn.Param, flat []float32) { unflattenGrads(params, flat) }
+
 // flattenGrads concatenates all parameter gradients into one buffer, the
 // unit of the all-reduce.
 func flattenGrads(params []*nn.Param) []float32 {

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/allreduce"
+)
+
+// connPair returns two framed conns over an in-memory duplex pipe.
+func connPair(t *testing.T) (allreduce.Conn, allreduce.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := allreduce.NewConn(a, 0), allreduce.NewConn(b, 0)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+func TestFaultPassThrough(t *testing.T) {
+	a, b := connPair(t)
+	fa := WrapConn(a, Fault{})
+	want := &allreduce.Frame{Type: allreduce.FrameChunk, Gen: 1, Step: 2, Seq: 3, Payload: []byte{9, 8, 7, 6}}
+	done := make(chan error, 1)
+	go func() { done <- fa.Send(want) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if got.Type != want.Type || got.Gen != want.Gen || got.Step != want.Step || got.Seq != want.Seq {
+		t.Fatalf("frame mismatch: %+v", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestFaultDropAfterSends(t *testing.T) {
+	a, b := connPair(t)
+	fa := WrapConn(a, Fault{DropAfterSends: 2})
+	f := &allreduce.Frame{Type: allreduce.FrameHello, Gen: 1}
+	absorbed := make(chan struct{})
+	go func() { b.Recv(); close(absorbed) }() // absorb the first delivery
+	if err := fa.Send(f); err != nil {
+		t.Fatalf("first send should pass: %v", err)
+	}
+	<-absorbed
+	if err := fa.Send(f); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("second send: got %v, want ErrInjectedDrop", err)
+	}
+	if err := fa.Send(f); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("third send: got %v, want ErrInjectedDrop (sticky)", err)
+	}
+	// The underlying conn is closed, so the peer sees a hard failure too.
+	b.SetDeadline(time.Now().Add(time.Second))
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("peer recv after drop: want error, got frame")
+	}
+}
+
+func TestFaultDropAfterRecvs(t *testing.T) {
+	a, b := connPair(t)
+	fb := WrapConn(b, Fault{DropAfterRecvs: 1})
+	go a.Send(&allreduce.Frame{Type: allreduce.FrameHello})
+	if _, err := fb.Recv(); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("recv: got %v, want ErrInjectedDrop", err)
+	}
+}
+
+func TestFaultPartitionSendSwallows(t *testing.T) {
+	a, b := connPair(t)
+	fa := WrapConn(a, Fault{PartitionSend: true})
+	if err := fa.Send(&allreduce.Frame{Type: allreduce.FrameHello}); err != nil {
+		t.Fatalf("partitioned send should report success: %v", err)
+	}
+	b.SetDeadline(time.Now().Add(150 * time.Millisecond))
+	_, err := b.Recv()
+	if !allreduce.IsTimeout(err) {
+		t.Fatalf("peer recv: got %v, want deadline timeout", err)
+	}
+}
+
+func TestFaultPartitionRecvDiscards(t *testing.T) {
+	a, b := connPair(t)
+	fb := WrapConn(b, Fault{PartitionRecv: true})
+	go func() {
+		f := &allreduce.Frame{Type: allreduce.FrameHello}
+		a.Send(f)
+		a.Send(f)
+	}()
+	fb.SetDeadline(time.Now().Add(200 * time.Millisecond))
+	_, err := fb.Recv()
+	if !allreduce.IsTimeout(err) {
+		t.Fatalf("partitioned recv: got %v, want deadline timeout", err)
+	}
+}
+
+func TestFaultDelayAndJitterDeterministic(t *testing.T) {
+	// Two identically-seeded faults must draw identical jitter sequences.
+	f1 := WrapConn(nil, Fault{Jitter: time.Hour, Seed: 42})
+	f2 := WrapConn(nil, Fault{Jitter: time.Hour, Seed: 42})
+	for i := 0; i < 16; i++ {
+		d1 := f1.rng.Int63n(int64(time.Hour))
+		d2 := f2.rng.Int63n(int64(time.Hour))
+		if d1 != d2 {
+			t.Fatalf("draw %d: %d != %d", i, d1, d2)
+		}
+	}
+
+	// A fixed delay actually delays delivery.
+	a, b := connPair(t)
+	fa := WrapConn(a, Fault{Delay: 80 * time.Millisecond})
+	start := time.Now()
+	go fa.Send(&allreduce.Frame{Type: allreduce.FrameHello})
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if got := time.Since(start); got < 60*time.Millisecond {
+		t.Fatalf("delivery took %v, want ≥ 60ms", got)
+	}
+}

@@ -172,6 +172,30 @@ func (p *PeriodicCheckpoint) OnTrainEnd(s *Session) error {
 	return nil
 }
 
+// StepCheckpoint writes the full session state every EverySteps optimizer
+// steps — the step-granular cursor that lets an elastic worker rejoin a
+// distributed run losing at most EverySteps−1 steps instead of an epoch.
+// The checkpoint fires from OnStepEnd, after the session has advanced its
+// cursors, so the saved state includes the step it follows; restoring it
+// fast-forwards the reseeded shuffle iterator to the next batch.
+type StepCheckpoint struct {
+	NopCallback
+	Path       string
+	EverySteps int // steps between checkpoints; ≤ 1 means every step
+}
+
+// OnStepEnd implements Callback.
+func (p *StepCheckpoint) OnStepEnd(s *Session, step int, loss float64) error {
+	every := p.EverySteps
+	if every < 1 {
+		every = 1
+	}
+	if (step+1)%every == 0 {
+		return s.SaveCheckpointFile(p.Path)
+	}
+	return nil
+}
+
 // CacheRelease drops every replica model's retained inter-step caches (the
 // convolution backward patch caches and cached activation references)
 // between the training and evaluation phases of each epoch — the ROADMAP's

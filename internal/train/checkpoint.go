@@ -23,6 +23,12 @@ const (
 	// (they are what `LoadModel` surfaces), but restore reads the state.
 	cursorEpochKey = "session.epoch"
 	cursorStepKey  = "session.step"
+	// The mid-epoch cursor: steps completed inside the (unfinished) epoch
+	// named by cursorEpochKey, and their running loss sum. Absent in
+	// epoch-granular checkpoints from older sessions — restore treats
+	// absence as zero, keeping old checkpoints loadable.
+	cursorStepInEpochKey = "session.stepinepoch"
+	cursorPartialLossKey = "session.partialloss"
 )
 
 // checkpointState assembles the full session state: optimizer internals
@@ -50,9 +56,12 @@ func (s *Session) checkpointState() (map[string][]float64, map[string]float64, e
 	state[histEpochKey] = epochs
 	state[cursorEpochKey] = []float64{float64(s.epoch)}
 	state[cursorStepKey] = []float64{float64(s.step)}
+	state[cursorStepInEpochKey] = []float64{float64(s.stepInEpoch)}
+	state[cursorPartialLossKey] = []float64{s.partialLoss}
 	meta := map[string]float64{
-		cursorEpochKey: float64(s.epoch),
-		cursorStepKey:  float64(s.step),
+		cursorEpochKey:       float64(s.epoch),
+		cursorStepKey:        float64(s.step),
+		cursorStepInEpochKey: float64(s.stepInEpoch),
 	}
 	return state, meta, nil
 }
@@ -142,6 +151,19 @@ func (s *Session) restore(state map[string][]float64) error {
 	if epoch < 0 || epoch > s.cfg.Epochs {
 		return fmt.Errorf("train: checkpoint epoch %d outside the session's budget of %d", epoch, s.cfg.Epochs)
 	}
+	stepInEpoch, partialLoss := 0, 0.0
+	if v := state[cursorStepInEpochKey]; len(v) == 1 {
+		stepInEpoch = int(v[0])
+	}
+	if v := state[cursorPartialLossKey]; len(v) == 1 {
+		partialLoss = v[0]
+	}
+	if stepInEpoch < 0 {
+		return fmt.Errorf("train: negative mid-epoch cursor %d", stepInEpoch)
+	}
+	if stepInEpoch > 0 && epoch >= s.cfg.Epochs {
+		return fmt.Errorf("train: mid-epoch cursor inside epoch %d, but the session budget is %d", epoch, s.cfg.Epochs)
+	}
 
 	loss := state[histLossKey]
 	dice := state[histDiceKey]
@@ -174,6 +196,8 @@ func (s *Session) restore(state map[string][]float64) error {
 	}
 	s.epoch = epoch
 	s.step = step
+	s.stepInEpoch = stepInEpoch
+	s.partialLoss = partialLoss
 	s.history = history
 	return nil
 }

@@ -45,12 +45,19 @@ type EpochStats struct {
 // orchestration layers (core, raysgd, tune trials, examples) drive training
 // through it.
 type Session struct {
-	cfg     Config
-	epoch   int // next epoch to run — the resume cursor
-	step    int // global optimizer step
-	history []EpochStats
-	stopped bool
-	stopWhy string
+	cfg   Config
+	epoch int // next epoch to run — the resume cursor
+	step  int // global optimizer step
+	// stepInEpoch/partialLoss form the mid-epoch cursor: the number of
+	// steps completed inside the current (unfinished) epoch and their loss
+	// sum. Both reset to zero when the epoch completes, so an epoch-end
+	// checkpoint carries no partial state and a step-end checkpoint carries
+	// exactly what Fit needs to fast-forward the reseeded shuffle iterator.
+	stepInEpoch int
+	partialLoss float64
+	history     []EpochStats
+	stopped     bool
+	stopWhy     string
 }
 
 // NewSession validates the configuration and builds an idle session.
@@ -78,6 +85,11 @@ func (s *Session) Epoch() int { return s.epoch }
 
 // Step returns the global optimizer-step counter.
 func (s *Session) Step() int { return s.step }
+
+// StepInEpoch returns the number of steps completed inside the current
+// unfinished epoch — non-zero only between a mid-epoch restore (or step)
+// and the end of that epoch.
+func (s *Session) StepInEpoch() int { return s.stepInEpoch }
 
 // History returns the per-epoch statistics recorded so far (including
 // epochs restored from a checkpoint).
@@ -125,6 +137,7 @@ func (s *Session) Fit(train, val []*volume.Sample) (*EpochStats, error) {
 	if n := len(s.history); n > 0 {
 		last = s.history[n-1]
 	}
+	startEpoch := s.epoch
 	for epoch := s.epoch; epoch < s.cfg.Epochs && !s.stopped; epoch++ {
 		if err := s.fire(func(cb Callback) error { return cb.OnEpochBegin(s, epoch) }); err != nil {
 			return nil, err
@@ -139,11 +152,24 @@ func (s *Session) Fit(train, val []*volume.Sample) (*EpochStats, error) {
 
 		var lossSum float64
 		steps := 0
+		skip := 0
+		if epoch == startEpoch && s.stepInEpoch > 0 {
+			// Mid-epoch resume: the shuffle stream is fully determined by
+			// Seed+epoch, so fast-forwarding past the completed steps lands
+			// on exactly the batch the checkpointed run would see next.
+			skip = s.stepInEpoch
+			steps = skip
+			lossSum = s.partialLoss
+		}
 		it := batches.Iterate()
 		for {
 			batch, ok := it.Next()
 			if !ok {
 				break
+			}
+			if skip > 0 {
+				skip--
+				continue
 			}
 			inputs, masks, err := volume.Batch(batch)
 			if err != nil {
@@ -159,18 +185,27 @@ func (s *Session) Fit(train, val []*volume.Sample) (*EpochStats, error) {
 				it.Close()
 				return nil, err
 			}
-			if err := s.fire(func(cb Callback) error { return cb.OnStepEnd(s, s.step, l) }); err != nil {
-				it.Close()
-				return nil, err
-			}
+			// Advance every cursor before OnStepEnd fires, so a step-granular
+			// checkpoint written from that hook includes the step it follows.
+			stepIdx := s.step
 			lossSum += l
 			steps++
 			s.step++
+			s.stepInEpoch = steps
+			s.partialLoss = lossSum
+			if err := s.fire(func(cb Callback) error { return cb.OnStepEnd(s, stepIdx, l) }); err != nil {
+				it.Close()
+				return nil, err
+			}
 		}
 		it.Close()
+		if skip > 0 {
+			return nil, fmt.Errorf("train: mid-epoch cursor %d beyond the epoch's %d batches", s.stepInEpoch, steps-skip)
+		}
 		if steps == 0 {
 			return nil, fmt.Errorf("train: global batch %d larger than training set %d", s.cfg.GlobalBatch, len(train))
 		}
+		s.stepInEpoch, s.partialLoss = 0, 0
 
 		stats := EpochStats{Epoch: epoch, MeanLoss: lossSum / float64(steps), Steps: steps}
 		if len(val) > 0 {

@@ -59,6 +59,67 @@ func writeTrialRecord(dir string, t *Trial) error {
 	return nil
 }
 
+// schedulerStatePath returns the persisted scheduler-state file under a
+// campaign directory.
+func schedulerStatePath(dir string) string {
+	return filepath.Join(dir, "scheduler.json")
+}
+
+// schedulerStateFile wraps an exported scheduler state with the scheduler's
+// name, so a campaign resumed under a different scheduler never imports a
+// foreign state.
+type schedulerStateFile struct {
+	Scheduler string          `json:"scheduler"`
+	State     json.RawMessage `json:"state"`
+}
+
+// writeSchedulerState persists a stateful scheduler's observations
+// atomically; stateless schedulers are a no-op.
+func writeSchedulerState(dir string, s Scheduler) error {
+	ss, ok := s.(StatefulScheduler)
+	if !ok {
+		return nil
+	}
+	state, err := ss.ExportState()
+	if err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	data, err := json.MarshalIndent(schedulerStateFile{Scheduler: s.Name(), State: state}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	path := schedulerStatePath(dir)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tune: %w", err)
+	}
+	return nil
+}
+
+// loadSchedulerState restores a stateful scheduler from the campaign
+// directory, returning true when a matching state was imported. A missing
+// file, a name mismatch or a decode failure leaves the scheduler untouched
+// — the caller falls back to replaying restored reports.
+func loadSchedulerState(dir string, s Scheduler) bool {
+	ss, ok := s.(StatefulScheduler)
+	if !ok {
+		return false
+	}
+	data, err := os.ReadFile(schedulerStatePath(dir))
+	if err != nil {
+		return false
+	}
+	var file schedulerStateFile
+	if err := json.Unmarshal(data, &file); err != nil || file.Scheduler != s.Name() {
+		return false
+	}
+	return ss.ImportState(file.State) == nil
+}
+
 // restoreTrial loads a prior terminal outcome for the trial, returning true
 // when the trial was restored and needs no re-execution. Only successful
 // terminal states restore: TERMINATED and STOPPED trials carry their full

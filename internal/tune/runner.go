@@ -74,6 +74,7 @@ type Runner struct {
 
 	scheduler Scheduler
 	trials    []*Trial
+	persistMu sync.Mutex // serializes trial-record + scheduler-state writes
 }
 
 // NewRunner builds a runner; a nil scheduler means FIFO.
@@ -119,16 +120,21 @@ func (r *Runner) Run(configs []Config, trainable Trainable) (*Analysis, error) {
 		for i, trial := range r.trials {
 			restored[i] = restoreTrial(r.CheckpointDir, trial)
 		}
-		// Replay restored reports into the scheduler (in deterministic
-		// trial order) so stateful schedulers — ASHA's rung populations —
-		// hold the same observations as in an uninterrupted run. The
-		// verdicts are discarded: restored trials are already terminal.
-		for i, trial := range r.trials {
-			if !restored[i] {
-				continue
-			}
-			for _, rep := range trial.Reports() {
-				r.scheduler.OnReport(trial, rep, r.trials)
+		// Restore the scheduler's own observations. Preferred path: the
+		// persisted state written alongside the trial records, which holds
+		// exactly what the scheduler had seen — including reports from
+		// in-flight trials that never reached a terminal record. Fallback
+		// (no state file, older campaign, different scheduler): replay the
+		// restored terminal reports in deterministic trial order. The
+		// verdicts are discarded either way: restored trials are terminal.
+		if !loadSchedulerState(r.CheckpointDir, r.scheduler) {
+			for i, trial := range r.trials {
+				if !restored[i] {
+					continue
+				}
+				for _, rep := range trial.Reports() {
+					r.scheduler.OnReport(trial, rep, r.trials)
+				}
 			}
 		}
 	}
@@ -178,7 +184,15 @@ func (r *Runner) Run(configs []Config, trainable Trainable) (*Analysis, error) {
 					trial.setStatus(Terminated)
 				}
 				if r.CheckpointDir != "" {
-					if werr := writeTrialRecord(r.CheckpointDir, trial); werr != nil && trial.Err() == nil {
+					r.persistMu.Lock()
+					werr := writeTrialRecord(r.CheckpointDir, trial)
+					if werr == nil {
+						// Keep the scheduler state at least as fresh as the
+						// trial records it judged.
+						werr = writeSchedulerState(r.CheckpointDir, r.scheduler)
+					}
+					r.persistMu.Unlock()
+					if werr != nil && trial.Err() == nil {
 						trial.setErr(werr)
 					}
 				}

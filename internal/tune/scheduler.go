@@ -1,6 +1,8 @@
 package tune
 
 import (
+	"encoding/json"
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -21,6 +23,19 @@ const (
 type Scheduler interface {
 	Name() string
 	OnReport(trial *Trial, rep Report, peers []*Trial) Decision
+}
+
+// StatefulScheduler is a Scheduler whose verdicts depend on accumulated
+// observations. Campaign checkpointing persists the exported state next to
+// the trial records, so a resumed campaign restores the scheduler directly
+// instead of recomputing it by replaying every restored report.
+type StatefulScheduler interface {
+	Scheduler
+	// ExportState serializes the scheduler's accumulated observations.
+	ExportState() ([]byte, error)
+	// ImportState replaces the scheduler's observations with a previously
+	// exported state.
+	ImportState(data []byte) error
 }
 
 // FIFO runs every trial to completion (Ray.Tune's default; the paper's
@@ -88,8 +103,8 @@ type ASHA struct {
 	Reduction int // η
 
 	mu     sync.Mutex
-	rungs  map[int][]float64       // rung step → recorded metric values
-	judged map[*Trial]map[int]bool // rungs already judged per trial
+	rungs  map[int][]float64    // rung step → recorded metric values
+	judged map[int]map[int]bool // trial ID → rungs already judged
 }
 
 // NewASHA returns an ASHA scheduler with the given first rung and reduction
@@ -107,7 +122,7 @@ func NewASHA(metric, mode string, minT, reduction int) *ASHA {
 		MinT:      minT,
 		Reduction: reduction,
 		rungs:     map[int][]float64{},
-		judged:    map[*Trial]map[int]bool{},
+		judged:    map[int]map[int]bool{},
 	}
 }
 
@@ -137,15 +152,16 @@ func (a *ASHA) OnReport(trial *Trial, rep Report, peers []*Trial) Decision {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	// Each trial is recorded and judged at most once per rung; later
-	// reports inside the same rung band are ignored.
-	if a.judged[trial] == nil {
-		a.judged[trial] = map[int]bool{}
+	// Each trial is recorded and judged at most once per rung (keyed by
+	// trial ID, so a restored or re-run trial re-reporting the same rung
+	// cannot double-count); later reports inside the same band are ignored.
+	if a.judged[trial.ID] == nil {
+		a.judged[trial.ID] = map[int]bool{}
 	}
-	if a.judged[trial][rung] {
+	if a.judged[trial.ID][rung] {
 		return Continue
 	}
-	a.judged[trial][rung] = true
+	a.judged[trial.ID][rung] = true
 	vals := append(a.rungs[rung], v)
 	a.rungs[rung] = vals
 	if len(vals) < a.Reduction {
@@ -166,4 +182,55 @@ func (a *ASHA) OnReport(trial *Trial, rep Report, peers []*Trial) Decision {
 		return Continue
 	}
 	return StopTrial
+}
+
+// ashaState is the JSON shape of ASHA's accumulated observations: the rung
+// populations (metric values in arrival order — order is irrelevant to the
+// quantile cut but kept stable for reproducible files) and the rungs each
+// trial has been judged at.
+type ashaState struct {
+	Rungs  map[int][]float64 `json:"rungs"`
+	Judged map[int][]int     `json:"judged"`
+}
+
+// ExportState implements StatefulScheduler.
+func (a *ASHA) ExportState() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := ashaState{Rungs: map[int][]float64{}, Judged: map[int][]int{}}
+	for rung, vals := range a.rungs {
+		st.Rungs[rung] = append([]float64(nil), vals...)
+	}
+	for id, rungs := range a.judged {
+		var rs []int
+		for r := range rungs {
+			rs = append(rs, r)
+		}
+		sort.Ints(rs)
+		st.Judged[id] = rs
+	}
+	return json.Marshal(st)
+}
+
+// ImportState implements StatefulScheduler.
+func (a *ASHA) ImportState(data []byte) error {
+	var st ashaState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("tune: asha state: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rungs = map[int][]float64{}
+	for rung, vals := range st.Rungs {
+		a.rungs[rung] = append([]float64(nil), vals...)
+	}
+	a.judged = map[int]map[int]bool{}
+	for id, rungs := range st.Judged {
+		m := map[int]bool{}
+		for _, r := range rungs {
+			m[r] = true
+		}
+		a.judged[id] = m
+	}
+	return nil
 }

@@ -1,0 +1,144 @@
+package tune
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestASHAStateRoundTrip: export → import into a fresh scheduler preserves
+// rung populations and judged sets exactly, including the judged-rung dedup
+// (a re-imported trial re-reporting the same rung is ignored).
+func TestASHAStateRoundTrip(t *testing.T) {
+	a1 := NewASHA("dice", "max", 2, 2)
+	trials := []*Trial{NewTrial(0, Config{}), NewTrial(1, Config{}), NewTrial(2, Config{})}
+	dice := []float64{0.9, 0.8, 0.1}
+	for i, tr := range trials {
+		a1.OnReport(tr, Report{Step: 2, Metrics: map[string]float64{"dice": dice[i]}}, trials)
+	}
+
+	state, err := a1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewASHA("dice", "max", 2, 2)
+	if err := a2.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	state2, err := a2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(state) != string(state2) {
+		t.Fatalf("state changed across round trip:\n%s\n%s", state, state2)
+	}
+
+	// A restored trial re-reporting its judged rung must not be re-counted
+	// or re-judged: 0.1 ranked bottom once already, but the dedup returns
+	// Continue instead of re-recording it.
+	if d := a2.OnReport(trials[2], Report{Step: 2, Metrics: map[string]float64{"dice": 0.1}}, trials); d != Continue {
+		t.Fatalf("re-reported judged rung: got %v, want Continue", d)
+	}
+	// A new trial at the same rung is judged against the restored population.
+	weak := NewTrial(3, Config{})
+	if d := a2.OnReport(weak, Report{Step: 2, Metrics: map[string]float64{"dice": 0.2}}, trials); d != StopTrial {
+		t.Fatalf("new bottom-half trial against restored rung: got %v, want StopTrial", d)
+	}
+
+	if err := a2.ImportState([]byte("{not json")); err == nil {
+		t.Fatal("garbage state must be rejected")
+	}
+}
+
+// TestCampaignPersistsSchedulerState: a resumed ASHA campaign restores the
+// scheduler from the persisted state file, which carries evidence replay
+// cannot reconstruct — reports from trials that died without a terminal
+// record. The new trial's verdict flips on exactly that evidence.
+func TestCampaignPersistsSchedulerState(t *testing.T) {
+	cl := testCluster(t, 1)
+	dir := t.TempDir()
+	// dice by trial: 0→0.8 (finishes), 1→0.9 (finishes), 2→0.95 (reports,
+	// then dies), 3→0.85 (dies before reporting; runs fully on resume).
+	// Ascending order keeps every pass-1 reporter in ASHA's top half.
+	cfgs := []Config{{"dice": 0.8}, {"dice": 0.9}, {"dice": 0.95}, {"dice": 0.85}}
+
+	r1, err := NewRunner(cl, NewASHA("dice", "max", 2, 2), "dice", "max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.CheckpointDir = dir
+	_, err = r1.Run(cfgs, func(ctx *TrialContext) error {
+		d := ctx.Trial.Config.Float("dice")
+		if d == 0.85 {
+			return errors.New("simulated preemption")
+		}
+		ctx.Report(2, map[string]float64{"dice": d})
+		if d == 0.95 {
+			return errors.New("simulated preemption")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(schedulerStatePath(dir)); err != nil {
+		t.Fatalf("scheduler state not persisted: %v", err)
+	}
+
+	// Resume with a fresh ASHA. The persisted rung holds {0.8, 0.9, 0.95};
+	// trial 3's 0.85 lands below the 0.9 cut and must stop. Replay of
+	// terminal records alone would see only {0.8, 0.9} — a rung whose cut
+	// is 0.85, where the trial survives — so a stop proves the state file
+	// was used, 0.95 coming from a trial that died without a record.
+	r2, err := NewRunner(cl, NewASHA("dice", "max", 2, 2), "dice", "max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.CheckpointDir = dir
+	a2, err := r2.Run(cfgs, func(ctx *TrialContext) error {
+		d := ctx.Trial.Config.Float("dice")
+		cont := ctx.Report(2, map[string]float64{"dice": d})
+		if d == 0.85 && cont {
+			t.Error("trial 3 must be stopped against the restored rung population")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts := a2.StatusCounts(); counts[Stopped] != 1 {
+		t.Fatalf("statuses %v, want exactly 1 stopped", counts)
+	}
+}
+
+// TestSchedulerStateNameMismatchIgnored: a state file written by a
+// different scheduler must not be imported.
+func TestSchedulerStateNameMismatchIgnored(t *testing.T) {
+	dir := t.TempDir()
+	asha := NewASHA("dice", "max", 2, 2)
+	asha.OnReport(NewTrial(0, Config{}), Report{Step: 2, Metrics: map[string]float64{"dice": 0.5}}, nil)
+	if err := writeSchedulerState(dir, asha); err != nil {
+		t.Fatal(err)
+	}
+
+	if !loadSchedulerState(dir, NewASHA("dice", "max", 2, 2)) {
+		t.Fatal("matching scheduler name must load")
+	}
+
+	// A state file claiming a different scheduler: no import.
+	bad := []byte(`{"scheduler":"fifo","state":{}}`)
+	if err := os.WriteFile(schedulerStatePath(dir), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loadSchedulerState(dir, NewASHA("dice", "max", 2, 2)) {
+		t.Fatal("foreign scheduler state must be ignored")
+	}
+
+	// Stateless schedulers neither write nor load.
+	if err := writeSchedulerState(dir, FIFO{}); err != nil {
+		t.Fatal(err)
+	}
+	if loadSchedulerState(dir, FIFO{}) {
+		t.Fatal("stateless scheduler cannot load state")
+	}
+}
