@@ -20,9 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,16 +39,39 @@ func main() {
 	kernels := flag.Bool("kernels", false, "print kernel-level convolution benchmarks (every registered conv backend) instead of the paper tables")
 	kernelReps := flag.Int("kernelreps", 3, "repetitions per kernel measurement (best is reported)")
 	floors := flag.String("floors", "", "speedup-floors file: check the workers=1 engine-over-direct speedups against it and fail when a floor is missed twice in a row (implies -kernels)")
+	tracePath := flag.String("trace", "", "write JSONL trace events for the run to FILE")
+	metricsAddr := flag.String("metrics-addr", "", "debug listener address exposing /metrics and /debug/pprof/ (\"\" = off)")
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		bound, err := telemetry.ServeDebug(*metricsAddr, telemetry.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug listener on http://%s/metrics", bound)
+	}
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		t, err := telemetry.NewTracerFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracer = t
+		defer tracer.Close()
+	}
+
 	if *floors != "" {
+		end := tracer.Span("floors_check")
 		if err := checkKernelFloors(*floors, *kernelReps); err != nil {
 			log.Fatal(err)
 		}
+		end("file", *floors)
 		return
 	}
 	if *kernels {
+		end := tracer.Span("kernel_tables")
 		printKernelTables(*kernelReps)
+		end()
 		return
 	}
 
@@ -66,10 +89,12 @@ func main() {
 		cfg.Seed = *seed
 	}
 
+	endCampaign := tracer.Span("table1_campaign")
 	rows, err := experiments.RunTable1(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	endCampaign("trials", fmt.Sprint(cfg.Trials), "reps", fmt.Sprint(cfg.Reps))
 
 	all := !*table1 && !*fig4a && !*fig4b && !*ablation
 	if *table1 || all {
@@ -95,5 +120,4 @@ func main() {
 		fmt.Print(experiments.FormatAllReduceAblation(
 			experiments.RunAllReduceAblation(cfg.Params, cfg.GPUCounts)))
 	}
-	os.Exit(0)
 }

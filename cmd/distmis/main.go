@@ -46,6 +46,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/msd"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tune"
 	"repro/internal/unet"
 )
@@ -84,7 +85,17 @@ func main() {
 	killRank := flag.Int("kill-rank", -1, "coordinator: rank to kill abruptly in generation 1 (-1 = none)")
 	killStep := flag.Int("kill-step", 1, "coordinator: optimizer step after which -kill-rank dies")
 	joinAddr := flag.String("join", "", "worker: coordinator control address to join")
+	tracePath := flag.String("trace", "", "coordinator: write JSONL lifecycle trace events to FILE")
+	metricsAddr := flag.String("metrics-addr", "", "debug listener address exposing /metrics and /debug/pprof/ (\"\" = off)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, err := telemetry.ServeDebug(*metricsAddr, telemetry.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug listener on http://%s/metrics", bound)
+	}
 
 	convEngine, err := nn.ParseConvEngine(*engine)
 	if err != nil {
@@ -106,6 +117,7 @@ func main() {
 			optimizer: *optName, ckpt: *ckptFile, ckptEvery: *ckptEvery,
 			groupSize: *groupSize, opTimeoutMS: *opTimeoutMS,
 			killRank: *killRank, killStep: *killStep,
+			trace: *tracePath,
 		})
 		return
 	case "search":
@@ -206,6 +218,7 @@ type coordSpec struct {
 	loss, optimizer, ckpt                     string
 	ckptEvery, groupSize, opTimeoutMS         int
 	killRank, killStep                        int
+	trace                                     string
 }
 
 // runCoordinatorMode trains one configuration data-parallel over a TCP
@@ -239,10 +252,20 @@ func runCoordinatorMode(s coordSpec) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var tracer *telemetry.Tracer
+	if s.trace != "" {
+		tracer, err = telemetry.NewTracerFile(s.trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tracer.Close()
+		log.Printf("tracing lifecycle events to %s", s.trace)
+	}
 	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
-		Width: s.width,
-		Spec:  spec,
-		Logf:  log.Printf,
+		Width:  s.width,
+		Spec:   spec,
+		Logf:   log.Printf,
+		Tracer: tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -10,7 +10,11 @@
 //	                   encoding. 503 + Retry-After under backpressure.
 //	POST /v1/reload    {"path": "model.ckpt"} — atomic checkpoint hot-swap.
 //	GET  /v1/stats     counters and per-stage latency histograms as JSON.
+//	GET  /metrics      the same counters in Prometheus text format.
 //	GET  /healthz      liveness probe.
+//
+// With -pprof the standard net/http/pprof endpoints are additionally
+// mounted under /debug/pprof/ on the same listener.
 //
 // Load-generator mode (-bench) skips HTTP and drives the server in-process
 // with N closed-loop clients for a fixed duration, printing a
@@ -48,6 +52,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/patch"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/unet"
 )
@@ -74,6 +79,8 @@ func main() {
 	filters := flag.Int("filters", 8, "U-Net base filters")
 	steps := flag.Int("steps", 3, "U-Net resolution steps")
 	seed := flag.Int64("seed", 1, "weight init seed (used when -ckpt is empty)")
+
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 	bench := flag.Bool("bench", false, "run the closed-loop load generator instead of serving HTTP")
 	clients := flag.Int("clients", 8, "closed-loop load-generator clients")
@@ -125,6 +132,7 @@ func main() {
 		Workers:       *workers,
 		InChannels:    *inC,
 		ExtentDivisor: netCfg.MinVolume(),
+		Telemetry:     telemetry.Default(),
 	}
 
 	srv, err := serve.New(cfg, func() (serve.Model, error) { return unet.New(netCfg) })
@@ -162,9 +170,13 @@ func main() {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(srv.Stats())
 	})
+	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if *pprofOn {
+		telemetry.RegisterPprof(mux)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})

@@ -28,8 +28,13 @@
 // bit-for-bit the uninterrupted run's final parameters — the MareNostrum
 // performance model and discrete-event simulator regenerating the paper's
 // Table I and Figure 4 plus deterministic network-fault injection for the
-// TCP transport (gpusim, netsim, perfmodel, simsched, experiments), and
-// the DistMIS facade (core).
+// TCP transport (gpusim, netsim, perfmodel, simsched, experiments), the
+// unified observability layer — a process-wide lock-free metrics registry
+// with Prometheus text exposition, a never-blocking JSONL trace-event
+// stream, and pprof mounting, instrumented through train/serve/allreduce/
+// dist/tensor and surfaced by the binaries' /metrics, -trace and
+// -metrics-addr flags (telemetry, with profiler as a thin span-report view)
+// — and the DistMIS facade (core).
 //
 // See README.md for a tour and PAPER.md for the source-paper summary.
 // Executables live in cmd/ and runnable examples in examples/.

@@ -15,7 +15,10 @@
 //     — when the worker rejoins (here: the harness restarts it, as the
 //     process spawner would) — re-forms the ring at full width and
 //     resumes from the last checkpoint. Deterministic replay makes the
-//     final parameters bit-for-bit identical to act 1.
+//     final parameters bit-for-bit identical to act 1. This act also
+//     attaches a telemetry.Tracer to the coordinator and prints the
+//     resulting lifecycle event stream — the JSONL trace that
+//     cmd/distmis writes with -trace FILE.
 //  3. The same run with a netsim-injected network partition on one ring
 //     link. The broken collective surfaces within the op deadline, the
 //     membership reforms, and the run again converges to act 1's hash.
@@ -29,17 +32,20 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/allreduce"
 	"repro/internal/dist"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // spec is the shared training plan: 9 phantom cases, 8^3 volumes, global
@@ -62,14 +68,16 @@ func spec(ckptDir string) dist.TrainSpec {
 // runCluster drives a coordinator plus three workers in-process (each
 // worker goroutine stands in for one OS process). Workers that die are
 // restarted, which exercises the elastic-rejoin path exactly as the
-// process spawner in cmd/distmis does.
-func runCluster(s dist.TrainSpec, hooks *dist.Hooks) (*dist.Result, error) {
+// process spawner in cmd/distmis does. A non-nil tracer receives the
+// coordinator's lifecycle events as JSONL records.
+func runCluster(s dist.TrainSpec, hooks *dist.Hooks, tracer *telemetry.Tracer) (*dist.Result, error) {
 	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Width:            3,
 		Spec:             s,
 		HeartbeatTimeout: 3 * time.Second,
 		MemberWait:       20 * time.Second,
 		Logf:             log.Printf,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -110,7 +118,7 @@ func main() {
 
 	// --- Act 1: the uninterrupted baseline -------------------------------
 	fmt.Println("act 1: clean 3-worker run over TCP")
-	clean, err := runCluster(spec(filepath.Join(dir, "clean")), nil)
+	clean, err := runCluster(spec(filepath.Join(dir, "clean")), nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -128,13 +136,34 @@ func main() {
 			return nil
 		},
 	}
-	killed, err := runCluster(spec(filepath.Join(dir, "killed")), kill)
+	// The coordinator narrates the recovery as structured JSONL trace
+	// events — the same stream cmd/distmis writes with -trace FILE and the
+	// CI dist-smoke job asserts on.
+	var traceBuf strings.Builder
+	tracer := telemetry.NewTracer(&traceBuf, telemetry.TracerOptions{})
+	killed, err := runCluster(spec(filepath.Join(dir, "killed")), kill, tracer)
 	if err != nil {
 		log.Fatal(err)
 	}
+	tracer.Close()
 	fmt.Printf("  %d generations (%d reform), finished at width %d, final params %s\n",
 		killed.Gens, killed.Reforms, killed.Width, killed.Hash)
 	verdict("kill-and-rejoin", clean.Hash, killed.Hash)
+
+	// Reading the trace: each line is one event with a monotonic ts_ns, the
+	// generation it belongs to, and context in attrs. The recovery story —
+	// gen_start, then worker_lost (cause=link|heartbeat), halt, reform and
+	// rejoin, then the next gen_start, checkpoints, run_done — is assertable
+	// from the names alone, no log scraping.
+	fmt.Println("  the run as trace events:")
+	for _, line := range strings.Split(strings.TrimSpace(traceBuf.String()), "\n") {
+		var rec telemetry.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    gen %d %-12s %v\n", rec.Gen, rec.Name, rec.Attrs)
+	}
+	fmt.Println()
 
 	// --- Act 3: a network partition on one ring link ---------------------
 	fmt.Println("act 3: rank 2's forward ring link is partitioned during generation 1")
@@ -148,7 +177,7 @@ func main() {
 	}
 	s := spec(filepath.Join(dir, "partitioned"))
 	s.OpTimeoutMS = 1000 // the partition surfaces after one op deadline
-	parted, err := runCluster(s, part)
+	parted, err := runCluster(s, part, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

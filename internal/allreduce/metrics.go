@@ -1,0 +1,39 @@
+package allreduce
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Wire metrics, registered once on the process-wide registry: every framed
+// byte in and out of this process's ring links, frame counts, dial retries
+// during membership formation, and per-collective durations. The hot-path
+// cost is one or two atomic adds per frame — negligible next to a socket
+// write — and a worker's -metrics-addr listener exposes the lot.
+var (
+	wireTx = telemetry.Default().Counter("allreduce_tx_bytes_total",
+		"bytes sent over ring links (frame headers included)")
+	wireRx = telemetry.Default().Counter("allreduce_rx_bytes_total",
+		"bytes received over ring links (frame headers included)")
+	wireTxFrames = telemetry.Default().Counter("allreduce_tx_frames_total",
+		"frames sent over ring links")
+	wireRxFrames = telemetry.Default().Counter("allreduce_rx_frames_total",
+		"frames received over ring links")
+	dialRetries = telemetry.Default().Counter("allreduce_dial_retries_total",
+		"failed dial attempts retried during topology formation")
+
+	opDurations = telemetry.Default().HistogramVec("allreduce_op_ns",
+		"collective operation duration in nanoseconds",
+		telemetry.GeometricDurationBounds(10*time.Microsecond, 1000*time.Second, 60),
+		"op", "allreduce", "gather", "broadcast")
+	opAllReduce = opDurations.With("allreduce")
+	opGather    = opDurations.With("gather")
+	opBroadcast = opDurations.With("broadcast")
+)
+
+// observeOp records one collective's duration; call as
+// `defer observeOp(h, time.Now())` right after arming the op.
+func observeOp(h *telemetry.Histogram, start time.Time) {
+	h.ObserveDuration(time.Since(start))
+}

@@ -362,6 +362,7 @@ func (t *Topology) AllReduce(buf []float32) error {
 	t.op++
 	t.armDeadline()
 	defer t.clearDeadline()
+	defer observeOp(opAllReduce, time.Now())
 
 	// Phase 1: ring-reduce within the group.
 	if t.intra != nil {
@@ -407,6 +408,7 @@ func (t *Topology) GatherAll64(v float64) ([]float64, error) {
 	t.op++
 	t.armDeadline()
 	defer t.clearDeadline()
+	defer observeOp(opGather, time.Now())
 
 	group := []float64{v}
 	if t.intra != nil {
@@ -450,6 +452,7 @@ func (t *Topology) Broadcast64(v float64) (float64, error) {
 	t.op++
 	t.armDeadline()
 	defer t.clearDeadline()
+	defer observeOp(opBroadcast, time.Now())
 
 	if t.leader != nil {
 		got, err := t.ringBroadcastList(t.leader, 0, []float64{v}, 1)

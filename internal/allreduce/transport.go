@@ -44,10 +44,23 @@ func (t *tcpConn) Send(f *Frame) error {
 	if err := EncodeFrame(t.bw, f); err != nil {
 		return err
 	}
-	return t.bw.Flush()
+	if err := t.bw.Flush(); err != nil {
+		return err
+	}
+	wireTx.Add(uint64(headerSize + len(f.Payload)))
+	wireTxFrames.Inc()
+	return nil
 }
 
-func (t *tcpConn) Recv() (*Frame, error) { return DecodeFrame(t.br, t.maxPayload) }
+func (t *tcpConn) Recv() (*Frame, error) {
+	f, err := DecodeFrame(t.br, t.maxPayload)
+	if err != nil {
+		return nil, err
+	}
+	wireRx.Add(uint64(headerSize + len(f.Payload)))
+	wireRxFrames.Inc()
+	return f, nil
+}
 
 func (t *tcpConn) SetDeadline(d time.Time) error { return t.c.SetDeadline(d) }
 
@@ -103,6 +116,7 @@ func Dial(addr string, opts DialOptions) (Conn, error) {
 			return NewConn(c, opts.MaxPayload), nil
 		}
 		lastErr = err
+		dialRetries.Inc()
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > opts.MaxBackoff {
 			backoff = opts.MaxBackoff

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Named coordinator failures.
@@ -39,6 +42,13 @@ type CoordinatorConfig struct {
 	MemberWait       time.Duration // full-width wait before degrading (0 = 30s)
 	MaxReforms       int           // reforms without a new checkpoint (0 = 5)
 	Logf             func(format string, args ...any)
+
+	// Tracer, when non-nil, receives one structured event per membership
+	// lifecycle transition: gen_start, worker_lost, halt, reform, rejoin,
+	// degraded, checkpoint and run_done. The records carry the generation
+	// and identify workers by address and slot, so a fault-injection run's
+	// recovery path can be asserted from the JSONL stream alone.
+	Tracer *telemetry.Tracer
 }
 
 // Result summarizes a completed coordinated run.
@@ -80,6 +90,23 @@ type Coordinator struct {
 
 	members []*member // join order; slots assigned from here
 	gen     uint32
+}
+
+// trace emits one lifecycle event stamped with the current generation.
+// Safe with no tracer configured; only the run loop calls it, so reading
+// c.gen needs no synchronization.
+func (c *Coordinator) trace(name string, kv ...string) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	var attrs map[string]string
+	if len(kv) > 0 {
+		attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			attrs[kv[i]] = kv[i+1]
+		}
+	}
+	c.cfg.Tracer.Emit(telemetry.Record{Kind: telemetry.KindEvent, Name: name, Gen: int64(c.gen), Attrs: attrs})
 }
 
 // post delivers an event unless the run loop has exited.
@@ -183,7 +210,10 @@ func (c *Coordinator) live() []*member {
 	return out
 }
 
-// assignSlots fills vacant slots from parked members in join order.
+// assignSlots fills vacant slots from parked members in join order. Once
+// the first generation has run, a parked member acquiring a slot is a
+// recovery — a respawned replacement or an elastic rejoin — whichever
+// event path slotted it, so the rejoin trace event is emitted here.
 func (c *Coordinator) assignSlots() {
 	used := map[int]bool{}
 	for _, m := range c.members {
@@ -199,6 +229,9 @@ func (c *Coordinator) assignSlots() {
 			if !used[s] {
 				m.slot = s
 				used[s] = true
+				if c.gen > 0 {
+					c.trace("rejoin", "addr", m.addr, "slot", strconv.Itoa(s))
+				}
 				break
 			}
 		}
@@ -257,6 +290,7 @@ func (c *Coordinator) Run() (*Result, error) {
 			m.idle, m.done, m.hash = false, false, ""
 		}
 		c.cfg.Logf("gen %d: starting width-%d ring %v", c.gen, width, members)
+		c.trace("gen_start", "width", strconv.Itoa(width))
 		for rank, m := range live {
 			c.sendTo(m, ctrlMsg{Type: msgStart, Gen: c.gen, Rank: rank, Members: members, Spec: &c.cfg.Spec, Suspect: -1})
 		}
@@ -272,6 +306,8 @@ func (c *Coordinator) Run() (*Result, error) {
 		if res != nil {
 			res.Gens = int(c.gen)
 			res.Reforms = reforms
+			c.trace("run_done", "hash", res.Hash,
+				"steps", strconv.Itoa(res.Steps), "width", strconv.Itoa(res.Width))
 			return res, nil
 		}
 
@@ -285,6 +321,7 @@ func (c *Coordinator) Run() (*Result, error) {
 		if err := c.haltAll(); err != nil {
 			return nil, err
 		}
+		c.trace("reform", "reforms", strconv.Itoa(reforms))
 	}
 }
 
@@ -318,6 +355,7 @@ func (c *Coordinator) gather() (int, error) {
 					ErrMembership, w, c.cfg.Spec.GlobalBatch)
 			}
 			c.cfg.Logf("gen %d: degrading to width %d of %d", c.gen+1, w, c.cfg.Width)
+			c.trace("degraded", "width", strconv.Itoa(w), "target", strconv.Itoa(c.cfg.Width))
 			return w, nil
 		}
 		select {
@@ -392,6 +430,10 @@ func (c *Coordinator) supervise(ckptStep int) (*Result, int, error) {
 				if c.isMember(ev.m) {
 					c.cfg.Logf("gen %d: worker %s (slot %d) died: %v", c.gen, ev.m.addr, ev.m.slot, ev.err)
 					wasLive := ev.m.slot >= 0
+					if wasLive {
+						c.trace("worker_lost", "addr", ev.m.addr,
+							"slot", strconv.Itoa(ev.m.slot), "cause", "link")
+					}
 					c.drop(ev.m)
 					if wasLive {
 						needReform = true
@@ -406,6 +448,7 @@ func (c *Coordinator) supervise(ckptStep int) (*Result, int, error) {
 				if msg.Type == msgCkpt && msg.Step > ckptStep {
 					// Durable progress counts whatever generation sent it.
 					ckptStep = msg.Step
+					c.trace("checkpoint", "step", strconv.Itoa(msg.Step))
 				}
 				if msg.Gen != c.gen {
 					continue // stale chatter from a previous generation
@@ -426,6 +469,8 @@ func (c *Coordinator) supervise(ckptStep int) (*Result, int, error) {
 				case msgFail:
 					c.cfg.Logf("gen %d: worker %s (rank slot %d) failed, suspect %d: %s",
 						c.gen, ev.m.addr, ev.m.slot, msg.Suspect, msg.Err)
+					c.trace("worker_fail", "addr", ev.m.addr,
+						"slot", strconv.Itoa(ev.m.slot), "suspect", strconv.Itoa(msg.Suspect))
 					ev.m.idle = true
 					needReform = true
 				}
@@ -446,6 +491,7 @@ func (c *Coordinator) supervise(ckptStep int) (*Result, int, error) {
 // haltAll stops the current generation on every survivor and waits until
 // each is idle (acked, failed or dead).
 func (c *Coordinator) haltAll() error {
+	c.trace("halt")
 	for _, m := range c.live() {
 		if !m.idle {
 			c.sendTo(m, ctrlMsg{Type: msgHalt, Gen: c.gen, Suspect: -1})
@@ -517,6 +563,8 @@ func (c *Coordinator) reapStale() bool {
 			c.cfg.Logf("gen %d: worker %s (slot %d) heartbeat stale, dropping", c.gen, m.addr, m.slot)
 			if m.slot >= 0 {
 				lost = true
+				c.trace("worker_lost", "addr", m.addr,
+					"slot", strconv.Itoa(m.slot), "cause", "heartbeat")
 			}
 			c.drop(m)
 		}

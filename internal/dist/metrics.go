@@ -1,0 +1,21 @@
+package dist
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Worker-side process metrics on the shared registry: a distmis worker's
+// -metrics-addr listener exposes them next to the allreduce wire counters.
+// The step rate is an EWMA of instantaneous steps/second, so a stalled ring
+// shows up as a flatlined gauge well before the coordinator's step-timeout
+// watchdog fires.
+var (
+	workerSteps = telemetry.Default().Counter("dist_worker_steps_total",
+		"optimizer steps completed by this worker across all generations")
+	workerCkpts = telemetry.Default().Counter("dist_worker_checkpoints_total",
+		"checkpoints written by this worker")
+	workerStepRate = telemetry.Default().Gauge("dist_worker_step_rate",
+		"smoothed optimizer steps per second (EWMA, alpha 0.2)")
+	workerGen = telemetry.Default().Gauge("dist_worker_generation",
+		"membership generation this worker is training under")
+)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"time"
 
 	"repro/internal/allreduce"
 	"repro/internal/loss"
@@ -26,7 +27,14 @@ type NetStrategy struct {
 	model *unet.UNet
 	loss  loss.Loss
 	opt   optim.Optimizer
+
+	phaseObs func(phase string, d time.Duration) // nil = no phase timing
 }
+
+// SetPhaseObserver implements train.PhaseReporter: fn receives this rank's
+// exact forward/backward/allreduce/optim durations for every subsequent
+// step. Not synchronized with Step — install it before training starts.
+func (s *NetStrategy) SetPhaseObserver(fn func(phase string, d time.Duration)) { s.phaseObs = fn }
 
 // NewNetStrategy builds the rank-local replica over an established
 // topology. The learning rate follows the mirrored trainer's scaling rule:
@@ -73,16 +81,26 @@ func (s *NetStrategy) Step(inputs, masks *tensor.Tensor) (float64, error) {
 	mask := masks.Slice(rank*shard, (rank+1)*shard)
 
 	s.model.ZeroGrads()
+	t0 := time.Now()
 	pred := s.model.Forward(in)
 	l, grad := s.loss.Eval(pred, mask)
+	t1 := time.Now()
 	s.model.Backward(grad)
+	t2 := time.Now()
 
 	flat := mirrored.FlattenGrads(s.model.Params())
 	if err := s.topo.AllReduceAverage(flat); err != nil {
 		return 0, err
 	}
+	t3 := time.Now()
 	mirrored.UnflattenGrads(s.model.Params(), flat)
 	s.opt.Step(s.model.Params())
+	if obs := s.phaseObs; obs != nil {
+		obs("forward", t1.Sub(t0))
+		obs("backward", t2.Sub(t1))
+		obs("allreduce", t3.Sub(t2))
+		obs("optim", time.Since(t3))
+	}
 
 	losses, err := s.topo.GatherAll64(l)
 	if err != nil {

@@ -257,18 +257,28 @@ func (h *haltCheck) OnStepBegin(*train.Session, int) error {
 	}
 }
 
-// notifier streams step and checkpoint progress to the coordinator and
-// fires the AfterStep fault hook.
+// notifier streams step and checkpoint progress to the coordinator, fires
+// the AfterStep fault hook, and keeps the worker's process metrics current.
 type notifier struct {
 	train.NopCallback
-	w    *Worker
-	gen  uint32
-	rank int
-	hook func(gen uint32, rank, step int) error
+	w        *Worker
+	gen      uint32
+	rank     int
+	hook     func(gen uint32, rank, step int) error
+	lastStep time.Time
 }
 
 func (n *notifier) OnStepEnd(s *train.Session, step int, loss float64) error {
 	n.w.send(ctrlMsg{Type: msgStepDone, Gen: n.gen, Step: step, Suspect: -1})
+	workerSteps.Inc()
+	now := time.Now()
+	if !n.lastStep.IsZero() {
+		if dt := now.Sub(n.lastStep).Seconds(); dt > 0 {
+			const alpha = 0.2
+			workerStepRate.Set(alpha*(1/dt) + (1-alpha)*workerStepRate.Value())
+		}
+	}
+	n.lastStep = now
 	if n.hook != nil {
 		return n.hook(n.gen, n.rank, step)
 	}
@@ -277,6 +287,7 @@ func (n *notifier) OnStepEnd(s *train.Session, step int, loss float64) error {
 
 func (n *notifier) OnCheckpoint(s *train.Session, path string) error {
 	n.w.send(ctrlMsg{Type: msgCkpt, Gen: n.gen, Step: s.Step(), Suspect: -1})
+	workerCkpts.Inc()
 	return nil
 }
 
@@ -286,6 +297,7 @@ func (w *Worker) train(run *genRun, rank int, members []string, spec TrainSpec) 
 	if err := spec.Validate(); err != nil {
 		return err
 	}
+	workerGen.Set(float64(run.gen))
 	netCfg, err := spec.netConfig(w.cfg.Workers)
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ package mirrored
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/allreduce"
 	"repro/internal/loss"
@@ -48,6 +49,8 @@ type Trainer struct {
 	cfg      Config
 	replicas []*replica
 	lossName string
+
+	phaseObs func(phase string, d time.Duration) // nil = no phase timing
 }
 
 type replica struct {
@@ -94,6 +97,12 @@ func New(cfg Config) (*Trainer, error) {
 
 // Replicas returns the replica count.
 func (t *Trainer) Replicas() int { return len(t.replicas) }
+
+// SetPhaseObserver implements train.PhaseReporter: fn receives replica 0's
+// forward/backward durations (representative — replicas run identical
+// shapes) and the trainer-wide allreduce/optim wall clock each step. Not
+// synchronized with Step — install it before training starts.
+func (t *Trainer) SetPhaseObserver(fn func(phase string, d time.Duration)) { t.phaseObs = fn }
 
 // LR returns the effective (possibly scaled) learning rate.
 func (t *Trainer) LR() float64 { return t.replicas[0].opt.LR() }
@@ -176,6 +185,11 @@ func (t *Trainer) Step(inputs, masks *tensor.Tensor) (float64, error) {
 	}
 	shard := n / r
 
+	// Phase attribution: replica 0's forward/backward stand in for the
+	// fork-join compute phases (the replicas run the same shapes, so one is
+	// representative); the reduce and update phases are wall-clock over the
+	// whole trainer.
+	obs := t.phaseObs
 	losses := make([]float64, r)
 	grads := make([][]float32, r)
 	var wg sync.WaitGroup
@@ -186,11 +200,18 @@ func (t *Trainer) Step(inputs, masks *tensor.Tensor) (float64, error) {
 			in := shardTensor(inputs, i, shard)
 			mask := shardTensor(masks, i, shard)
 			rep.model.ZeroGrads()
+			t0 := time.Now()
 			pred := rep.model.Forward(in)
 			l, grad := rep.loss.Eval(pred, mask)
+			t1 := time.Now()
 			losses[i] = l
 			rep.model.Backward(grad)
+			t2 := time.Now()
 			grads[i] = flattenGrads(rep.model.Params())
+			if obs != nil && i == 0 {
+				obs("forward", t1.Sub(t0))
+				obs("backward", t2.Sub(t1))
+			}
 		}(i, rep)
 	}
 	wg.Wait()
@@ -199,10 +220,15 @@ func (t *Trainer) Step(inputs, masks *tensor.Tensor) (float64, error) {
 	if reduce == nil {
 		reduce = allreduce.RingAverage
 	}
+	tReduce := time.Now()
 	if err := reduce(grads); err != nil {
 		return 0, err
 	}
+	if obs != nil {
+		obs("allreduce", time.Since(tReduce))
+	}
 	// Write the averaged gradients back and apply identical updates.
+	tOptim := time.Now()
 	wg.Add(r)
 	for i, rep := range t.replicas {
 		go func(i int, rep *replica) {
@@ -212,6 +238,9 @@ func (t *Trainer) Step(inputs, masks *tensor.Tensor) (float64, error) {
 		}(i, rep)
 	}
 	wg.Wait()
+	if obs != nil {
+		obs("optim", time.Since(tOptim))
+	}
 
 	var mean float64
 	for _, l := range losses {

@@ -2,73 +2,54 @@
 // paper used to find that data loading and binarization dominate the
 // preprocessing stage. It aggregates named spans into per-stage totals and
 // reports the pipeline's bottleneck stage.
+//
+// The accumulation itself lives in telemetry.SpanGroup — the shared timing
+// primitive — and this package keeps the report/bottleneck view on top, so
+// a profiler can additionally stream its spans into a JSONL trace via
+// SetTracer.
 package profiler
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Profiler accumulates wall-clock time per named stage. It is safe for
 // concurrent use by pipeline workers.
 type Profiler struct {
-	mu     sync.Mutex
-	totals map[string]time.Duration
-	counts map[string]int
-	clock  func() time.Time
+	g *telemetry.SpanGroup
 }
 
 // New returns an empty profiler using the real clock.
 func New() *Profiler {
-	return &Profiler{
-		totals: map[string]time.Duration{},
-		counts: map[string]int{},
-		clock:  time.Now,
-	}
+	return &Profiler{g: telemetry.NewSpanGroup()}
 }
 
 // NewWithClock returns a profiler with an injected clock, for tests.
 func NewWithClock(clock func() time.Time) *Profiler {
-	p := New()
-	p.clock = clock
-	return p
+	return &Profiler{g: telemetry.NewSpanGroupWithClock(clock)}
 }
+
+// SetTracer attaches (or with nil detaches) a trace stream: every ended
+// span is additionally emitted as a JSONL span record.
+func (p *Profiler) SetTracer(t *telemetry.Tracer) { p.g.SetTracer(t) }
 
 // Span starts a span for stage and returns a function that ends it.
 //
 //	defer prof.Span("binarize")()
-func (p *Profiler) Span(stage string) func() {
-	start := p.clock()
-	return func() {
-		d := p.clock().Sub(start)
-		p.Add(stage, d)
-	}
-}
+func (p *Profiler) Span(stage string) func() { return p.g.Span(stage) }
 
 // Add records an externally measured duration for stage.
-func (p *Profiler) Add(stage string, d time.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.totals[stage] += d
-	p.counts[stage]++
-}
+func (p *Profiler) Add(stage string, d time.Duration) { p.g.Add(stage, d) }
 
 // Total returns the accumulated time of a stage.
-func (p *Profiler) Total(stage string) time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.totals[stage]
-}
+func (p *Profiler) Total(stage string) time.Duration { return p.g.Total(stage) }
 
 // Count returns how many spans were recorded for a stage.
-func (p *Profiler) Count(stage string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.counts[stage]
-}
+func (p *Profiler) Count(stage string) int { return p.g.Count(stage) }
 
 // StageStat is one row of a profiler report.
 type StageStat struct {
@@ -81,35 +62,18 @@ type StageStat struct {
 
 // Report returns per-stage statistics sorted by descending total time.
 func (p *Profiler) Report() []StageStat {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var sum time.Duration
-	for _, d := range p.totals {
-		sum += d
+	stats := p.g.Stats()
+	out := make([]StageStat, len(stats))
+	for i, s := range stats {
+		out[i] = StageStat{Stage: s.Stage, Total: s.Total, Count: s.Count,
+			Mean: s.Mean, Fraction: s.Fraction}
 	}
-	out := make([]StageStat, 0, len(p.totals))
-	for stage, d := range p.totals {
-		st := StageStat{Stage: stage, Total: d, Count: p.counts[stage]}
-		if st.Count > 0 {
-			st.Mean = d / time.Duration(st.Count)
-		}
-		if sum > 0 {
-			st.Fraction = float64(d) / float64(sum)
-		}
-		out = append(out, st)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Total != out[j].Total {
-			return out[i].Total > out[j].Total
-		}
-		return out[i].Stage < out[j].Stage
-	})
 	return out
 }
 
 // Bottleneck returns the stage with the largest accumulated time, or "".
 func (p *Profiler) Bottleneck() string {
-	r := p.Report()
+	r := p.g.Stats()
 	if len(r) == 0 {
 		return ""
 	}
@@ -129,9 +93,4 @@ func (p *Profiler) String() string {
 }
 
 // Reset clears all recorded spans.
-func (p *Profiler) Reset() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.totals = map[string]time.Duration{}
-	p.counts = map[string]int{}
-}
+func (p *Profiler) Reset() { p.g.Reset() }

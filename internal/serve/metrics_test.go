@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/patch"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// TestStatsMatchesPrometheus drives real traffic through a server wired to
+// an explicit registry and checks that the Prometheus exposition and the
+// /v1/stats JSON snapshot agree exactly — same counters, same per-stage
+// histogram counts — because both read the same atomics.
+func TestStatsMatchesPrometheus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sw := patch.SlidingWindow{Patch: [3]int{4, 4, 4}, Stride: [3]int{2, 2, 2}}
+	s, err := New(Config{
+		Window:    sw,
+		Replicas:  2,
+		MaxBatch:  3,
+		MaxLinger: 500 * time.Microsecond,
+		MaxQueue:  256,
+		Telemetry: reg,
+	}, unetFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	samples := testSamples(t, 3, 8)
+	var wg sync.WaitGroup
+	for _, smp := range samples {
+		wg.Add(1)
+		go func(in *tensor.Tensor) {
+			defer wg.Done()
+			if _, err := s.Segment(in); err != nil {
+				t.Error(err)
+			}
+		}(smp.Input)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	var sb strings.Builder
+	if err := telemetry.WriteText(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	prom := parseProm(t, sb.String())
+
+	counters := map[string]uint64{
+		"serve_requests_total": st.Requests,
+		"serve_patches_total":  st.Patches,
+		"serve_batches_total":  st.Batches,
+		"serve_rejected_total": st.Rejected,
+		"serve_reloads_total":  st.Reloads,
+	}
+	for name, want := range counters {
+		if got := prom[name]; got != float64(want) {
+			t.Errorf("%s: prometheus %g, stats %d", name, got, want)
+		}
+	}
+	stageCounts := map[string]uint64{
+		"queue":   st.Queue.Count,
+		"batch":   st.Batch.Count,
+		"compute": st.Compute.Count,
+		"blend":   st.Blend.Count,
+		"total":   st.Total.Count,
+	}
+	for stage, want := range stageCounts {
+		key := fmt.Sprintf(`serve_stage_latency_ns_count{stage="%s"}`, stage)
+		if got := prom[key]; got != float64(want) {
+			t.Errorf("%s: prometheus %g, stats %d", key, got, want)
+		}
+	}
+	if st.Requests != uint64(len(samples)) {
+		t.Errorf("requests = %d, want %d", st.Requests, len(samples))
+	}
+	if st.Total.Count != st.Requests {
+		t.Errorf("total histogram count %d != requests %d", st.Total.Count, st.Requests)
+	}
+	if prom["serve_queue_depth"] != 0 {
+		t.Errorf("queue depth after drain = %g, want 0", prom["serve_queue_depth"])
+	}
+}
+
+// parseProm indexes non-comment exposition lines as "name{labels}" -> value.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

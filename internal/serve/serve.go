@@ -39,6 +39,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/patch"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// divisible by it — set it to the model's minimum volume divisor
 	// (unet.Config.MinVolume) to reject volumes the network cannot take.
 	ExtentDivisor int
+
+	// Telemetry is the metrics registry the server registers its counters,
+	// gauges and per-stage latency histograms in — pass telemetry.Default()
+	// to expose them on a process-wide /metrics endpoint. Nil means a
+	// private registry: Stats still works, nothing is shared.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -187,7 +194,7 @@ type Server struct {
 	// compute: workers hold it shared per batch, Reload exclusively.
 	reloadMu sync.RWMutex
 
-	m metrics
+	m *metrics
 }
 
 // New builds a server with cfg.Replicas model instances from factory. Each
@@ -205,6 +212,11 @@ func New(cfg Config, factory func() (Model, error)) (*Server, error) {
 		queue:       make(chan *task, cfg.MaxQueue),
 		batcherDone: make(chan struct{}),
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s.m = newMetrics(reg, &s.pending, cfg.Replicas)
 	shares := parallel.ShareN(cfg.Workers, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
 		m, err := factory()
@@ -245,7 +257,7 @@ func (s *Server) Reload(path string) error {
 			copy(dst, stagingAux[name])
 		}
 	}
-	s.m.reloads.Add(1)
+	s.m.reloads.Inc()
 	return nil
 }
 
@@ -290,7 +302,7 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 	// Admission: reserve queue slots or reject with a retry estimate.
 	if depth := s.pending.Add(int64(len(wins))); depth > int64(s.cfg.MaxQueue) {
 		s.pending.Add(-int64(len(wins)))
-		s.m.rejected.Add(1)
+		s.m.rejected.Inc()
 		per := time.Duration(s.m.ewmaPatchNs.Load())
 		if per == 0 {
 			per = 10 * time.Millisecond
@@ -308,7 +320,7 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 		s.pending.Add(-int64(len(wins)))
 		return nil, ErrClosed
 	}
-	s.m.requests.Add(1)
+	s.m.requests.Inc()
 
 	req := &request{
 		x:    x,
@@ -338,8 +350,8 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 			patch.NormalizeBlend(req.acc, weight, req.outC, s.cfg.Window.Workers)
 		}
 		out := tensor.FromSlice(req.acc, req.outC, d, h, w)
-		s.m.blend.observe(time.Since(tBlend))
-		s.m.total.observe(time.Since(t0))
+		s.m.blend.ObserveDuration(time.Since(tBlend))
+		s.m.total.ObserveDuration(time.Since(t0))
 		return out, nil
 	}
 	out, err := s.cfg.Window.BlendPredictions(wins, req.preds, d, h, w)
@@ -349,8 +361,8 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.m.blend.observe(time.Since(tBlend))
-	s.m.total.observe(time.Since(t0))
+	s.m.blend.ObserveDuration(time.Since(tBlend))
+	s.m.total.ObserveDuration(time.Since(t0))
 	return out, nil
 }
 
@@ -366,10 +378,10 @@ func (s *Server) batcher() {
 	}()
 	rr := 0
 	dispatch := func(mb *microbatch) {
-		s.m.batches.Add(1)
+		s.m.batches.Inc()
 		s.m.fillSum.Add(uint64(len(mb.tasks)))
 		for _, t := range mb.tasks {
-			s.m.queue.observe(mb.formed.Sub(t.enq))
+			s.m.queue.ObserveDuration(mb.formed.Sub(t.enq))
 		}
 		s.replicas[rr].ch <- mb
 		rr = (rr + 1) % len(s.replicas)
@@ -422,7 +434,8 @@ func (s *Server) runReplica(r *replica) {
 	defer close(r.done)
 	for mb := range r.ch {
 		s.reloadMu.RLock()
-		s.m.batch.observe(time.Since(mb.formed))
+		s.m.busy.Inc()
+		s.m.batch.ObserveDuration(time.Since(mb.formed))
 
 		ext := mb.tasks[0].req.wins[mb.tasks[0].win]
 		c := mb.tasks[0].req.x.Shape()[0]
@@ -449,7 +462,7 @@ func (s *Server) runReplica(r *replica) {
 		t0 := time.Now()
 		out := r.model.Infer(batch)
 		compute := time.Since(t0)
-		s.m.compute.observe(compute)
+		s.m.compute.ObserveDuration(compute)
 		s.m.observePatchCompute(compute, b)
 
 		outC := out.Shape()[1]
@@ -473,7 +486,7 @@ func (s *Server) runReplica(r *replica) {
 				copy(pred.Data(), sample)
 				req.preds[t.win] = pred
 			}
-			s.m.patches.Add(1)
+			s.m.patches.Inc()
 			s.pending.Add(-1)
 			if req.left.Add(-1) == 0 {
 				close(req.done)
@@ -481,28 +494,32 @@ func (s *Server) runReplica(r *replica) {
 		}
 		tensor.Recycle(batch)
 		tensor.Recycle(out)
+		s.m.busy.Dec()
 		s.reloadMu.RUnlock()
 	}
 }
 
 // Stats returns a point-in-time snapshot of counters, queue depth and
-// per-stage latency distributions.
+// per-stage latency distributions. The read path is lock-free: it loads
+// the same atomics the hot paths store, so polling Stats (or scraping
+// /metrics, which reads the identical registry state) never blocks the
+// batcher or a replica worker.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:   s.m.requests.Load(),
-		Patches:    s.m.patches.Load(),
-		Batches:    s.m.batches.Load(),
-		Rejected:   s.m.rejected.Load(),
-		Reloads:    s.m.reloads.Load(),
+		Requests:   s.m.requests.Value(),
+		Patches:    s.m.patches.Value(),
+		Batches:    s.m.batches.Value(),
+		Rejected:   s.m.rejected.Value(),
+		Reloads:    s.m.reloads.Value(),
 		QueueDepth: s.pending.Load(),
-		Queue:      s.m.queue.snapshot(),
-		Batch:      s.m.batch.snapshot(),
-		Compute:    s.m.compute.snapshot(),
-		Blend:      s.m.blend.snapshot(),
-		Total:      s.m.total.snapshot(),
+		Queue:      latencyStats(s.m.queue),
+		Batch:      latencyStats(s.m.batch),
+		Compute:    latencyStats(s.m.compute),
+		Blend:      latencyStats(s.m.blend),
+		Total:      latencyStats(s.m.total),
 	}
 	if st.Batches > 0 {
-		st.AvgBatchFill = float64(s.m.fillSum.Load()) / float64(st.Batches)
+		st.AvgBatchFill = float64(s.m.fillSum.Value()) / float64(st.Batches)
 	}
 	return st
 }

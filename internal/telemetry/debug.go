@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an http.ServeMux exposing the registry at /metrics and
+// the standard pprof endpoints under /debug/pprof/ — the common debug
+// surface the long-running binaries mount behind their -metrics-addr and
+// -pprof flags.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	RegisterPprof(mux)
+	return mux
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux without relying
+// on the package's DefaultServeMux side effects.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeDebug starts the debug listener on addr in a background goroutine
+// and returns the bound address (useful with ":0") or an error if the
+// listen fails. The server runs until the process exits.
+func ServeDebug(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

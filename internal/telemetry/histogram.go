@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free — one
+// binary search plus four atomic operations, no allocation — so it can sit
+// on per-patch and per-step hot paths. Readers (Snapshot, the Prometheus
+// handler) load the same atomics and never block an Observe.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; observations above the last land in +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bit pattern, CAS-accumulated
+	maxBits atomic.Uint64 // float64 bit pattern, CAS-maximized
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// NewHistogram returns a standalone histogram (not attached to a registry)
+// with the given ascending bucket bounds — for tests and ad-hoc use.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(checkBounds("histogram", bounds))
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = +Inf
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds. Durations are kept in
+// the nanosecond domain end to end (bucket bounds included) so integral
+// nanosecond values stay exact in float64 and quantiles convert back to
+// time.Duration without rounding drift.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(float64(d))
+}
+
+// HistogramSnapshot is a point-in-time, allocation-isolated copy of a
+// histogram. Counts are per-bucket (not cumulative); Counts[len(Bounds)]
+// is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	Max    float64
+}
+
+// Snapshot copies the histogram's state without blocking writers. The
+// count is read first, so concurrent observations can only make the bucket
+// totals exceed Count — quantile targets stay well-defined.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket counts:
+// the upper bound of the bucket holding the target rank, and Max for the
+// tail beyond the last observation — the same read the serving dashboards
+// have always used, accurate to the bucket ratio.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target >= s.Count {
+		return s.Max
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// DurationBounds converts duration bucket bounds to the float64 nanosecond
+// domain ObserveDuration records in. Geometric serving-latency buckets —
+// 1µs to ~100s — come from ServeLatencyBounds.
+func DurationBounds(bounds []time.Duration) []float64 {
+	out := make([]float64, len(bounds))
+	for i, d := range bounds {
+		out[i] = float64(d)
+	}
+	return out
+}
+
+// GeometricDurationBounds returns n geometric bucket bounds from lo to hi
+// inclusive — the shape of the serving tier's latency histograms.
+func GeometricDurationBounds(lo, hi time.Duration, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("telemetry: GeometricDurationBounds needs n ≥ 2 and 0 < lo < hi")
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(n-1))
+	out := make([]float64, n)
+	v := float64(lo)
+	for i := range out {
+		out[i] = float64(time.Duration(v))
+		v *= ratio
+	}
+	return out
+}

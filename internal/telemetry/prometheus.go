@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every metric in the registry in the Prometheus text
+// exposition format (version 0.0.4), deterministically: families sorted by
+// name, children by label value, histogram buckets ascending with the
+// cumulative le convention. Reading samples the same atomics the hot paths
+// write — no collector is locked against its writers.
+func WriteText(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.counterFn != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counterFn())
+		case f.gaugeFn != nil:
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
+		default:
+			for _, val := range f.childValues() {
+				switch f.typ {
+				case typeCounter:
+					fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPair(f.label, val), f.counters[val].Value())
+				case typeGauge:
+					fmt.Fprintf(bw, "%s%s %s\n", f.name, labelPair(f.label, val), formatFloat(f.gauges[val].Value()))
+				case typeHistogram:
+					writeHistogram(bw, f, val)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram child: cumulative buckets, sum,
+// count.
+func writeHistogram(w *bufio.Writer, f *family, val string) {
+	s := f.histograms[val].Snapshot()
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairLE(f.label, val, formatFloat(b)), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairLE(f.label, val, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPair(f.label, val), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPair(f.label, val), s.Count)
+}
+
+// labelPair renders {key="value"}, or nothing for unlabelled children.
+func labelPair(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return `{` + key + `="` + escapeLabel(value) + `"}`
+}
+
+// labelPairLE renders the bucket label set, keeping le last per convention.
+func labelPairLE(key, value, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return `{` + key + `="` + escapeLabel(value) + `",le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler serves the registry's metrics over HTTP — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteText(w, r)
+	})
+}

@@ -1,0 +1,334 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a namespace of metrics. Registration (Counter, Gauge,
+// Histogram and their Vec/Func variants) is get-or-create and safe from any
+// goroutine; re-registering a name returns the existing collector, so
+// package-level instrumentation and late wiring cannot race. Registering a
+// name under a different type or shape panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// std is the process-wide default registry.
+var std = NewRegistry()
+
+// Default returns the process-wide registry: the one the binaries expose on
+// their /metrics listeners and the one package-level instrumentation
+// (allreduce, dist workers) registers into.
+func Default() *Registry { return std }
+
+// metricType is the Prometheus exposition type of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one metric name: either a single unlabelled child or a fixed,
+// pre-registered set of labelled children.
+type family struct {
+	name  string
+	help  string
+	typ   metricType
+	label string // label key, "" for unlabelled families
+
+	// Exactly one of the following is populated per child kind.
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	counterFn  func() uint64
+	gaugeFn    func() float64
+
+	bounds []float64 // histogram families: the shared bucket bounds
+}
+
+// lookup returns the family for name, creating it with mk on first use and
+// panicking when an existing family has a different type or label key.
+func (r *Registry) lookup(name, help string, typ metricType, label string, mk func(*family)) *family {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, label: label}
+		mk(f)
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ || f.label != label {
+		panic(fmt.Sprintf("telemetry: %s already registered as %s with label %q, want %s with label %q",
+			name, f.typ, f.label, typ, label))
+	}
+	return f
+}
+
+// Counter is a monotone event count. Inc/Add are single atomic adds — safe
+// and allocation-free on any hot path.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers (or fetches) the unlabelled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, typeCounter, "", func(f *family) {
+		f.counters = map[string]*Counter{"": {}}
+	})
+	if f.counterFn != nil {
+		panic(fmt.Sprintf("telemetry: %s is a CounterFunc", name))
+	}
+	return f.counters[""]
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at read
+// time — for monotone counts another subsystem already maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.lookup(name, help, typeCounter, "", func(f *family) {
+		f.counterFn = fn
+	})
+}
+
+// CounterVec registers the counter family name with a fixed label key and
+// the full set of label values. Children are created now; With resolves one.
+func (r *Registry) CounterVec(name, help, label string, values ...string) *CounterVec {
+	if label == "" || len(values) == 0 {
+		panic("telemetry: CounterVec needs a label key and at least one value")
+	}
+	f := r.lookup(name, help, typeCounter, label, func(f *family) {
+		f.counters = map[string]*Counter{}
+		for _, v := range values {
+			f.counters[v] = &Counter{}
+		}
+	})
+	for _, v := range values {
+		if _, ok := f.counters[v]; !ok {
+			panic(fmt.Sprintf("telemetry: %s re-registered with new label value %q", name, v))
+		}
+	}
+	return &CounterVec{f: f}
+}
+
+// CounterVec is a fixed set of labelled counters.
+type CounterVec struct{ f *family }
+
+// With returns the child for the pre-registered label value.
+func (v *CounterVec) With(value string) *Counter {
+	c, ok := v.f.counters[value]
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s has no label value %q", v.f.name, value))
+	}
+	return c
+}
+
+// Gauge is an instantaneous float64 value. All methods are lock-free
+// (float64 bit-pattern CAS) and safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (or fetches) the unlabelled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, typeGauge, "", func(f *family) {
+		f.gauges = map[string]*Gauge{"": {}}
+	})
+	if f.gaugeFn != nil {
+		panic(fmt.Sprintf("telemetry: %s is a GaugeFunc", name))
+	}
+	return f.gauges[""]
+}
+
+// GaugeFunc registers a gauge sampled from fn at read time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.lookup(name, help, typeGauge, "", func(f *family) {
+		f.gaugeFn = fn
+	})
+}
+
+// GaugeVec registers the gauge family name with a fixed label set.
+func (r *Registry) GaugeVec(name, help, label string, values ...string) *GaugeVec {
+	if label == "" || len(values) == 0 {
+		panic("telemetry: GaugeVec needs a label key and at least one value")
+	}
+	f := r.lookup(name, help, typeGauge, label, func(f *family) {
+		f.gauges = map[string]*Gauge{}
+		for _, v := range values {
+			f.gauges[v] = &Gauge{}
+		}
+	})
+	for _, v := range values {
+		if _, ok := f.gauges[v]; !ok {
+			panic(fmt.Sprintf("telemetry: %s re-registered with new label value %q", name, v))
+		}
+	}
+	return &GaugeVec{f: f}
+}
+
+// GaugeVec is a fixed set of labelled gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the child for the pre-registered label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	g, ok := v.f.gauges[value]
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s has no label value %q", v.f.name, value))
+	}
+	return g
+}
+
+// Histogram registers (or fetches) the unlabelled histogram name with the
+// given bucket upper bounds (ascending; an implicit +Inf bucket is added).
+// Re-registration must pass identical bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.lookup(name, help, typeHistogram, "", func(f *family) {
+		f.bounds = checkBounds(name, bounds)
+		f.histograms = map[string]*Histogram{"": newHistogram(f.bounds)}
+	})
+	sameBounds(name, f.bounds, bounds)
+	return f.histograms[""]
+}
+
+// HistogramVec registers the histogram family name with a fixed label set;
+// every child shares the bucket bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, label string, values ...string) *HistogramVec {
+	if label == "" || len(values) == 0 {
+		panic("telemetry: HistogramVec needs a label key and at least one value")
+	}
+	f := r.lookup(name, help, typeHistogram, label, func(f *family) {
+		f.bounds = checkBounds(name, bounds)
+		f.histograms = map[string]*Histogram{}
+		for _, v := range values {
+			f.histograms[v] = newHistogram(f.bounds)
+		}
+	})
+	sameBounds(name, f.bounds, bounds)
+	for _, v := range values {
+		if _, ok := f.histograms[v]; !ok {
+			panic(fmt.Sprintf("telemetry: %s re-registered with new label value %q", name, v))
+		}
+	}
+	return &HistogramVec{f: f}
+}
+
+// HistogramVec is a fixed set of labelled histograms.
+type HistogramVec struct{ f *family }
+
+// With returns the child for the pre-registered label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	h, ok := v.f.histograms[value]
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s has no label value %q", v.f.name, value))
+	}
+	return h
+}
+
+func checkBounds(name string, bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: %s needs at least one bucket bound", name))
+	}
+	out := append([]float64(nil), bounds...)
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			panic(fmt.Sprintf("telemetry: %s bucket bounds not ascending at %d", name, i))
+		}
+	}
+	return out
+}
+
+func sameBounds(name string, have, want []float64) {
+	if len(want) == 0 {
+		return // fetch-only callers may omit bounds they don't re-specify
+	}
+	if len(have) != len(want) {
+		panic(fmt.Sprintf("telemetry: %s re-registered with %d bounds, have %d", name, len(want), len(have)))
+	}
+	for i := range have {
+		if have[i] != want[i] {
+			panic(fmt.Sprintf("telemetry: %s re-registered with different bound %d", name, i))
+		}
+	}
+}
+
+// sortedFamilies returns the families sorted by name — the deterministic
+// exposition and snapshot order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// childValues returns a family's label values in sorted order ("" for the
+// unlabelled singleton).
+func (f *family) childValues() []string {
+	var vals []string
+	switch {
+	case f.counters != nil:
+		for v := range f.counters {
+			vals = append(vals, v)
+		}
+	case f.gauges != nil:
+		for v := range f.gauges {
+			vals = append(vals, v)
+		}
+	case f.histograms != nil:
+		for v := range f.histograms {
+			vals = append(vals, v)
+		}
+	}
+	sort.Strings(vals)
+	return vals
+}

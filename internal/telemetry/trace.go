@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecordKind classifies a trace record.
+type RecordKind string
+
+// Record kinds.
+const (
+	// KindSpan is a timed region: Name plus Dur.
+	KindSpan RecordKind = "span"
+	// KindEvent is an instantaneous occurrence (lifecycle transitions,
+	// faults, checkpoints).
+	KindEvent RecordKind = "event"
+	// KindStep is one optimizer step: Name, Step, Dur and loss in Attrs.
+	KindStep RecordKind = "step"
+)
+
+// Record is one line of the JSONL trace stream. TS is nanoseconds since
+// the tracer started, taken from the monotonic clock, so differences
+// between records are wall-clock-jump-proof; spans carry their duration in
+// Dur. Contextual identity (rank, generation, path, cause…) rides in
+// Attrs as strings, keeping the schema stable while every subsystem
+// attaches its own context.
+type Record struct {
+	TS    int64             `json:"ts_ns"`
+	Kind  RecordKind        `json:"kind"`
+	Name  string            `json:"name"`
+	Dur   int64             `json:"dur_ns,omitempty"`
+	Step  int64             `json:"step,omitempty"`
+	Epoch int64             `json:"epoch,omitempty"`
+	Gen   int64             `json:"gen,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer appends Records to a writer as JSON lines through a buffered
+// asynchronous channel: Emit never blocks — when the writer cannot keep up
+// and the buffer fills, the record is dropped and counted instead, so
+// tracing cannot stall a training step or a collective. All methods are
+// safe on a nil *Tracer (no-ops), so call sites need no guards.
+type Tracer struct {
+	start   time.Time
+	ch      chan Record
+	done    chan struct{}
+	drops   atomic.Uint64
+	written atomic.Uint64
+
+	closeOnce sync.Once
+	closer    io.Closer // closed after the writer drains, when non-nil
+}
+
+// TracerOptions tunes a Tracer.
+type TracerOptions struct {
+	// Buffer is the channel depth between Emit and the writer goroutine
+	// (default 1024 records).
+	Buffer int
+}
+
+// NewTracer starts a tracer writing JSONL to w.
+func NewTracer(w io.Writer, opts TracerOptions) *Tracer {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	t := &Tracer{
+		start: time.Now(),
+		ch:    make(chan Record, opts.Buffer),
+		done:  make(chan struct{}),
+	}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	go t.writeLoop(w)
+	return t
+}
+
+// NewTracerFile starts a tracer writing JSONL to path (truncating it); the
+// file is closed by Close.
+func NewTracerFile(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(f, TracerOptions{}), nil
+}
+
+// writeLoop drains the channel through a buffered writer, flushing
+// whenever the stream goes momentarily idle so a tail -f (or a smoke test
+// right after a crash) sees complete lines.
+func (t *Tracer) writeLoop(w io.Writer) {
+	defer close(t.done)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	enc := json.NewEncoder(bw)
+	for rec := range t.ch {
+		if enc.Encode(rec) == nil {
+			t.written.Add(1)
+		}
+		if len(t.ch) == 0 {
+			bw.Flush()
+		}
+	}
+	bw.Flush()
+}
+
+// Emit appends one record, stamping TS when it is zero. It never blocks:
+// with the buffer full the record is dropped and Dropped incremented.
+func (t *Tracer) Emit(rec Record) {
+	if t == nil {
+		return
+	}
+	if rec.TS == 0 {
+		rec.TS = time.Since(t.start).Nanoseconds()
+	}
+	select {
+	case t.ch <- rec:
+	default:
+		t.drops.Add(1)
+	}
+}
+
+// Event emits an instantaneous event record with optional key/value attr
+// pairs.
+func (t *Tracer) Event(name string, kv ...string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Record{Kind: KindEvent, Name: name, Attrs: attrs(kv)})
+}
+
+// Span starts a timed region and returns its end function; call it (once)
+// to emit the span record with optional attr pairs.
+//
+//	defer tr.Span("reform")()
+func (t *Tracer) Span(name string) func(kv ...string) {
+	if t == nil {
+		return func(...string) {}
+	}
+	t0 := time.Now()
+	ts := time.Since(t.start).Nanoseconds()
+	return func(kv ...string) {
+		t.Emit(Record{TS: ts, Kind: KindSpan, Name: name, Dur: time.Since(t0).Nanoseconds(), Attrs: attrs(kv)})
+	}
+}
+
+// StepRecord emits one optimizer-step record.
+func (t *Tracer) StepRecord(name string, step, epoch int, dur time.Duration, kv ...string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Record{Kind: KindStep, Name: name, Step: int64(step), Epoch: int64(epoch),
+		Dur: dur.Nanoseconds(), Attrs: attrs(kv)})
+}
+
+// Dropped returns how many records were discarded because the writer could
+// not keep up.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.drops.Load()
+}
+
+// Written returns how many records reached the writer.
+func (t *Tracer) Written() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.written.Load()
+}
+
+// Close drains and flushes the stream, appends a final trace_dropped event
+// when any record was lost, and closes the underlying file when the tracer
+// owns one. Emit after Close is a counted drop, never a panic or a block.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.closeOnce.Do(func() {
+		if d := t.drops.Load(); d > 0 {
+			t.Emit(Record{Kind: KindEvent, Name: "trace_dropped",
+				Attrs: map[string]string{"count": itoa(d)}})
+		}
+		close(t.ch)
+	})
+	<-t.done
+	if t.closer != nil {
+		return t.closer.Close()
+	}
+	return nil
+}
+
+func attrs(kv []string) map[string]string {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func itoa(v uint64) string {
+	// Tiny local formatter keeps the drop-report path allocation-bounded.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

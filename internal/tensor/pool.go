@@ -80,12 +80,18 @@ func GetScratch(n int) []float32 {
 	class, size := scratchClass(n)
 	if class < 0 {
 		scratchCounters.allocs.Add(1)
+		scratchClassGets[numScratchClasses].Inc()
+		scratchClassAllocs[numScratchClasses].Inc()
+		scratchAllocBytes.Add(uint64(n) * 4)
 		return make([]float32, n)
 	}
+	scratchClassGets[class].Inc()
 	if p, _ := scratchPools[class].Get().(*[]float32); p != nil {
 		return (*p)[:n]
 	}
 	scratchCounters.allocs.Add(1)
+	scratchClassAllocs[class].Inc()
+	scratchAllocBytes.Add(uint64(size) * 4)
 	return make([]float32, size)[:n]
 }
 

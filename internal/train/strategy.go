@@ -2,6 +2,7 @@ package train
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/loss"
 	"repro/internal/metrics"
@@ -64,6 +65,8 @@ type Single struct {
 	loss    loss.Loss
 	opt     optim.Optimizer
 	workers int
+
+	phaseObs func(phase string, d time.Duration) // nil = no phase timing
 }
 
 // NewSingle builds the sequential strategy.
@@ -85,16 +88,35 @@ func NewSingle(cfg SingleConfig) (*Single, error) {
 	return &Single{model: model, loss: l, opt: opt, workers: netCfg.Workers}, nil
 }
 
+// SetPhaseObserver implements PhaseReporter: fn receives exact
+// forward/backward/optim durations for every subsequent step. Not
+// synchronized with Step — install it before training starts.
+func (s *Single) SetPhaseObserver(fn func(phase string, d time.Duration)) { s.phaseObs = fn }
+
 // Step implements Strategy.
 func (s *Single) Step(inputs, masks *tensor.Tensor) (float64, error) {
 	if masks.Dim(0) != inputs.Dim(0) {
 		return 0, fmt.Errorf("train: masks batch %d does not match inputs %d", masks.Dim(0), inputs.Dim(0))
 	}
+	if s.phaseObs == nil {
+		s.model.ZeroGrads()
+		pred := s.model.Forward(inputs)
+		l, grad := s.loss.Eval(pred, masks)
+		s.model.Backward(grad)
+		s.opt.Step(s.model.Params())
+		return l, nil
+	}
 	s.model.ZeroGrads()
+	t0 := time.Now()
 	pred := s.model.Forward(inputs)
 	l, grad := s.loss.Eval(pred, masks)
+	t1 := time.Now()
+	s.phaseObs("forward", t1.Sub(t0))
 	s.model.Backward(grad)
+	t2 := time.Now()
+	s.phaseObs("backward", t2.Sub(t1))
 	s.opt.Step(s.model.Params())
+	s.phaseObs("optim", time.Since(t2))
 	return l, nil
 }
 
