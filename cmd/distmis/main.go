@@ -21,7 +21,8 @@
 //
 //	distmis -mode coordinator [-width N] [-epochs N] [-cases N] [-dim N]
 //	        [-batch N] [-lr F] [-loss NAME] [-optimizer NAME] [-ckpt FILE]
-//	        [-ckpt-every N] [-group-size N] [-kill-rank R -kill-step S]
+//	        [-ckpt-every N] [-group-size N] [-codec none|fp16|int8]
+//	        [-bucket-kb N] [-kill-rank R -kill-step S]
 //
 // spawns N worker processes (re-executing this binary in -mode worker),
 // trains the single configuration data-parallel over a socket ring, and
@@ -42,6 +43,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/allreduce"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/msd"
@@ -82,6 +84,9 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 1, "coordinator: checkpoint every N optimizer steps")
 	groupSize := flag.Int("group-size", 0, "coordinator: hierarchical ring group size (0 = flat ring)")
 	opTimeoutMS := flag.Int("op-timeout-ms", 0, "coordinator: per-collective deadline in ms (0 = 10s)")
+	codec := flag.String("codec", "none",
+		fmt.Sprintf("coordinator: gradient wire codec: %s", strings.Join(allreduce.CodecNames(), ", ")))
+	bucketKB := flag.Int("bucket-kb", 0, "coordinator: gradient bucket KiB for the overlapped reduction (0 = auto: monolithic for none, 64 for lossy codecs; <0 forces monolithic)")
 	killRank := flag.Int("kill-rank", -1, "coordinator: rank to kill abruptly in generation 1 (-1 = none)")
 	killStep := flag.Int("kill-step", 1, "coordinator: optimizer step after which -kill-rank dies")
 	joinAddr := flag.String("join", "", "worker: coordinator control address to join")
@@ -116,6 +121,7 @@ func main() {
 			engine: *engine, batch: *batch, lr: *lr, loss: *lossName,
 			optimizer: *optName, ckpt: *ckptFile, ckptEvery: *ckptEvery,
 			groupSize: *groupSize, opTimeoutMS: *opTimeoutMS,
+			codec: *codec, bucketKB: *bucketKB,
 			killRank: *killRank, killStep: *killStep,
 			trace: *tracePath,
 		})
@@ -200,13 +206,6 @@ func main() {
 		res.BestDice, res.Best, res.Elapsed.Round(1e6), res.Strategy, res.GPUs)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // coordSpec carries the coordinator-mode flags.
 type coordSpec struct {
 	width, epochs, cases, dim, steps, filters int
@@ -217,6 +216,8 @@ type coordSpec struct {
 	lr                                        float64
 	loss, optimizer, ckpt                     string
 	ckptEvery, groupSize, opTimeoutMS         int
+	codec                                     string
+	bucketKB                                  int
 	killRank, killStep                        int
 	trace                                     string
 }
@@ -246,6 +247,7 @@ func runCoordinatorMode(s coordSpec) {
 		GroupSize: s.groupSize,
 		CkptPath:  s.ckpt, CkptEverySteps: s.ckptEvery,
 		OpTimeoutMS: s.opTimeoutMS,
+		Codec:       s.codec, BucketKB: s.bucketKB,
 	}
 
 	exe, err := os.Executable()

@@ -23,13 +23,6 @@ func chunkBounds(n, parts, c int) (int, int) {
 	return lo, lo + size
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func validate(bufs [][]float32) error {
 	if len(bufs) == 0 {
 		return fmt.Errorf("allreduce: no buffers")

@@ -1,0 +1,236 @@
+package allreduce
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCodecRegistry(t *testing.T) {
+	for _, name := range []string{"none", "fp16", "int8"} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("codec %q reports name %q", name, c.Name())
+		}
+		byID, ok := CodecByID(c.ID())
+		if !ok || byID.Name() != name {
+			t.Fatalf("CodecByID(%d) did not round-trip codec %q", c.ID(), name)
+		}
+	}
+	if c, err := CodecByName(""); err != nil || c.Name() != "none" {
+		t.Fatalf("CodecByName(\"\") = %v, %v; want the none codec", c, err)
+	}
+	if _, err := CodecByName("zstd"); err == nil {
+		t.Fatal("CodecByName of an unknown codec did not error")
+	}
+	if _, ok := CodecByID(200); ok {
+		t.Fatal("CodecByID(200) resolved an unregistered id")
+	}
+	if !CodecNone.Lossless() {
+		t.Fatal("the none codec must report Lossless")
+	}
+	for _, name := range []string{"fp16", "int8"} {
+		c, _ := CodecByName(name)
+		if c.Lossless() {
+			t.Fatalf("codec %q must not report Lossless", name)
+		}
+	}
+}
+
+// testVectors returns gradient-like inputs: mixed magnitudes, constant
+// chunks, empty and single-element payloads.
+func testVectors(rng *rand.Rand) [][]float32 {
+	mixed := make([]float32, 257)
+	for i := range mixed {
+		mixed[i] = float32((rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(7)-3)))
+	}
+	tiny := make([]float32, 64)
+	for i := range tiny {
+		tiny[i] = float32((rng.Float64()*2 - 1) * 1e-6)
+	}
+	return [][]float32{
+		{},
+		{0},
+		{1.5},
+		{-3.25, 3.25},
+		{0, 0, 0, 0},          // constant chunk (int8 scale == 0)
+		{42.5, 42.5, 42.5},    // non-zero constant
+		{1e-8, -1e-8, 5e-9},   // deep underflow for fp16
+		{65504, -65504, 1000}, // fp16 normal-range edge
+		mixed,
+		tiny,
+	}
+}
+
+// TestCodecRoundTripBounds checks every codec's error bound on round trip:
+// none is bit-exact, fp16 within 2⁻¹¹ relative error in the binary16 normal
+// range, int8 within scale/2 absolute error against the chunk's own grid.
+func TestCodecRoundTripBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, vals := range testVectors(rng) {
+		for _, name := range CodecNames() {
+			c, _ := CodecByName(name)
+			got, err := c.Decode(c.Encode(vals))
+			if err != nil {
+				t.Fatalf("%s: decode(encode): %v", name, err)
+			}
+			if len(got) != len(vals) {
+				t.Fatalf("%s: round trip of %d values returned %d", name, len(vals), len(got))
+			}
+			switch name {
+			case "none":
+				for i := range vals {
+					if math.Float32bits(got[i]) != math.Float32bits(vals[i]) {
+						t.Fatalf("none: value %d not bit-exact: %x vs %x", i, got[i], vals[i])
+					}
+				}
+			case "fp16":
+				for i, v := range vals {
+					av := math.Abs(float64(v))
+					if av < 0x1p-14 || av > 65504 { // subnormal / overflow range: bounded separately
+						continue
+					}
+					if rel := math.Abs(float64(got[i])-float64(v)) / av; rel > 0x1p-11 {
+						t.Fatalf("fp16: value %d: %g → %g, relative error %g > 2^-11", i, v, got[i], rel)
+					}
+				}
+			case "int8":
+				if len(vals) == 0 {
+					continue
+				}
+				mn, mx := vals[0], vals[0]
+				for _, v := range vals[1:] {
+					mn, mx = min(mn, v), max(mx, v)
+				}
+				bound := float64(mx-mn)/255/2 + 1e-7*math.Max(math.Abs(float64(mn)), math.Abs(float64(mx)))
+				for i, v := range vals {
+					if diff := math.Abs(float64(got[i]) - float64(v)); diff > bound {
+						t.Fatalf("int8: value %d: %g → %g, error %g > scale/2 = %g", i, v, got[i], diff, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodecDeterministic: encode must be a pure function of the values and
+// decode a pure function of the payload — the property cross-rank
+// bit-identity rests on.
+func TestCodecDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, vals := range testVectors(rng) {
+		for _, name := range CodecNames() {
+			c, _ := CodecByName(name)
+			p1, p2 := c.Encode(vals), c.Encode(vals)
+			if !bytes.Equal(p1, p2) {
+				t.Fatalf("%s: two encodes of the same values differ", name)
+			}
+			d1, err1 := c.Decode(p1)
+			d2, err2 := c.Decode(p2)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: decode: %v / %v", name, err1, err2)
+			}
+			for i := range d1 {
+				if math.Float32bits(d1[i]) != math.Float32bits(d2[i]) {
+					t.Fatalf("%s: two decodes of the same payload differ at %d", name, i)
+				}
+			}
+			// Requantization must be idempotent: decode(encode(decode(encode(x))))
+			// == decode(encode(x)) bit-for-bit, or the self-requantize pass
+			// and its receivers would disagree.
+			p3 := c.Encode(d1)
+			d3, err := c.Decode(p3)
+			if err != nil {
+				t.Fatalf("%s: re-encode decode: %v", name, err)
+			}
+			for i := range d1 {
+				if math.Float32bits(d3[i]) != math.Float32bits(d1[i]) {
+					t.Fatalf("%s: requantization not idempotent at %d: %x vs %x", name, i, d3[i], d1[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCodecCompressionRatio pins the wire sizes the BENCH.md table reports:
+// fp16 is exactly half the raw bytes, int8 a quarter plus its 8-byte header.
+func TestCodecCompressionRatio(t *testing.T) {
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = float32(i) * 0.001
+	}
+	sizes := map[string]int{"none": 4000, "fp16": 2000, "int8": 1000 + int8Header}
+	for name, want := range sizes {
+		c, _ := CodecByName(name)
+		if got := len(c.Encode(vals)); got != want {
+			t.Fatalf("%s: 1000 values encode to %d bytes, want %d", name, got, want)
+		}
+	}
+}
+
+func TestCodecDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		codec string
+		in    []byte
+	}{
+		{"none", []byte{1, 2, 3}},    // not a multiple of 4
+		{"fp16", []byte{1}},          // not a multiple of 2
+		{"int8", []byte{1, 2, 3, 4}}, // shorter than the min/scale header
+	}
+	for _, tc := range cases {
+		c, _ := CodecByName(tc.codec)
+		if _, err := c.Decode(tc.in); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%s: decode of %d bytes: got %v, want ErrBadFrame", tc.codec, len(tc.in), err)
+		}
+	}
+}
+
+// TestFP16Conversion pins the binary16 conversion against known bit
+// patterns, including rounding, subnormals and specials.
+func TestFP16Conversion(t *testing.T) {
+	cases := []struct {
+		f32  float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},                 // largest binary16 normal
+		{65520, 0x7c00},                 // rounds up past the max → +Inf
+		{float32(math.Inf(1)), 0x7c00},  // +Inf
+		{float32(math.Inf(-1)), 0xfc00}, // -Inf
+		{0x1p-14, 0x0400},               // smallest binary16 normal
+		{0x1p-24, 0x0001},               // smallest binary16 subnormal
+		{0x1p-26, 0x0000},               // underflows to zero
+		{1.0009765625, 0x3c01},          // 1 + 2^-10: exactly representable
+		{1.00048828125, 0x3c00},         // 1 + 2^-11: ties to even (down)
+		{1.0014648438, 0x3c02},          // 1 + 3·2^-11 ties to even (up)
+	}
+	for _, tc := range cases {
+		if got := f16FromF32(tc.f32); got != tc.bits {
+			t.Errorf("f16FromF32(%g) = %#04x, want %#04x", tc.f32, got, tc.bits)
+		}
+	}
+	if got := f16FromF32(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("f16FromF32(NaN) = %#04x is not a NaN pattern", got)
+	}
+	if got := f16ToF32(0x7e00); !math.IsNaN(float64(got)) {
+		t.Errorf("f16ToF32(quiet NaN) = %g, want NaN", got)
+	}
+	// Every binary16 bit pattern except NaNs must round-trip exactly
+	// through float32 (binary16 ⊂ binary32).
+	for h := 0; h <= 0xFFFF; h++ {
+		f := f16ToF32(uint16(h))
+		if math.IsNaN(float64(f)) {
+			continue
+		}
+		if got := f16FromF32(f); got != uint16(h) {
+			t.Fatalf("binary16 %#04x → %g → %#04x does not round-trip", h, f, got)
+		}
+	}
+}

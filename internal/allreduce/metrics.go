@@ -30,7 +30,50 @@ var (
 	opAllReduce = opDurations.With("allreduce")
 	opGather    = opDurations.With("gather")
 	opBroadcast = opDurations.With("broadcast")
+
+	// Codec metrics: gradient chunk payload bytes after encoding (what the
+	// wire actually carries) next to the float32 bytes they replace —
+	// compression ratio is payloadBytes/rawBytes per codec label — plus
+	// encode/decode time so the CPU cost of compression is visible against
+	// the socket time it saves.
+	payloadBytes = telemetry.Default().CounterVec("allreduce_payload_bytes_total",
+		"gradient chunk payload bytes sent, after codec encoding", "codec",
+		"none", "fp16", "int8")
+	payloadRawBytes = telemetry.Default().CounterVec("allreduce_payload_raw_bytes_total",
+		"float32 gradient bytes before codec encoding", "codec",
+		"none", "fp16", "int8")
+	codecEncodeNS = telemetry.Default().HistogramVec("allreduce_codec_encode_ns",
+		"chunk encode duration in nanoseconds",
+		telemetry.GeometricDurationBounds(time.Microsecond, 10*time.Second, 48),
+		"codec", "none", "fp16", "int8")
+	codecDecodeNS = telemetry.Default().HistogramVec("allreduce_codec_decode_ns",
+		"chunk decode duration in nanoseconds",
+		telemetry.GeometricDurationBounds(time.Microsecond, 10*time.Second, 48),
+		"codec", "none", "fp16", "int8")
 )
+
+// codecMetrics caches one codec's counter and histogram children so the
+// chunk hot path pays atomic adds, not label lookups. Codecs registered
+// from outside the package (no pre-registered label) observe nothing
+// rather than exploding label cardinality.
+type codecMetrics struct {
+	payload, raw   *telemetry.Counter
+	encode, decode *telemetry.Histogram
+}
+
+var builtinCodecNames = map[string]bool{"none": true, "fp16": true, "int8": true}
+
+func codecMetricsFor(c Codec) *codecMetrics {
+	if !builtinCodecNames[c.Name()] {
+		return &codecMetrics{}
+	}
+	return &codecMetrics{
+		payload: payloadBytes.With(c.Name()),
+		raw:     payloadRawBytes.With(c.Name()),
+		encode:  codecEncodeNS.With(c.Name()),
+		decode:  codecDecodeNS.With(c.Name()),
+	}
+}
 
 // observeOp records one collective's duration; call as
 // `defer observeOp(h, time.Now())` right after arming the op.

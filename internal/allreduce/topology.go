@@ -25,6 +25,10 @@ var (
 	// ErrFormTimeout reports that the membership could not be wired within
 	// the formation budget.
 	ErrFormTimeout = errors.New("allreduce: topology formation timed out")
+	// ErrCodecMismatch reports that two ring peers were configured with
+	// different gradient codecs. Both sides fail fast at the handshake —
+	// a mixed-codec membership would desync silently mid-reduce otherwise.
+	ErrCodecMismatch = errors.New("allreduce: gradient codec mismatch between ring peers")
 )
 
 // PeerError attributes a collective failure to a ring neighbour.
@@ -55,6 +59,11 @@ type NetConfig struct {
 	OpTimeout   time.Duration // per-collective deadline (0 = none)
 	FormTimeout time.Duration // formation budget (default 10s)
 	MaxPayload  int           // frame payload bound (≤ 0: DefaultMaxPayload)
+	// Codec compresses gradient chunk payloads on the wire (nil =
+	// CodecNone, the raw-float32 PR 7 format). Every member must configure
+	// the same codec: the handshake exchanges codec IDs and a mismatch
+	// fails formation with ErrCodecMismatch on both sides.
+	Codec Codec
 	// Wrap, when non-nil, wraps every established link after the handshake —
 	// the fault-injection hook (netsim.FaultConn). self and peer are global
 	// ranks; the wrapped conn carries frames self→peer or peer→self
@@ -65,6 +74,9 @@ type NetConfig struct {
 func (c NetConfig) withDefaults() NetConfig {
 	if c.FormTimeout <= 0 {
 		c.FormTimeout = 10 * time.Second
+	}
+	if c.Codec == nil {
+		c.Codec = CodecNone
 	}
 	return c
 }
@@ -83,6 +95,9 @@ type Topology struct {
 	cfg       NetConfig
 	op        uint32
 
+	cdc Codec         // negotiated gradient codec (never nil after formation)
+	cm  *codecMetrics // cached metric children for cdc
+
 	intra  *ringLink // ring within the group (nil when the group has 1 member)
 	leader *ringLink // ring across group leaders (nil unless leader of >1 groups)
 
@@ -96,6 +111,9 @@ func (t *Topology) Rank() int { return t.rank }
 
 // Width returns the membership size.
 func (t *Topology) Width() int { return t.n }
+
+// Codec returns the gradient codec every member of this topology runs.
+func (t *Topology) Codec() Codec { return t.cdc }
 
 // SetOpTimeout adjusts the per-collective deadline (evaluation-phase
 // collectives wait on slower full-volume inference and need a longer one).
@@ -149,6 +167,7 @@ func FormTopology(ln net.Listener, members []string, rank, groupSize int, cfg Ne
 	t := &Topology{
 		rank: rank, n: n, groupSize: groupSize, cfg: cfg,
 		groupLo: lo, groupN: gn, numGroups: numGroups,
+		cdc: cfg.Codec, cm: codecMetricsFor(cfg.Codec),
 	}
 	if n == 1 {
 		return t, nil
@@ -227,8 +246,18 @@ func FormTopology(ln net.Listener, members []string, rank, groupSize int, cfg Ne
 				conn.Close()
 				continue
 			}
+			if hello.Codec != cfg.Codec.ID() {
+				// A ring peer configured with a different gradient codec:
+				// answer with our codec so the dialer fails fast too, then
+				// abort formation — a mixed-codec membership must never form.
+				conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(rank), Seq: hello.Seq, Codec: cfg.Codec.ID()})
+				conn.Close()
+				acceptErr <- fmt.Errorf("%w: peer rank %d dialed with codec id %d, this rank runs %q (id %d)",
+					ErrCodecMismatch, hello.Step, hello.Codec, cfg.Codec.Name(), cfg.Codec.ID())
+				return
+			}
 			// Acknowledge so the dialer knows the link is accepted.
-			if err := conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(rank), Seq: hello.Seq}); err != nil {
+			if err := conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(rank), Seq: hello.Seq, Codec: cfg.Codec.ID()}); err != nil {
 				conn.Close()
 				continue
 			}
@@ -291,7 +320,9 @@ func FormTopology(ln net.Listener, members []string, rank, groupSize int, cfg Ne
 	return t, nil
 }
 
-// dialRing establishes one outbound ring link: dial, hello, await ack.
+// dialRing establishes one outbound ring link: dial, hello, await ack. A
+// codec mismatch in an otherwise-valid ack aborts immediately — retrying
+// can never fix a configuration disagreement.
 func dialRing(addr string, selfRank, peerRank int, role uint32, cfg NetConfig, deadline time.Time) (Conn, error) {
 	backoff := 20 * time.Millisecond
 	var lastErr error
@@ -305,12 +336,17 @@ func dialRing(addr string, selfRank, peerRank int, role uint32, cfg NetConfig, d
 			break
 		}
 		conn.SetDeadline(time.Now().Add(2 * time.Second))
-		err = conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(selfRank), Seq: role})
+		err = conn.Send(&Frame{Type: FrameHello, Gen: cfg.Gen, Step: uint32(selfRank), Seq: role, Codec: cfg.Codec.ID()})
 		var ack *Frame
 		if err == nil {
 			ack, err = conn.Recv()
 		}
 		if err == nil && ack.Type == FrameHello && ack.Gen == cfg.Gen && int(ack.Step) == peerRank {
+			if ack.Codec != cfg.Codec.ID() {
+				conn.Close()
+				return nil, fmt.Errorf("%w: rank %d runs codec id %d, this rank %q (id %d)",
+					ErrCodecMismatch, peerRank, ack.Codec, cfg.Codec.Name(), cfg.Codec.ID())
+			}
 			conn.SetDeadline(time.Time{})
 			return conn, nil
 		}
@@ -483,12 +519,51 @@ func (t *Topology) frameErr(peer int, err error) error {
 }
 
 // expect validates an incoming frame against the op's protocol position.
+// Chunk frames must also carry the negotiated codec — the handshake makes a
+// mismatch unreachable, but a check per frame keeps a corrupted or confused
+// peer from feeding us payloads we would mis-decode.
 func (t *Topology) expect(l *ringLink, f *Frame, typ FrameType, seq uint32) error {
 	if f.Type != typ || f.Gen != t.cfg.Gen || f.Step != t.op || f.Seq != seq {
 		return t.frameErr(l.prevRank, fmt.Errorf("protocol mismatch: got (type %d gen %d op %d seq %#x), want (type %d gen %d op %d seq %#x)",
 			f.Type, f.Gen, f.Step, f.Seq, typ, t.cfg.Gen, t.op, seq))
 	}
+	if typ == FrameChunk && f.Codec != t.cdc.ID() {
+		return t.frameErr(l.prevRank, fmt.Errorf("codec mismatch: frame carries codec id %d, topology runs %q (id %d)",
+			f.Codec, t.cdc.Name(), t.cdc.ID()))
+	}
 	return nil
+}
+
+// encodeChunk runs the topology codec over one gradient chunk, recording the
+// encoded (wire) and raw float32 byte counts plus encode time.
+func (t *Topology) encodeChunk(vals []float32) []byte {
+	start := time.Now()
+	p := t.cdc.Encode(vals)
+	if t.cm.encode != nil {
+		t.cm.encode.ObserveDuration(time.Since(start))
+		t.cm.payload.Add(uint64(len(p)))
+		t.cm.raw.Add(uint64(4 * len(vals)))
+	}
+	return p
+}
+
+// decodeChunk inverts encodeChunk, recording decode time.
+func (t *Topology) decodeChunk(payload []byte) ([]float32, error) {
+	start := time.Now()
+	vals, err := t.cdc.Decode(payload)
+	if err == nil && t.cm.decode != nil {
+		t.cm.decode.ObserveDuration(time.Since(start))
+	}
+	return vals, err
+}
+
+// countForward records the wire bytes of a chunk payload forwarded verbatim
+// (no re-encode, so encodeChunk never saw it).
+func (t *Topology) countForward(payloadLen, elems int) {
+	if t.cm.payload != nil {
+		t.cm.payload.Add(uint64(payloadLen))
+		t.cm.raw.Add(uint64(4 * elems))
+	}
 }
 
 // sendAsync sends in a goroutine so a same-step send and recv cannot
@@ -501,15 +576,24 @@ func sendAsync(c Conn, f *Frame) chan error {
 
 // ringReduce is the bucketed ring all-reduce of the in-process Ring, over
 // sockets: n−1 scatter-reduce steps then n−1 all-gather steps, each moving
-// one chunk. Chunk bounds and accumulation order match Ring exactly.
+// one chunk. Chunk bounds and accumulation order match Ring exactly; with
+// the identity codec the wire bytes are byte-for-byte the version-1 format's
+// payloads.
+//
+// Under a lossy codec, cross-rank bit-identity holds because the all-gather
+// never re-encodes: the rank that completes a chunk encodes its final sum
+// once (step 0) and immediately adopts the decode of its own encoding; every
+// later step forwards the received payload verbatim. All n members therefore
+// decode the exact same bytes per chunk.
 func (t *Topology) ringReduce(l *ringLink, buf []float32, phase uint32) error {
 	n := l.n
 	size := len(buf)
+	cdc := t.cdc.ID()
 	for s := 0; s < n-1; s++ {
 		sendChunk := (l.rank - s + n) % n
 		lo, hi := chunkBounds(size, n, sendChunk)
 		seq := seqOf(phase, s)
-		sent := sendAsync(l.next, &Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float32Bytes(buf[lo:hi])})
+		sent := sendAsync(l.next, &Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Codec: cdc, Payload: t.encodeChunk(buf[lo:hi])})
 		in, err := l.prev.Recv()
 		if err != nil {
 			return t.frameErr(l.prevRank, err)
@@ -519,7 +603,7 @@ func (t *Topology) ringReduce(l *ringLink, buf []float32, phase uint32) error {
 		}
 		recvChunk := (l.rank - s - 1 + n) % n
 		rlo, rhi := chunkBounds(size, n, recvChunk)
-		vals, err := BytesFloat32(in.Payload)
+		vals, err := t.decodeChunk(in.Payload)
 		if err != nil {
 			return t.frameErr(l.prevRank, err)
 		}
@@ -533,11 +617,29 @@ func (t *Topology) ringReduce(l *ringLink, buf []float32, phase uint32) error {
 			return t.frameErr(l.nextRank, err)
 		}
 	}
+	var fwd []byte // payload received last step, forwarded verbatim this step
 	for s := 0; s < n-1; s++ {
 		sendChunk := (l.rank + 1 - s + n) % n
 		lo, hi := chunkBounds(size, n, sendChunk)
 		seq := seqOf(phase, n-1+s)
-		sent := sendAsync(l.next, &Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float32Bytes(buf[lo:hi])})
+		var payload []byte
+		if s == 0 {
+			// This rank just completed chunk sendChunk: encode the final sum
+			// and adopt our own decode so we hold the same bits everyone else
+			// will decode from this payload.
+			payload = t.encodeChunk(buf[lo:hi])
+			if !t.cdc.Lossless() {
+				vals, err := t.decodeChunk(payload)
+				if err != nil {
+					return fmt.Errorf("allreduce: self-requantize: %w", err)
+				}
+				copy(buf[lo:hi], vals)
+			}
+		} else {
+			payload = fwd
+			t.countForward(len(payload), hi-lo)
+		}
+		sent := sendAsync(l.next, &Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Codec: cdc, Payload: payload})
 		in, err := l.prev.Recv()
 		if err != nil {
 			return t.frameErr(l.prevRank, err)
@@ -547,16 +649,15 @@ func (t *Topology) ringReduce(l *ringLink, buf []float32, phase uint32) error {
 		}
 		recvChunk := (l.rank - s + n) % n
 		rlo, rhi := chunkBounds(size, n, recvChunk)
-		vals, err := BytesFloat32(in.Payload)
+		vals, err := t.decodeChunk(in.Payload)
 		if err != nil {
 			return t.frameErr(l.prevRank, err)
 		}
 		if len(vals) != rhi-rlo {
 			return t.frameErr(l.prevRank, fmt.Errorf("chunk size %d, want %d", len(vals), rhi-rlo))
 		}
-		for i, v := range vals {
-			buf[rlo+i] = v
-		}
+		copy(buf[rlo:rhi], vals)
+		fwd = in.Payload
 		if err := <-sent; err != nil {
 			return t.frameErr(l.nextRank, err)
 		}
@@ -565,11 +666,22 @@ func (t *Topology) ringReduce(l *ringLink, buf []float32, phase uint32) error {
 }
 
 // ringBroadcastF32 circulates root's full buffer around the ring; every
-// non-root member overwrites its buffer with a bitwise copy.
+// non-root member overwrites its buffer with a bitwise copy. Under a lossy
+// codec the root encodes once and adopts its own decode, and forwards carry
+// the payload verbatim — so "bitwise copy" still holds, of the requantized
+// buffer.
 func (t *Topology) ringBroadcastF32(l *ringLink, root int, buf []float32, phase uint32) error {
 	seq := seqOf(phase, 0)
 	if l.rank == root {
-		if err := l.next.Send(&Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Payload: Float32Bytes(buf)}); err != nil {
+		payload := t.encodeChunk(buf)
+		if !t.cdc.Lossless() {
+			vals, err := t.decodeChunk(payload)
+			if err != nil {
+				return fmt.Errorf("allreduce: broadcast self-requantize: %w", err)
+			}
+			copy(buf, vals)
+		}
+		if err := l.next.Send(&Frame{Type: FrameChunk, Gen: t.cfg.Gen, Step: t.op, Seq: seq, Codec: t.cdc.ID(), Payload: payload}); err != nil {
 			return t.frameErr(l.nextRank, err)
 		}
 		return nil
@@ -581,7 +693,7 @@ func (t *Topology) ringBroadcastF32(l *ringLink, root int, buf []float32, phase 
 	if err := t.expect(l, in, FrameChunk, seq); err != nil {
 		return err
 	}
-	vals, err := BytesFloat32(in.Payload)
+	vals, err := t.decodeChunk(in.Payload)
 	if err != nil {
 		return t.frameErr(l.prevRank, err)
 	}
@@ -590,6 +702,7 @@ func (t *Topology) ringBroadcastF32(l *ringLink, root int, buf []float32, phase 
 	}
 	copy(buf, vals)
 	if (l.rank+1)%l.n != root {
+		t.countForward(len(in.Payload), len(buf))
 		if err := l.next.Send(in); err != nil {
 			return t.frameErr(l.nextRank, err)
 		}

@@ -9,17 +9,23 @@ import (
 )
 
 // The wire protocol of the multi-process collectives: every message is one
-// length-prefixed frame with a fixed 20-byte header followed by the payload.
+// length-prefixed frame with a fixed 21-byte header followed by the payload.
 //
 //	offset  size  field
 //	0       2     magic 0x5244 ("RD", big-endian)
-//	2       1     version (1)
+//	2       1     version (2)
 //	3       1     frame type
 //	4       4     membership generation (little-endian uint32)
 //	8       4     collective op sequence number
 //	12      4     position within the op (phase step, chunk, role…)
 //	16      4     payload length in bytes
-//	20      n     payload
+//	20      1     codec id (chunk payload encoding; hello frames carry the
+//	              sender's configured codec for the handshake negotiation)
+//	21      n     payload
+//
+// Version 2 added the codec byte (gradient wire compression); version-1
+// frames are rejected with ErrBadVersion — mixed-version memberships fail
+// fast at the handshake instead of corrupting a reduction.
 //
 // The decoder validates the header before allocating anything, so garbage,
 // truncated or adversarial inputs produce a clean named error — never a
@@ -48,8 +54,8 @@ const (
 
 const (
 	frameMagic   = 0x5244
-	frameVersion = 1
-	headerSize   = 20
+	frameVersion = 2
+	headerSize   = 21
 )
 
 // DefaultMaxPayload bounds a frame payload (64 MiB — far above the paper
@@ -64,6 +70,7 @@ var (
 	ErrBadMagic   = fmt.Errorf("%w: bad magic", ErrBadFrame)
 	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadFrame)
 	ErrBadType    = fmt.Errorf("%w: unknown frame type", ErrBadFrame)
+	ErrBadCodec   = fmt.Errorf("%w: unknown codec", ErrBadFrame)
 	ErrOversized  = fmt.Errorf("%w: payload length exceeds limit", ErrBadFrame)
 	ErrTruncated  = fmt.Errorf("%w: truncated", ErrBadFrame)
 )
@@ -74,6 +81,7 @@ type Frame struct {
 	Gen     uint32 // membership generation the frame belongs to
 	Step    uint32 // collective op sequence number
 	Seq     uint32 // position within the op
+	Codec   uint8  // chunk payload codec id (hello: the sender's configured codec)
 	Payload []byte
 }
 
@@ -90,6 +98,7 @@ func EncodeFrame(w io.Writer, f *Frame) error {
 	binary.LittleEndian.PutUint32(hdr[8:12], f.Step)
 	binary.LittleEndian.PutUint32(hdr[12:16], f.Seq)
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(f.Payload)))
+	hdr[20] = f.Codec
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -132,11 +141,15 @@ func DecodeFrame(r io.Reader, maxPayload int) (*Frame, error) {
 	if int64(n) > int64(maxPayload) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrOversized, n, maxPayload)
 	}
+	if _, ok := CodecByID(hdr[20]); !ok {
+		return nil, fmt.Errorf("%w %d", ErrBadCodec, hdr[20])
+	}
 	f := &Frame{
-		Type: typ,
-		Gen:  binary.LittleEndian.Uint32(hdr[4:8]),
-		Step: binary.LittleEndian.Uint32(hdr[8:12]),
-		Seq:  binary.LittleEndian.Uint32(hdr[12:16]),
+		Type:  typ,
+		Gen:   binary.LittleEndian.Uint32(hdr[4:8]),
+		Step:  binary.LittleEndian.Uint32(hdr[8:12]),
+		Seq:   binary.LittleEndian.Uint32(hdr[12:16]),
+		Codec: hdr[20],
 	}
 	if n > 0 {
 		f.Payload = make([]byte, n)

@@ -2,12 +2,15 @@ package allreduce
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
-// FuzzDecodeFrame hardens the wire decoder: arbitrary input must produce
-// either a valid frame or a clean error — never a panic and never an
-// allocation beyond the payload bound.
+// FuzzDecodeFrame hardens the wire decoder and the codec layer behind it:
+// arbitrary input must produce either a valid frame or a clean error —
+// never a panic and never an allocation beyond the payload bound — and a
+// decoded chunk frame's payload must run through its declared codec's
+// Decode without panicking, whatever bytes it carries.
 func FuzzDecodeFrame(f *testing.F) {
 	valid := &Frame{Type: FrameChunk, Gen: 1, Step: 2, Seq: 3, Payload: []byte{0xde, 0xad, 0xbe, 0xef}}
 	var buf bytes.Buffer
@@ -16,12 +19,25 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:10])                                  // truncated header
-	f.Add(buf.Bytes()[:22])                                  // truncated payload
+	f.Add(buf.Bytes()[:headerSize+1])                        // truncated payload
 	f.Add([]byte{})                                          // empty
 	f.Add([]byte("GET / HTTP/1.1\r\nHost: example\r\n\r\n")) // wrong protocol entirely
 	huge := append([]byte(nil), buf.Bytes()[:16]...)
 	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF) // 4 GiB length field
 	f.Add(huge)
+	// Codec-field seeds: every registered codec id over the same payload,
+	// an unknown id, and compressed payloads cut shorter than their codec's
+	// own framing (an int8 chunk without its full min/scale header).
+	for _, id := range []uint8{CodecIDNone, CodecIDFP16, CodecIDInt8} {
+		var cb bytes.Buffer
+		if err := EncodeFrame(&cb, &Frame{Type: FrameChunk, Gen: 1, Step: 2, Seq: 3, Codec: id, Payload: []byte{0xde, 0xad, 0xbe, 0xef}}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(cb.Bytes())
+	}
+	unknown := append([]byte(nil), buf.Bytes()...)
+	unknown[20] = 0x07
+	f.Add(unknown)
 
 	const limit = 1 << 16
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -39,6 +55,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
 			t.Fatalf("re-encode mismatch")
+		}
+		// DecodeFrame already rejected unknown codec ids, so the registry
+		// lookup must succeed; the codec's Decode must handle any payload
+		// (truncated, misaligned, oversized) with a value or a clean error.
+		if fr.Type == FrameChunk {
+			c, ok := CodecByID(fr.Codec)
+			if !ok {
+				t.Fatalf("decoded frame carries unregistered codec id %d", fr.Codec)
+			}
+			if _, err := c.Decode(fr.Payload); err != nil && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("codec %s: decode error %v does not wrap ErrBadFrame", c.Name(), err)
+			}
 		}
 	})
 }

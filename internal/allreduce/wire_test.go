@@ -10,8 +10,9 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []*Frame{
-		{Type: FrameHello, Gen: 1, Step: 2, Seq: RoleIntra},
+		{Type: FrameHello, Gen: 1, Step: 2, Seq: RoleIntra, Codec: CodecIDFP16},
 		{Type: FrameChunk, Gen: 7, Step: 9, Seq: 0x30002, Payload: Float32Bytes([]float32{1.5, -2.25, 0, float32(math.Inf(1))})},
+		{Type: FrameChunk, Gen: 7, Step: 10, Seq: 0x30003, Codec: CodecIDInt8, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}},
 		{Type: FrameScalars, Gen: 0, Step: 0, Seq: 0, Payload: Float64Bytes([]float64{0.125, -3})},
 		{Type: FrameChunk, Gen: 4294967295, Step: 1, Seq: 1}, // empty payload
 	}
@@ -26,7 +27,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode frame %d: %v", i, err)
 		}
-		if got.Type != want.Type || got.Gen != want.Gen || got.Step != want.Step || got.Seq != want.Seq {
+		if got.Type != want.Type || got.Gen != want.Gen || got.Step != want.Step || got.Seq != want.Seq || got.Codec != want.Codec {
 			t.Fatalf("frame %d header mismatch: got %+v want %+v", i, got, want)
 		}
 		if !bytes.Equal(got.Payload, want.Payload) {
@@ -56,6 +57,8 @@ func TestDecodeFrameErrors(t *testing.T) {
 	badVersion[2] = 9
 	badType := append([]byte(nil), valid...)
 	badType[3] = 200
+	badCodec := append([]byte(nil), valid...)
+	badCodec[20] = 0x7F
 	oversized := append([]byte(nil), valid...)
 	oversized[16], oversized[17], oversized[18], oversized[19] = 0xFF, 0xFF, 0xFF, 0x7F
 
@@ -68,6 +71,7 @@ func TestDecodeFrameErrors(t *testing.T) {
 		{"bad magic", badMagic, 0, ErrBadMagic},
 		{"bad version", badVersion, 0, ErrBadVersion},
 		{"bad type", badType, 0, ErrBadType},
+		{"bad codec", badCodec, 0, ErrBadCodec},
 		{"oversized", oversized, 0, ErrOversized},
 		{"over custom limit", valid, 2, ErrOversized},
 		{"truncated header", valid[:10], 0, ErrTruncated},

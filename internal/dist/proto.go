@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/allreduce"
 	"repro/internal/msd"
 	"repro/internal/nn"
 	"repro/internal/unet"
@@ -65,6 +66,38 @@ type TrainSpec struct {
 	// contribute within it breaks the ring with a timeout instead of
 	// hanging the step (0 = 10s).
 	OpTimeoutMS int `json:"opTimeoutMS"`
+
+	// Codec names the gradient wire codec ("" or "none" = raw float32,
+	// "fp16", "int8"). Every worker applies the same spec, and the ring
+	// handshake re-verifies — a worker started with a divergent codec fails
+	// formation rather than desyncing.
+	Codec string `json:"codec,omitempty"`
+	// BucketKB sets the gradient bucket size in KiB for the overlapped
+	// reduction path. 0 means automatic: monolithic for the "none" codec
+	// (bit-identical to the in-process mirrored trainer), defaultBucketKB
+	// for lossy codecs (already non-bit-exact vs mirrored, so they take the
+	// overlap win by default). Negative forces monolithic regardless.
+	BucketKB int `json:"bucketKB,omitempty"`
+}
+
+// defaultBucketKB is the automatic bucket size for lossy codecs: ~1/25 of
+// the paper U-Net's gradient volume, deep enough to pipeline without
+// drowning small buckets in frame overhead.
+const defaultBucketKB = 64
+
+// bucketBytes resolves the BucketKB policy to a byte count for
+// NetStrategy.SetBucketBytes (0 = monolithic).
+func (s *TrainSpec) bucketBytes(c allreduce.Codec) int {
+	switch {
+	case s.BucketKB > 0:
+		return s.BucketKB << 10
+	case s.BucketKB < 0:
+		return 0
+	case c.Lossless():
+		return 0
+	default:
+		return defaultBucketKB << 10
+	}
 }
 
 // Validate reports whether the spec is complete enough to train from.
@@ -82,6 +115,9 @@ func (s *TrainSpec) Validate() error {
 		return fmt.Errorf("dist: spec needs a CkptPath (recovery is checkpoint-based)")
 	}
 	if _, err := nn.ParseConvEngine(s.Engine); err != nil {
+		return err
+	}
+	if _, err := allreduce.CodecByName(s.Codec); err != nil {
 		return err
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/loss"
 	"repro/internal/metrics"
 	"repro/internal/mirrored"
+	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 	"repro/internal/unet"
@@ -28,13 +29,30 @@ type NetStrategy struct {
 	loss  loss.Loss
 	opt   optim.Optimizer
 
+	// bucketBytes > 0 enables the bucketed, comms/compute-overlapped
+	// reduction path: backward streams layer-gradient groups into buckets of
+	// at least this many raw float32 bytes, and a reducer goroutine
+	// all-reduces each bucket while backward keeps computing. 0 keeps the
+	// monolithic flatten → one all-reduce path (the bit-exact analogue of
+	// the in-process mirrored trainer).
+	bucketBytes int
+
 	phaseObs func(phase string, d time.Duration) // nil = no phase timing
 }
 
 // SetPhaseObserver implements train.PhaseReporter: fn receives this rank's
 // exact forward/backward/allreduce/optim durations for every subsequent
-// step. Not synchronized with Step — install it before training starts.
+// step (plus comm_wait on the overlapped path). Not synchronized with Step —
+// install it before training starts.
 func (s *NetStrategy) SetPhaseObserver(fn func(phase string, d time.Duration)) { s.phaseObs = fn }
+
+// SetBucketBytes switches Step to the bucketed, overlapped reduction path
+// (see the bucketBytes field); 0 restores the monolithic path. Bucketing
+// changes the all-reduce chunk boundaries and therefore the floating-point
+// accumulation grouping: results remain deterministic and identical across
+// ranks, but are no longer bit-identical to the monolithic path. Install
+// before training starts.
+func (s *NetStrategy) SetBucketBytes(n int) { s.bucketBytes = n }
 
 // NewNetStrategy builds the rank-local replica over an established
 // topology. The learning rate follows the mirrored trainer's scaling rule:
@@ -85,6 +103,11 @@ func (s *NetStrategy) Step(inputs, masks *tensor.Tensor) (float64, error) {
 	pred := s.model.Forward(in)
 	l, grad := s.loss.Eval(pred, mask)
 	t1 := time.Now()
+
+	if s.bucketBytes > 0 && w > 1 {
+		return s.finishOverlapped(l, grad, t0, t1)
+	}
+
 	s.model.Backward(grad)
 	t2 := time.Now()
 
@@ -102,6 +125,94 @@ func (s *NetStrategy) Step(inputs, masks *tensor.Tensor) (float64, error) {
 		obs("optim", time.Since(t3))
 	}
 
+	return s.gatherLoss(l)
+}
+
+// finishOverlapped completes a step on the bucketed path: backward streams
+// layer groups through the grad sink; whenever the pending group run reaches
+// bucketBytes of raw gradients it becomes one bucket, and a reducer
+// goroutine all-reduces buckets in emission order while backward keeps
+// computing the shallower layers. The bucket partition is a deterministic
+// function of the architecture and bucketBytes, so every rank reduces
+// identical buckets in identical order — cross-rank bit-identity holds
+// exactly as on the monolithic path.
+//
+// The reducer may only touch gradients of groups the sink has already
+// emitted (UNet.Backward guarantees it never revisits those), so flatten /
+// all-reduce / unflatten run concurrently with backward without overlap on
+// any tensor. Phase accounting: "allreduce" is the reducer's total
+// collective time (overlapped, so phases no longer sum to step wall time);
+// "comm_wait" is the stall between backward finishing and the last bucket
+// landing — the exposed, non-overlapped communication cost.
+func (s *NetStrategy) finishOverlapped(l float64, grad *tensor.Tensor, t0, t1 time.Time) (float64, error) {
+	params := s.model.Params()
+	total := 0
+	for _, p := range params {
+		total += p.Grad.Size()
+	}
+
+	buckets := make(chan []*nn.Param, len(params)) // never blocks the sink
+	errCh := make(chan error, 1)
+	var commTime time.Duration // written by the reducer, read after errCh
+	go func() {
+		for ps := range buckets {
+			flat := mirrored.FlattenGrads(ps)
+			st := time.Now()
+			if err := s.topo.AllReduceAverage(flat); err != nil {
+				errCh <- err
+				for range buckets { // drain so the sink never blocks
+				}
+				return
+			}
+			commTime += time.Since(st)
+			mirrored.UnflattenGrads(ps, flat)
+		}
+		errCh <- nil
+	}()
+
+	var pending []*nn.Param
+	pendingBytes, emitted := 0, 0
+	s.model.SetGradSink(func(group []*nn.Param) {
+		pending = append(pending, group...)
+		for _, p := range group {
+			pendingBytes += 4 * p.Grad.Size()
+			emitted += p.Grad.Size()
+		}
+		if pendingBytes >= s.bucketBytes {
+			buckets <- pending
+			pending, pendingBytes = nil, 0
+		}
+	})
+	s.model.Backward(grad)
+	s.model.SetGradSink(nil)
+	t2 := time.Now()
+	if len(pending) > 0 {
+		buckets <- pending
+	}
+	close(buckets)
+	err := <-errCh
+	t3 := time.Now()
+	if err != nil {
+		return 0, err
+	}
+	if emitted != total {
+		return 0, fmt.Errorf("dist: grad sink emitted %d of %d gradient elements — bucketed reduction incomplete", emitted, total)
+	}
+
+	s.opt.Step(params)
+	if obs := s.phaseObs; obs != nil {
+		obs("forward", t1.Sub(t0))
+		obs("backward", t2.Sub(t1))
+		obs("allreduce", commTime)
+		obs("comm_wait", t3.Sub(t2))
+		obs("optim", time.Since(t3))
+	}
+	return s.gatherLoss(l)
+}
+
+// gatherLoss returns the rank-ordered mean loss over all shards — the same
+// value on every rank.
+func (s *NetStrategy) gatherLoss(l float64) (float64, error) {
 	losses, err := s.topo.GatherAll64(l)
 	if err != nil {
 		return 0, err
@@ -110,7 +221,7 @@ func (s *NetStrategy) Step(inputs, masks *tensor.Tensor) (float64, error) {
 	for _, v := range losses {
 		mean += v
 	}
-	return mean / float64(w), nil
+	return mean / float64(s.topo.Width()), nil
 }
 
 // Evaluate implements train.Strategy. Every rank evaluates the full batch

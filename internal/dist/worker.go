@@ -309,7 +309,11 @@ func (w *Worker) train(run *genRun, rank int, members []string, spec TrainSpec) 
 		return w.dataErr
 	}
 
-	netConf := allreduce.NetConfig{Gen: run.gen, OpTimeout: spec.opTimeout()}
+	codec, err := allreduce.CodecByName(spec.Codec)
+	if err != nil {
+		return err
+	}
+	netConf := allreduce.NetConfig{Gen: run.gen, OpTimeout: spec.opTimeout(), Codec: codec}
 	if w.cfg.Hooks != nil && w.cfg.Hooks.WrapConn != nil {
 		hook := w.cfg.Hooks.WrapConn
 		gen := run.gen
@@ -327,6 +331,7 @@ func (w *Worker) train(run *genRun, rank int, members []string, spec TrainSpec) 
 	if err != nil {
 		return err
 	}
+	strat.SetBucketBytes(spec.bucketBytes(codec))
 	cbs := []train.Callback{&haltCheck{halt: run.halt}}
 	if rank == 0 {
 		cbs = append(cbs, &train.StepCheckpoint{Path: spec.CkptPath, EverySteps: spec.CkptEverySteps})

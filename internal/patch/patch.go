@@ -492,10 +492,3 @@ func (sw SlidingWindow) InferReplicas(models []Predictor, s *volume.Sample) (*te
 	}
 	return out, err
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

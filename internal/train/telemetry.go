@@ -18,8 +18,10 @@ type PhaseReporter interface {
 // phaseNames are the per-phase histogram children: the loop-level phases
 // the session itself can time (shuffle, step, eval) plus the inner step
 // phases a PhaseReporter strategy attributes (forward, backward,
-// allreduce, optim).
-var phaseNames = []string{"shuffle", "step", "eval", "forward", "backward", "allreduce", "optim"}
+// allreduce, optim, and — on the overlapped dist path, where the gradient
+// reduction runs concurrently with backward — comm_wait, the time the step
+// stalls on the reducer after backward has finished).
+var phaseNames = []string{"shuffle", "step", "eval", "forward", "backward", "allreduce", "optim", "comm_wait"}
 
 // Telemetry is the observability callback: it times every phase of the
 // canonical loop into a telemetry registry (per-phase duration histograms,

@@ -164,6 +164,14 @@ type UNet struct {
 
 	params []*nn.Param
 	skips  []*tensor.Tensor // cached encoder outputs for backward
+
+	// Per-group parameter slices in gradient completion order (head, then
+	// decoder steps deep→shallow, then encoder steps deep→shallow), built
+	// once at construction for the grad sink.
+	headParams []*nn.Param
+	decParams  [][]*nn.Param
+	encParams  [][]*nn.Param
+	gradSink   func(group []*nn.Param) // nil = no streaming
 }
 
 // New builds a U-Net from cfg.
@@ -215,21 +223,38 @@ func New(cfg Config) (*UNet, error) {
 	u.SetConvEngine(cfg.Engine)
 
 	for _, e := range u.enc {
-		u.params = append(u.params, e.convA.Params()...)
-		u.params = append(u.params, e.bnA.Params()...)
-		u.params = append(u.params, e.convB.Params()...)
-		u.params = append(u.params, e.bnB.Params()...)
+		var g []*nn.Param
+		g = append(g, e.convA.Params()...)
+		g = append(g, e.bnA.Params()...)
+		g = append(g, e.convB.Params()...)
+		g = append(g, e.bnB.Params()...)
+		u.encParams = append(u.encParams, g)
+		u.params = append(u.params, g...)
 	}
 	for _, d := range u.dec {
-		u.params = append(u.params, d.up.Params()...)
-		u.params = append(u.params, d.convA.Params()...)
-		u.params = append(u.params, d.bnA.Params()...)
-		u.params = append(u.params, d.convB.Params()...)
-		u.params = append(u.params, d.bnB.Params()...)
+		var g []*nn.Param
+		g = append(g, d.up.Params()...)
+		g = append(g, d.convA.Params()...)
+		g = append(g, d.bnA.Params()...)
+		g = append(g, d.convB.Params()...)
+		g = append(g, d.bnB.Params()...)
+		u.decParams = append(u.decParams, g)
+		u.params = append(u.params, g...)
 	}
-	u.params = append(u.params, u.head.Params()...)
+	u.headParams = u.head.Params()
+	u.params = append(u.params, u.headParams...)
 	return u, nil
 }
+
+// SetGradSink installs fn, which Backward then calls once per layer group —
+// head, each decoder step (deepest first), each encoder step (deepest
+// first) — at the moment that group's parameter gradients are final. The
+// groups partition Params() and the call order is a pure function of the
+// architecture, so every data-parallel rank streams identical buckets in
+// identical order. fn runs on the goroutine calling Backward; nil restores
+// non-streaming backward. After a sink call Backward never touches that
+// group's gradients again, so fn may hand them to a concurrent reducer.
+func (u *UNet) SetGradSink(fn func(group []*nn.Param)) { u.gradSink = fn }
 
 // MustNew builds a U-Net and panics on configuration errors; convenient for
 // examples and benchmarks using known-good configs.
@@ -471,6 +496,9 @@ func (u *UNet) Infer(x *tensor.Tensor) *tensor.Tensor {
 // parameter gradients, and returns dL/d(input).
 func (u *UNet) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := u.head.Backward(u.act.Backward(gradOut))
+	if u.gradSink != nil {
+		u.gradSink(u.headParams)
+	}
 
 	// Gradients flowing into each encoder skip, indexed like u.skips.
 	skipGrads := make([]*tensor.Tensor, len(u.skips))
@@ -482,6 +510,9 @@ func (u *UNet) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		gUp, gSkip := nn.SplitChannelsGrad(g, d.upChannels, d.skipChannels)
 		skipGrads[len(u.skips)-1-i] = gSkip
 		g = d.up.Backward(gUp)
+		if u.gradSink != nil {
+			u.gradSink(u.decParams[i])
+		}
 	}
 
 	for i := len(u.enc) - 1; i >= 0; i-- {
@@ -492,6 +523,9 @@ func (u *UNet) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 		g = e.convB.Backward(e.bnB.Backward(e.reluB.Backward(g)))
 		g = e.convA.Backward(e.bnA.Backward(e.reluA.Backward(g)))
+		if u.gradSink != nil {
+			u.gradSink(u.encParams[i])
+		}
 	}
 	return g
 }
