@@ -9,9 +9,21 @@
 //	                   "data":[...]}; the response mirrors the request
 //	                   encoding. 503 + Retry-After under backpressure.
 //	POST /v1/reload    {"path": "model.ckpt"} — atomic checkpoint hot-swap.
-//	GET  /v1/stats     counters and per-stage latency histograms as JSON.
+//	POST /v1/feedback  a corrected segmentation: binary body of input then
+//	                   mask voxels with X-Volume-Shape and X-Mask-Shape
+//	                   headers, or JSON {"name", "input": {"shape","data"},
+//	                   "mask": {"shape","data"}}. Requires -online.
+//	GET  /v1/stats     counters and per-stage latency histograms as JSON
+//	                   (plus an Online block when -online is set).
 //	GET  /metrics      the same counters in Prometheus text format.
 //	GET  /healthz      liveness probe.
+//
+// With -online the process additionally runs the continual-learning
+// controller (internal/online): accepted feedback lands in a persistent
+// replay buffer, a shadow model fine-tunes on it in the background, and an
+// eval gate hot-swaps improved generations into the live server — with
+// automatic rollback if post-promotion feedback quality regresses. State
+// lives under -online-dir so restarts resume mid-campaign.
 //
 // With -pprof the standard net/http/pprof endpoints are additionally
 // mounted under /debug/pprof/ on the same listener.
@@ -44,17 +56,23 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
+	"repro/internal/msd"
 	"repro/internal/nn"
+	"repro/internal/online"
 	"repro/internal/patch"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/unet"
+	"repro/internal/volume"
 )
 
 func main() {
@@ -81,6 +99,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "weight init seed (used when -ckpt is empty)")
 
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+
+	onlineOn := flag.Bool("online", false, "run the continual-learning controller (enables /v1/feedback)")
+	onlineDir := flag.String("online-dir", "", "state directory for buffer/session/model checkpoints (empty: in-memory only)")
+	onlineMargin := flag.Float64("online-margin", 0.01, "holdout-Dice improvement required for promotion")
+	onlineRollback := flag.Float64("online-rollback", 0.05, "feedback-Dice regression that triggers rollback")
+	onlineEpochs := flag.Int("online-epochs", 1, "fine-tuning epochs per shadow generation")
+	onlineMinFb := flag.Int("online-min-feedback", 1, "new feedback samples required before a generation trains")
+	onlineInterval := flag.Duration("online-interval", 2*time.Second, "background controller tick period")
+	onlineBuffer := flag.Int("online-buffer", 64, "replay buffer capacity")
+	onlineCases := flag.Int("online-cases", 4, "base phantom training cases mixed into each generation")
+	onlineHoldout := flag.Int("online-holdout", 2, "held-out phantom cases scoring the eval gate")
+	onlineDim := flag.Int("online-dim", 16, "phantom volume edge for base/holdout sets")
+	onlineLR := flag.Float64("online-lr", 0.01, "shadow fine-tuning learning rate")
+	onlineBatch := flag.Int("online-batch", 1, "shadow fine-tuning batch size")
 
 	bench := flag.Bool("bench", false, "run the closed-loop load generator instead of serving HTTP")
 	clients := flag.Int("clients", 8, "closed-loop load-generator clients")
@@ -148,6 +181,34 @@ func main() {
 		log.Printf("no -ckpt given: serving randomly initialized weights (seed %d)", *seed)
 	}
 
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer, err = telemetry.NewTracerFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tracer.Close()
+	}
+
+	var ctrl *online.Controller
+	if *onlineOn {
+		ctrl, err = newOnlineController(onlineOptions{
+			net: netCfg, srv: srv, tracer: tracer,
+			ckptPath: *ckptPath, dir: *onlineDir,
+			margin: *onlineMargin, rollback: *onlineRollback,
+			epochs: *onlineEpochs, minFeedback: *onlineMinFb,
+			interval: *onlineInterval, buffer: *onlineBuffer,
+			cases: *onlineCases, holdout: *onlineHoldout, dim: *onlineDim,
+			lr: *onlineLR, batch: *onlineBatch, seed: *seed, workers: *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl.Start()
+		log.Printf("online controller running (generation %d, margin %.3f, tick %s)",
+			ctrl.Generation(), *onlineMargin, *onlineInterval)
+	}
+
 	if *bench {
 		runBench(srv, benchConfig{
 			clients:  *clients,
@@ -166,9 +227,22 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/segment", func(w http.ResponseWriter, r *http.Request) { handleSegment(srv, w, r) })
 	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) { handleReload(srv, w, r) })
+	if ctrl != nil {
+		mux.HandleFunc("POST /v1/feedback", func(w http.ResponseWriter, r *http.Request) { handleFeedback(ctrl, w, r) })
+	}
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		// The online block rides alongside the embedded serving stats so
+		// existing consumers keep their top-level fields.
+		payload := struct {
+			serve.Stats
+			Online *online.Stats `json:",omitempty"`
+		}{Stats: srv.Stats()}
+		if ctrl != nil {
+			st := ctrl.Stats()
+			payload.Online = &st
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(srv.Stats())
+		json.NewEncoder(w).Encode(payload)
 	})
 	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -182,11 +256,19 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("draining...")
 		httpSrv.Close()
+		if ctrl != nil {
+			if err := ctrl.Close(); err != nil {
+				log.Printf("online controller shutdown: %v", err)
+			}
+		}
 		srv.Close()
+		if tracer != nil {
+			tracer.Close()
+		}
 		close(done)
 	}()
 	log.Printf("listening on %s (replicas=%d maxbatch=%d linger=%s queue=%d)",
@@ -258,6 +340,165 @@ func handleReload(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "reloaded")
+}
+
+// onlineOptions gathers the -online* flag values.
+type onlineOptions struct {
+	net         unet.Config
+	srv         *serve.Server
+	tracer      *telemetry.Tracer
+	ckptPath    string
+	dir         string
+	margin      float64
+	rollback    float64
+	epochs      int
+	minFeedback int
+	interval    time.Duration
+	buffer      int
+	cases       int
+	holdout     int
+	dim         int
+	lr          float64
+	batch       int
+	seed        int64
+	workers     int
+}
+
+// newOnlineController builds the continual-learning controller: phantom
+// base and holdout sets (deterministic in the seed), the replay buffer,
+// and — when no previous state is resumed — a bootstrap of the served
+// checkpoint into the shadow so fine-tuning continues from it.
+func newOnlineController(o onlineOptions) (*online.Controller, error) {
+	mv := o.net.MinVolume()
+	if o.dim%mv != 0 {
+		return nil, fmt.Errorf("-online-dim %d must be divisible by %d", o.dim, mv)
+	}
+	gen := func(n int, seed int64) ([]*volume.Sample, error) {
+		cfg := msd.Config{Cases: n, D: o.dim, H: o.dim, W: o.dim, Seed: seed}
+		out := make([]*volume.Sample, n)
+		for i := range out {
+			s, err := volume.Preprocess(msd.GenerateCase(cfg, i), mv)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	base, err := gen(o.cases, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	holdout, err := gen(o.holdout, o.seed+1<<32)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := online.NewReplayBuffer(o.buffer, o.seed)
+	if err != nil {
+		return nil, err
+	}
+
+	resuming := false
+	if o.dir != "" {
+		if _, err := os.Stat(filepath.Join(o.dir, "buffer.ckpt")); err == nil {
+			resuming = true
+		}
+	}
+	ctrl, err := online.NewController(online.Config{
+		Net: o.net, Loss: "dice", Optimizer: "adam",
+		LR: o.lr, Workers: o.workers,
+		Base: base, Holdout: holdout, Buffer: buf,
+		GenEpochs: o.epochs, MinFeedback: o.minFeedback, GlobalBatch: o.batch,
+		Margin: o.margin, RollbackMargin: o.rollback,
+		Dir: o.dir, Seed: o.seed, Interval: o.interval,
+		Tracer: o.tracer, Telemetry: telemetry.Default(),
+		Promoter: o.srv,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.ckptPath != "" && !resuming {
+		// Fine-tune from the served checkpoint, not from random init; a
+		// resumed state directory already carries the newer weights.
+		if _, err := ckpt.LoadModelFile(o.ckptPath, ctrl.Shadow()); err != nil {
+			return nil, fmt.Errorf("bootstrapping shadow from %s: %w", o.ckptPath, err)
+		}
+		if err := ctrl.SyncLive(); err != nil {
+			return nil, err
+		}
+	}
+	return ctrl, nil
+}
+
+// feedbackJSON is the JSON encoding of a corrected segmentation.
+type feedbackJSON struct {
+	Name  string     `json:"name"`
+	Input volumeJSON `json:"input"`
+	Mask  volumeJSON `json:"mask"`
+}
+
+// handleFeedback decodes a corrected segmentation (binary or JSON) and
+// hands it to the controller; validation failures are 400s.
+func handleFeedback(ctrl *online.Controller, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var (
+		s   *volume.Sample
+		err error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		s, err = readJSONFeedback(r.Body)
+	} else {
+		s, err = readBinaryFeedback(r.Body, r.Header.Get("X-Volume-Shape"), r.Header.Get("X-Mask-Shape"))
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("feedback-%d", time.Now().UnixNano())
+	}
+	if err := ctrl.Feedback(s); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st := ctrl.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"accepted":   true,
+		"generation": st.Generation,
+		"buffered":   st.BufferLen,
+	})
+}
+
+func readJSONFeedback(r io.Reader) (*volume.Sample, error) {
+	var fb feedbackJSON
+	if err := json.NewDecoder(r).Decode(&fb); err != nil {
+		return nil, fmt.Errorf("bad JSON feedback: %w", err)
+	}
+	input, err := tensorFromParts(fb.Input.Shape, fb.Input.Data)
+	if err != nil {
+		return nil, fmt.Errorf("feedback input: %w", err)
+	}
+	mask, err := tensorFromParts(fb.Mask.Shape, fb.Mask.Data)
+	if err != nil {
+		return nil, fmt.Errorf("feedback mask: %w", err)
+	}
+	return &volume.Sample{Name: fb.Name, Input: input, Mask: mask}, nil
+}
+
+func readBinaryFeedback(r io.Reader, volHdr, maskHdr string) (*volume.Sample, error) {
+	input, err := readBinaryVolume(r, volHdr)
+	if err != nil {
+		return nil, fmt.Errorf("feedback input: %w", err)
+	}
+	if maskHdr == "" {
+		return nil, fmt.Errorf("missing X-Mask-Shape header (want 1,D,H,W)")
+	}
+	mask, err := readBinaryVolume(r, maskHdr)
+	if err != nil {
+		return nil, fmt.Errorf("feedback mask: %w", err)
+	}
+	return &volume.Sample{Input: input, Mask: mask}, nil
 }
 
 type volumeJSON struct {

@@ -1,0 +1,181 @@
+// Online continual learning: closing the train↔serve loop in three acts.
+//
+// A micro-batching inference server answers segmentation requests while
+// the internal/online controller watches a replay buffer of corrected
+// segmentations posted back by clients. The walkthrough stages the three
+// lifecycle transitions the controller guards:
+//
+//	Act 1 — drift: corrected cases from a new scanner arrive, the shadow
+//	        model fine-tunes on them, clears the eval gate, and is
+//	        hot-swapped into the live server.
+//	Act 2 — worthless feedback: corrections the model already masters
+//	        cannot lift holdout Dice past the margin; the gate rejects
+//	        the generation and the live model is left untouched.
+//	Act 3 — regression: live quality collapses on incoming feedback
+//	        (here: a labelling pipeline bug inverts every mask), and the
+//	        controller rolls the server back to the last good generation.
+//
+// Run with: go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/msd"
+	"repro/internal/online"
+	"repro/internal/patch"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/unet"
+	"repro/internal/volume"
+)
+
+func phantoms(n int, seed int64) []*volume.Sample {
+	cfg := msd.Config{Cases: n, D: 8, H: 8, W: 8, Seed: seed}
+	out := make([]*volume.Sample, n)
+	for i := range out {
+		s, err := volume.Preprocess(msd.GenerateCase(cfg, i), 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+
+	netCfg := unet.Config{
+		InChannels: 4, OutChannels: 1, BaseFilters: 4, Steps: 2,
+		Kernel: 3, UpKernel: 2, Seed: 1,
+	}
+
+	// The serving side: the same micro-batching server servemis runs.
+	srv, err := serve.New(serve.Config{
+		Window:   patch.SlidingWindow{Patch: [3]int{8, 8, 8}, Stride: [3]int{8, 8, 8}},
+		Replicas: 2, MaxQueue: 256,
+		InChannels: 4, ExtentDivisor: netCfg.MinVolume(),
+	}, func() (serve.Model, error) { return unet.New(netCfg) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	buffer, err := online.NewReplayBuffer(32, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "online-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ctrl, err := online.NewController(online.Config{
+		Net: netCfg, Loss: "dice", Optimizer: "adam",
+		LR: 0.01, GlobalBatch: 2,
+		Base:    phantoms(6, 11),
+		Holdout: phantoms(3, 101),
+		Buffer:  buffer, Promoter: srv,
+		GenEpochs: 6, MinFeedback: 2,
+		Margin: 0.01, RollbackMargin: 0.05,
+		Dir: dir, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	report := func(tag string) online.Stats {
+		st := ctrl.Stats()
+		fmt.Printf("%-28s gen=%d shadow=%.3f live=%.3f promoted=%d rejected=%d rolledback=%d\n",
+			tag, st.Generation, st.ShadowDice, st.LiveDice, st.Promotions, st.Rejections, st.Rollbacks)
+		return st
+	}
+
+	// ---- Act 1: drift injected → shadow trains → gate promotes --------
+	fmt.Println("Act 1: corrected cases from a recalibrated scanner arrive.")
+	drift := phantoms(6, 202)
+	fed := 0
+	for round := 0; round < 6 && ctrl.Stats().Promotions == 0; round++ {
+		for i := 0; i < 2 && fed < len(drift); i++ {
+			if err := ctrl.Feedback(drift[fed]); err != nil {
+				log.Fatal(err)
+			}
+			fed++
+		}
+		if _, err := ctrl.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("  generation %d trained", ctrl.Stats().Generation))
+	}
+	act1 := report("Act 1 result")
+	if act1.Promotions == 0 {
+		log.Fatal("Act 1 failed: the shadow never cleared the gate")
+	}
+	fmt.Println("  → promoted: the server now serves the fine-tuned weights.")
+
+	// A second promotion so the last-good slot holds a *trained* model —
+	// the state Act 3 rolls back to.
+	for round := 0; round < 6 && ctrl.Stats().Promotions < 2; round++ {
+		for _, s := range phantoms(2, 300+int64(round)) {
+			if err := ctrl.Feedback(s); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := ctrl.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if ctrl.Stats().Promotions < 2 {
+		log.Fatal("warm-up failed: no second promotion")
+	}
+	report("  second promotion")
+
+	// ---- Act 2: worthless feedback → gate rejects ---------------------
+	fmt.Println("Act 2: corrections for cases the model already masters.")
+	rejectedBefore := ctrl.Stats().Rejections
+	for _, s := range phantoms(2, 11)[:2] { // the base cases themselves
+		if err := ctrl.Feedback(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := ctrl.Tick(); err != nil {
+		log.Fatal(err)
+	}
+	act2 := report("Act 2 result")
+	if act2.Rejections == rejectedBefore {
+		log.Fatal("Act 2 failed: the gate promoted a no-improvement generation")
+	}
+	fmt.Println("  → rejected: no measurable holdout improvement, live model untouched.")
+
+	// ---- Act 3: live regression → rollback ----------------------------
+	fmt.Println("Act 3: a labelling bug inverts every incoming mask.")
+	for _, s := range phantoms(4, 400) {
+		inv := tensor.New(s.Mask.Shape()...)
+		for i, v := range s.Mask.Data() {
+			inv.Data()[i] = 1 - v
+		}
+		bad := &volume.Sample{Name: s.Name + "-inverted", Input: s.Input, Mask: inv}
+		if err := ctrl.Feedback(bad); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := ctrl.Tick(); err != nil {
+		log.Fatal(err)
+	}
+	act3 := report("Act 3 result")
+	if act3.Rollbacks == 0 {
+		log.Fatal("Act 3 failed: live regression did not trigger a rollback")
+	}
+	if act3.Promotions != act2.Promotions {
+		log.Fatal("Act 3 failed: the rollback tick must not train or promote")
+	}
+	fmt.Println("  → rolled back: the server serves the last good generation again.")
+
+	fmt.Printf("\nserver saw %d hot swaps (install + promotions + rollback), state in %s\n",
+		srv.Stats().Reloads, dir)
+}

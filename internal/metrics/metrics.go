@@ -80,6 +80,17 @@ func DiceScore(pred, target *tensor.Tensor) float64 {
 	return Confuse(pred, target, 0.5).Dice()
 }
 
+// Drift returns the symmetric Dice distance 1 − Dice between two
+// probability maps, both binarized at 0.5: 0 when they segment identically,
+// 1 when their positive regions are disjoint (and non-empty). The online
+// continual-learning service samples it between consecutive served outputs
+// on a probe volume — a rising drift gauge means the deployed model's
+// behaviour is moving. Symmetric because both inputs go through the same
+// threshold: Drift(a, b) == Drift(b, a).
+func Drift(pred, prior *tensor.Tensor) float64 {
+	return 1 - Confuse(pred, prior, 0.5).Dice()
+}
+
 // SoftDice returns the differentiable Dice on raw probabilities (no
 // thresholding), as used for validation-time monitoring.
 func SoftDice(pred, target *tensor.Tensor, eps float64) float64 {

@@ -150,3 +150,51 @@ func TestPropertyDiceIoURelation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDriftHandComputed(t *testing.T) {
+	// Positive sets after binarization at 0.5: pred {0, 2}, prior {0, 1}.
+	// |A∩B| = 1, Dice = 2·1/(2+2) = 0.5, Drift = 0.5.
+	pred := tensor.FromSlice([]float32{0.9, 0.2, 0.7, 0.1}, 4)
+	prior := tensor.FromSlice([]float32{0.8, 0.6, 0.1, 0.2}, 4)
+	if d := Drift(pred, prior); d != 0.5 {
+		t.Fatalf("drift = %v, want 0.5", d)
+	}
+	// pred {0, 1, 3}, prior {1}: Dice = 2·1/(3+1) = 0.5, Drift = 0.5.
+	pred = tensor.FromSlice([]float32{1, 1, 0, 1}, 4)
+	prior = tensor.FromSlice([]float32{0, 1, 0, 0}, 4)
+	if d := Drift(pred, prior); d != 0.5 {
+		t.Fatalf("drift = %v, want 0.5", d)
+	}
+}
+
+func TestDriftExtremes(t *testing.T) {
+	same := tensor.FromSlice([]float32{1, 0, 1, 1}, 4)
+	if d := Drift(same.Clone(), same); d != 0 {
+		t.Fatalf("identical maps drift %v, want 0", d)
+	}
+	a := tensor.FromSlice([]float32{1, 1, 0, 0}, 4)
+	b := tensor.FromSlice([]float32{0, 0, 1, 1}, 4)
+	if d := Drift(a, b); d != 1 {
+		t.Fatalf("disjoint maps drift %v, want 1", d)
+	}
+	// Both all-background: Dice is defined as 1, so drift is 0 — a model
+	// that keeps predicting nothing on the probe has not drifted.
+	if d := Drift(tensor.New(4), tensor.New(4)); d != 0 {
+		t.Fatalf("both-empty drift %v, want 0", d)
+	}
+}
+
+func TestDriftSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		a := tensor.New(32)
+		b := tensor.New(32)
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float32()
+			b.Data()[i] = rng.Float32()
+		}
+		if da, db := Drift(a, b), Drift(b, a); da != db {
+			t.Fatalf("trial %d: Drift(a,b)=%v != Drift(b,a)=%v", trial, da, db)
+		}
+	}
+}

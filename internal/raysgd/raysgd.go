@@ -93,6 +93,15 @@ type Trainer struct {
 	mode  Mode
 	strat train.Strategy
 	step  int // global optimizer step, continuous across Fit calls
+
+	// sess is the long-lived session behind Fit: created on the first call
+	// and extended on every later one, so repeated Fit calls continue the
+	// epoch/step cursor, history and optimizer state instead of
+	// restarting — k epochs then m more over the same data is bit-identical
+	// to one k+m run. report is the current Fit call's per-epoch hook,
+	// delivered through one persistent ReportFunc callback.
+	sess   *train.Session
+	report func(EpochStats) bool
 }
 
 // New validates the config and builds the strategy for the selected mode.
@@ -196,28 +205,49 @@ func (t *Trainer) NewSession(epochs int, callbacks ...train.Callback) (*train.Se
 // Fit trains for the given number of epochs over the training samples,
 // evaluating on the validation samples after each epoch. The report
 // callback, when non-nil, receives per-epoch statistics; returning false
-// stops training early (the hook the experiment-parallel layer uses). Fit
-// is an adapter over train.Session — callers needing checkpoints, early
-// stopping or cache hooks use NewSession and compose callbacks directly.
+// stops training early (the hook the experiment-parallel layer uses).
+//
+// The trainer keeps one train.Session alive across Fit calls: the first
+// call creates it, every later call extends its epoch budget, so the
+// epoch/step cursor, metric history and optimizer state continue where the
+// previous call stopped — Fit(d, k) then Fit(d, m) is bit-identical to
+// Fit(d, k+m). Callers needing checkpoints, early stopping or cache hooks
+// use NewSession and compose callbacks directly.
 func (t *Trainer) Fit(trainSet, val []*volume.Sample, epochs int, report func(EpochStats) bool) (*EpochStats, error) {
-	var cbs []train.Callback
-	if report != nil {
-		cbs = append(cbs, train.ReportFunc(func(st train.EpochStats) bool {
-			return report(EpochStats(st))
+	t.report = report
+	if t.sess == nil {
+		sess, err := t.NewSession(epochs, train.ReportFunc(func(st train.EpochStats) bool {
+			if t.report == nil {
+				return true
+			}
+			return t.report(EpochStats(st))
 		}))
+		if err != nil {
+			return nil, err
+		}
+		t.sess = sess
+	} else {
+		// A report returning false in an earlier call latched a stop; a new
+		// Fit is an explicit request for more epochs, so release it.
+		t.sess.ClearStop()
+		if epochs > 0 {
+			if err := t.sess.ExtendEpochs(epochs); err != nil {
+				return nil, err
+			}
+		}
 	}
-	sess, err := t.NewSession(epochs, cbs...)
+	last, err := t.sess.Fit(trainSet, val)
 	if err != nil {
 		return nil, err
 	}
-	last, err := sess.Fit(trainSet, val)
-	if err != nil {
-		return nil, err
-	}
-	t.step = sess.Step()
+	t.step = t.sess.Step()
 	out := EpochStats(*last)
 	return &out, nil
 }
+
+// Session returns the trainer's long-lived session, nil before the first
+// Fit call.
+func (t *Trainer) Session() *train.Session { return t.sess }
 
 // Predict runs full-volume inference on one sample in evaluation mode and
 // returns the per-voxel probability map ([OutChannels, D, H, W]).

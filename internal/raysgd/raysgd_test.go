@@ -1,6 +1,7 @@
 package raysgd
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -272,5 +273,88 @@ func TestCyclicLRApplied(t *testing.T) {
 	got := tr.EffectiveLR()
 	if got < 0.001 || got > 0.009 {
 		t.Fatalf("cyclic LR not applied: %v", got)
+	}
+}
+
+// paramHash fingerprints the model parameters bit-for-bit.
+func paramHash(u *unet.UNet) string {
+	var sum uint64 = 1469598103934665603
+	for _, p := range u.Params() {
+		for _, v := range p.Value.Data() {
+			sum ^= uint64(math.Float32bits(v))
+			sum *= 1099511628211
+		}
+	}
+	return fmt.Sprintf("%016x", sum)
+}
+
+// TestRepeatedFitContinuesSession: two 2-epoch Fit calls on one trainer are
+// bit-identical to a single 4-epoch call — the session (cursor, history,
+// optimizer state) survives across Fit calls instead of restarting.
+func TestRepeatedFitContinuesSession(t *testing.T) {
+	train := samples(t, 8)
+	val := samples(t, 2)
+
+	straight, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := straight.Fit(train, val, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	split, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reported []EpochStats
+	report := func(s EpochStats) bool { reported = append(reported, s); return true }
+	if _, err := split.Fit(train, val, 2, report); err != nil {
+		t.Fatal(err)
+	}
+	last, err := split.Fit(train, val, 2, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := paramHash(split.Model()), paramHash(straight.Model()); got != want {
+		t.Fatalf("split 2+2 params %s != straight 4-epoch params %s", got, want)
+	}
+	if last.Epoch != 3 {
+		t.Fatalf("second Fit's last epoch %d, want 3 (continued cursor)", last.Epoch)
+	}
+	if len(reported) != 4 {
+		t.Fatalf("reported %d epochs across both calls, want 4", len(reported))
+	}
+	for i, s := range reported {
+		if s.Epoch != i {
+			t.Fatalf("reported epoch %d at position %d — session restarted", s.Epoch, i)
+		}
+	}
+	if sess := split.Session(); sess == nil || sess.Epoch() != 4 || len(sess.History()) != 4 {
+		t.Fatalf("session cursor/history did not continue: %+v", sess)
+	}
+}
+
+// TestRepeatedFitAfterEarlyStop: an early stop latched by one Fit's report
+// does not wedge the next Fit call.
+func TestRepeatedFitAfterEarlyStop(t *testing.T) {
+	tr, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := samples(t, 4)
+	if _, err := tr.Fit(train, nil, 3, func(EpochStats) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Session().Epoch(); got != 1 {
+		t.Fatalf("early-stopped after %d epochs, want 1", got)
+	}
+	n := 0
+	if _, err := tr.Fit(train, nil, 2, func(EpochStats) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("second Fit trained no epochs — stop latch not cleared")
 	}
 }

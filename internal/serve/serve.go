@@ -24,9 +24,12 @@
 // Admission control bounds the queue: past MaxQueue outstanding patches a
 // request is rejected immediately with a retry-after estimate instead of
 // growing the tail. A Stats snapshot exposes per-stage latency histograms
-// (queue, batch dispatch, compute, blend) and throughput counters. Reload
-// atomically hot-swaps all replicas onto a new checkpoint between
-// micro-batches; Close drains in-flight requests before returning.
+// (queue, batch dispatch, compute, blend) and throughput counters.
+// SwapModel atomically hot-swaps all replicas onto new in-memory weights
+// between requests — a swap drains in-flight requests first, so every
+// response reflects exactly one model generation — and Reload is the
+// checkpoint-file wrapper over it; Close drains in-flight requests before
+// returning.
 package serve
 
 import (
@@ -190,8 +193,13 @@ type Server struct {
 	inflight sync.WaitGroup
 	closed   atomic.Bool
 
-	// reloadMu serializes checkpoint hot-swaps against micro-batch
-	// compute: workers hold it shared per batch, Reload exclusively.
+	// reloadMu serializes model hot-swaps against serving: Segment holds it
+	// shared for a request's whole patch lifetime, SwapModel exclusively —
+	// so a swap waits for in-flight requests to drain and every response is
+	// computed under exactly one model generation (no torn swaps across the
+	// micro-batches of one request). Replica workers only ever compute
+	// patches of requests holding the read lock, so they need no lock of
+	// their own.
 	reloadMu sync.RWMutex
 
 	m *metrics
@@ -234,8 +242,7 @@ func New(cfg Config, factory func() (Model, error)) (*Server, error) {
 
 // Reload atomically hot-swaps every replica onto the checkpoint at path.
 // The checkpoint is first loaded and validated against a staging model; on
-// success all replicas are updated under an exclusive lock, so every
-// micro-batch runs against exactly one checkpoint version. On error the
+// success the staging weights are promoted through SwapModel. On error the
 // serving weights are untouched.
 func (s *Server) Reload(path string) error {
 	staging, err := s.factory()
@@ -245,16 +252,42 @@ func (s *Server) Reload(path string) error {
 	if _, err := ckpt.LoadModelFile(path, staging); err != nil {
 		return err
 	}
-	stagingAux := auxOf(staging)
+	return s.SwapModel(staging)
+}
+
+// SwapModel atomically hot-swaps every replica onto src's weights — the
+// in-memory promotion path: an online fine-tuning loop hands its shadow
+// model straight over, skipping Reload's save-to-disk/load round-trip. The
+// swap waits for in-flight requests to drain and blocks new ones until the
+// copy finishes, so every response reflects exactly one model generation.
+// src is validated against the replicas (parameter names and shapes) before
+// any weight moves; on error the serving weights are untouched. The caller
+// must not mutate src until SwapModel returns.
+func (s *Server) SwapModel(src Model) error {
+	dst := s.replicas[0].model.Params()
+	ps := src.Params()
+	if len(ps) != len(dst) {
+		return fmt.Errorf("serve: swap model has %d parameters, replicas have %d", len(ps), len(dst))
+	}
+	for i, p := range ps {
+		if p.Name != dst[i].Name {
+			return fmt.Errorf("serve: swap parameter %d is %q, replicas have %q", i, p.Name, dst[i].Name)
+		}
+		if !p.Value.SameShape(dst[i].Value) {
+			return fmt.Errorf("serve: swap parameter %q shape %v, replicas have %v",
+				p.Name, p.Value.Shape(), dst[i].Value.Shape())
+		}
+	}
+	srcAux := auxOf(src)
 
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	for _, r := range s.replicas {
 		for i, p := range r.model.Params() {
-			p.Value.CopyFrom(staging.Params()[i].Value)
+			p.Value.CopyFrom(ps[i].Value)
 		}
-		for name, dst := range auxOf(r.model) {
-			copy(dst, stagingAux[name])
+		for name, dstState := range auxOf(r.model) {
+			copy(dstState, srcAux[name])
 		}
 	}
 	s.m.reloads.Inc()
@@ -299,9 +332,16 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("serve: request needs %d patches, exceeding queue capacity %d", len(wins), s.cfg.MaxQueue)
 	}
 
+	// Hold the swap lock shared for the request's whole patch lifetime: a
+	// concurrent SwapModel waits for this request to finish, so all of its
+	// micro-batches — however they interleave with other traffic — compute
+	// under one model generation.
+	s.reloadMu.RLock()
+
 	// Admission: reserve queue slots or reject with a retry estimate.
 	if depth := s.pending.Add(int64(len(wins))); depth > int64(s.cfg.MaxQueue) {
 		s.pending.Add(-int64(len(wins)))
+		s.reloadMu.RUnlock()
 		s.m.rejected.Inc()
 		per := time.Duration(s.m.ewmaPatchNs.Load())
 		if per == 0 {
@@ -318,6 +358,7 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if s.closed.Load() {
 		// Lost the race with Close; give the slots back.
 		s.pending.Add(-int64(len(wins)))
+		s.reloadMu.RUnlock()
 		return nil, ErrClosed
 	}
 	s.m.requests.Inc()
@@ -339,6 +380,9 @@ func (s *Server) Segment(x *tensor.Tensor) (*tensor.Tensor, error) {
 		s.queue <- &task{req: req, win: i, enq: now}
 	}
 	<-req.done
+	// Every patch has computed; blending only reads predictions, so the
+	// swap lock can release before it.
+	s.reloadMu.RUnlock()
 
 	tBlend := time.Now()
 	if req.direct {
@@ -433,7 +477,6 @@ func (s *Server) batcher() {
 func (s *Server) runReplica(r *replica) {
 	defer close(r.done)
 	for mb := range r.ch {
-		s.reloadMu.RLock()
 		s.m.busy.Inc()
 		s.m.batch.ObserveDuration(time.Since(mb.formed))
 
@@ -495,7 +538,6 @@ func (s *Server) runReplica(r *replica) {
 		tensor.Recycle(batch)
 		tensor.Recycle(out)
 		s.m.busy.Dec()
-		s.reloadMu.RUnlock()
 	}
 }
 

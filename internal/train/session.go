@@ -80,6 +80,31 @@ func NewSession(cfg Config) (*Session, error) {
 // Strategy returns the session's distribution strategy.
 func (s *Session) Strategy() Strategy { return s.cfg.Strategy }
 
+// EpochBudget returns the session's current total epoch budget.
+func (s *Session) EpochBudget() int { return s.cfg.Epochs }
+
+// ExtendEpochs raises the epoch budget by n, so a session whose budget is
+// exhausted can keep training — the continual-learning reuse path: one
+// long-lived session fits repeatedly over refreshed datasets, and every Fit
+// continues the epoch/step cursor, history and optimizer state exactly
+// where the previous call stopped. Fitting k then extending by m and
+// fitting again is bit-identical to one k+m-epoch run over the same data
+// (the per-epoch shuffle depends only on Seed+epoch).
+func (s *Session) ExtendEpochs(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("train: ExtendEpochs needs a positive extension, got %d", n)
+	}
+	s.cfg.Epochs += n
+	return nil
+}
+
+// ClearStop clears a previously requested stop so a later Fit can run.
+// Callers that reuse one session across Fit calls (raysgd, the online
+// controller) reset the early-stop latch between calls; resume-replay
+// paths (ResumeFromFile with a report that declines) intentionally leave
+// it set.
+func (s *Session) ClearStop() { s.stopped, s.stopWhy = false, "" }
+
 // Epoch returns the number of completed epochs (the resume cursor).
 func (s *Session) Epoch() int { return s.epoch }
 
